@@ -1,0 +1,53 @@
+"""E9 -- The cartesian-product tradeoff (introduction's example).
+
+Paper claim (introduction): computing all pairs of two n-item sets
+with a ``g x g`` reducer grid costs replication rate ``g`` and reducer
+input ``2n/g``; with ``p`` servers the balanced choice is
+``g = sqrt(p)``.  The sweep measures both sides of the tradeoff and
+their invariant product.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.experiments import sweep_cartesian_tradeoff
+from repro.analysis.reporting import format_table
+
+
+def test_cartesian_tradeoff(once):
+    n, p = 512, 64
+    rows = once(
+        sweep_cartesian_tradeoff,
+        n=n,
+        p=p,
+        group_values=(1, 2, 4, 8),
+        seed=0,
+    )
+    emit(
+        format_table(
+            ["g", "replication", "max reducer tuples", "theory 2n/g",
+             "total tuples moved"],
+            [
+                [
+                    row["g"],
+                    row["replication_rate"],
+                    row["max_reducer_tuples"],
+                    row["theory_reducer"],
+                    row["total_tuples_moved"],
+                ]
+                for row in rows
+            ],
+            title=f"E9: cartesian {n}x{n} on p={p} "
+            "(replication g vs reducer 2n/g)",
+        )
+    )
+    for row in rows:
+        # Exact tradeoff identities from the introduction.
+        assert row["replication_rate"] == row["g"]
+        assert row["max_reducer_tuples"] == 2 * n // row["g"]
+    # Replication increases while reducer size decreases: a tradeoff.
+    replications = [row["replication_rate"] for row in rows]
+    reducers = [row["max_reducer_tuples"] for row in rows]
+    assert replications == sorted(replications)
+    assert reducers == sorted(reducers, reverse=True)

@@ -1,0 +1,50 @@
+"""E7 -- CONNECTED-COMPONENTS: Omega(log p) vs dense 2 rounds (Thm 4.10).
+
+Paper claim: with space exponent below 1, no tuple-based MPC algorithm
+computes connected components of sparse graphs in O(1) rounds --
+rounds grow like ``log p`` on the layered path instances -- while
+dense graphs admit the two-round algorithm of Karloff et al. [16].
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.experiments import sweep_components_rounds
+from repro.analysis.reporting import format_table
+
+
+def test_components_round_scaling(once):
+    rows = once(
+        sweep_components_rounds,
+        p_values=(4, 16, 64, 256),
+        layer_size=16,
+        seed=0,
+    )
+    emit(
+        format_table(
+            ["p", "k = p^(1/2) layers", "sparse rounds",
+             "Thm 4.10 lower bound", "dense rounds"],
+            [
+                [
+                    row["p"],
+                    row["path_length_k"],
+                    row["sparse_rounds"],
+                    row["lower_bound"],
+                    row["dense_rounds"],
+                ]
+                for row in rows
+            ],
+            title="E7: connected components, sparse vs dense "
+            "(sparse grows ~log p; dense pinned at 2)",
+        )
+    )
+    sparse = [row["sparse_rounds"] for row in rows]
+    # Shape 1: sparse rounds are monotone nondecreasing and grow.
+    assert sparse == sorted(sparse)
+    assert sparse[-1] >= sparse[0] + 2
+    # Shape 2: dense stays at exactly 2 rounds for all p.
+    assert all(row["dense_rounds"] == 2 for row in rows)
+    # Shape 3: measured rounds respect the theorem's lower bound.
+    for row in rows:
+        assert row["sparse_rounds"] >= row["lower_bound"]

@@ -1,0 +1,54 @@
+"""E4 -- HyperCube load scaling (Proposition 3.2).
+
+Paper claim: on matching databases HC's maximum per-server load is
+``O(n / p^{1-eps(q)})`` tuples, i.e. optimal.  We sweep ``p`` for
+``C_3`` (eps = 1/3), ``L_3`` (eps = 1/2) and ``T_2`` (eps = 0) and
+check that measured-load / theory stays flat as ``p`` grows -- the
+shape that certifies the exponent is right.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.experiments import sweep_hc_load
+from repro.analysis.reporting import format_table
+from repro.core.families import cycle_query, line_query, star_query
+
+
+def run_sweeps():
+    results = {}
+    for query in (cycle_query(3), line_query(3), star_query(2)):
+        results[query.name] = sweep_hc_load(
+            query, n=300, p_values=(4, 8, 16, 32, 64), trials=2, seed=0
+        )
+    return results
+
+
+def test_hc_load_scaling(once):
+    results = once(run_sweeps)
+    for name, rows in results.items():
+        emit(
+            format_table(
+                ["p", "eps", "max load (tuples)", "theory l*n/p^(1-eps)",
+                 "ratio"],
+                [
+                    [
+                        row["p"],
+                        row["eps"],
+                        row["max_load_tuples"],
+                        row["theory_load"],
+                        row["ratio"],
+                    ]
+                    for row in rows
+                ],
+                title=f"E4: HC max load vs p for {name} (Prop 3.2)",
+            )
+        )
+        ratios = [row["ratio"] for row in rows]
+        # Shape: ratio flat within a small constant band across p.
+        assert max(ratios) <= 3.0, (name, ratios)
+        assert max(ratios) / max(min(ratios), 0.01) <= 4.0, (name, ratios)
+        # Load strictly decreases as p grows.
+        loads = [row["max_load_tuples"] for row in rows]
+        assert loads[0] > loads[-1]

@@ -1,0 +1,65 @@
+"""E5 -- The one-round lower bound, made visible (Thm 3.3 / Prop 3.11).
+
+Paper claim: a one-round MPC(eps) algorithm with ``eps`` below the
+space exponent reports only an ``O(p^{-(tau*(1-eps)-1)})`` fraction of
+answers, and Proposition 3.11's algorithm achieves that rate.  We run
+that algorithm for ``L_3`` (tau* = 2) at eps = 0 and eps = 1/4 and
+check the measured fraction tracks the theoretical decay across p.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from conftest import emit
+
+from repro.analysis.experiments import sweep_one_round_fraction
+from repro.analysis.reporting import format_table
+from repro.core.families import line_query
+
+
+def run_sweeps():
+    query = line_query(3)
+    return {
+        "eps=0": sweep_one_round_fraction(
+            query, eps=Fraction(0), n=240, p_values=(4, 8, 16, 32),
+            trials=4, seed=0,
+        ),
+        "eps=1/4": sweep_one_round_fraction(
+            query, eps=Fraction(1, 4), n=240, p_values=(4, 8, 16, 32),
+            trials=4, seed=1,
+        ),
+    }
+
+
+def test_one_round_fraction_decay(once):
+    results = once(run_sweeps)
+    for label, rows in results.items():
+        emit(
+            format_table(
+                ["p", "measured fraction", "theory p^-(tau*(1-eps)-1)",
+                 "measured/theory"],
+                [
+                    [
+                        row["p"],
+                        row["measured_fraction"],
+                        row["theory_fraction"],
+                        row["ratio"],
+                    ]
+                    for row in rows
+                ],
+                title=f"E5: L3 one-round reported fraction at {label} "
+                "(Thm 3.3 tight by Prop 3.11)",
+            )
+        )
+        measured = [row["measured_fraction"] for row in rows]
+        # Shape 1: monotone decay in p.
+        assert measured == sorted(measured, reverse=True), (label, measured)
+        # Shape 2: within a constant factor of theory at every p.
+        for row in rows:
+            assert row["measured_fraction"] <= 4 * row["theory_fraction"]
+            assert row["measured_fraction"] >= row["theory_fraction"] / 5
+        # Shape 3: the eps = 1/4 curve sits above the eps = 0 curve.
+    zero = [row["measured_fraction"] for row in results["eps=0"]]
+    quarter = [row["measured_fraction"] for row in results["eps=1/4"]]
+    assert sum(quarter) > sum(zero)

@@ -1,0 +1,86 @@
+"""E10 -- Power-law exponents, fitted (Thm 3.3's decay made precise).
+
+Instead of eyeballing ratios, fit ``log(fraction) ~ slope * log(p)``
+over the E5 sweep and compare the fitted exponent against the
+theoretical ``-(tau*(1-eps)-1)``.  Also overlays the Theorem 3.3
+ceiling from the knowledge-bound calculator and renders an ASCII
+decay curve.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from conftest import emit
+
+from repro.analysis.experiments import sweep_one_round_fraction
+from repro.analysis.figures import ascii_curve, fit_power_law, slope_matches
+from repro.analysis.reporting import format_table
+from repro.core.covers import covering_number
+from repro.core.families import line_query
+from repro.core.knowledge import knowledge_bound
+
+
+def run_fits():
+    cases = [
+        (line_query(3), Fraction(0)),     # tau*=2:   slope -1
+        (line_query(3), Fraction(1, 4)),  # slope -1/2
+        (line_query(5), Fraction(1, 2)),  # tau*=3:   slope -1/2
+    ]
+    results = []
+    for query, eps in cases:
+        rows = sweep_one_round_fraction(
+            query, eps=eps, n=240, p_values=(4, 8, 16, 32, 64),
+            trials=4, seed=7,
+        )
+        ps = [row["p"] for row in rows]
+        measured = [row["measured_fraction"] for row in rows]
+        theory_slope = -float(covering_number(query) * (1 - eps) - 1)
+        fit = fit_power_law(ps, measured)
+        ceiling = [
+            knowledge_bound(query, p, eps, c=4.0).all_servers_fraction
+            for p in ps
+        ]
+        results.append(
+            (query.name, eps, ps, measured, fit, theory_slope, ceiling)
+        )
+    return results
+
+
+def test_fitted_exponents_match_theory(once):
+    results = once(run_fits)
+    emit(
+        format_table(
+            ["query", "eps", "fitted slope", "theory slope", "R^2",
+             "within tol"],
+            [
+                [
+                    name,
+                    eps,
+                    f"{fit.slope:.3f}",
+                    f"{theory:.3f}",
+                    f"{fit.r_squared:.4f}",
+                    slope_matches(fit, theory),
+                ]
+                for name, eps, _, _, fit, theory, _ in results
+            ],
+            title="E10: fitted decay exponents vs -(tau*(1-eps)-1)",
+        )
+    )
+    for name, eps, ps, measured, fit, theory, ceiling in results:
+        if all(value > 0 for value in measured):
+            assert slope_matches(fit, theory), (name, eps, fit.slope, theory)
+            assert fit.r_squared > 0.9, (name, eps, fit.r_squared)
+        # Theorem 3.3's ceiling (with its own constant) is respected.
+        for value, cap in zip(measured, ceiling):
+            assert value <= cap
+
+    name, eps, ps, measured, fit, theory, _ = results[0]
+    emit(
+        ascii_curve(
+            [float(p) for p in ps],
+            {"measured": measured,
+             "theory": [float(p) ** theory for p in ps]},
+            title=f"{name} at eps={eps}: answer fraction vs p",
+        )
+    )

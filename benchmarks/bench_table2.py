@@ -1,0 +1,60 @@
+"""E2 -- Regenerate Table 2: the rounds/space tradeoff.
+
+Paper rows (Table 2): space exponent, rounds at eps = 0, and the
+rounds-as-a-function-of-eps curve for ``C_k, L_k, T_k, SP_k``.  Round
+counts come from the actual plan builder (not the formulas), so this
+also benchmarks plan construction.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from conftest import emit
+
+from repro.analysis.reporting import format_table
+from repro.analysis.tables import table2_rows, tradeoff_curve
+
+
+def test_table2_regeneration(once):
+    rows = once(table2_rows)
+    for row in rows:
+        if row.paper_rounds_at_zero is not None:
+            assert row.rounds_at_zero == row.paper_rounds_at_zero
+    emit(
+        format_table(
+            ["query", "space exp", "rounds@eps=0", "paper", "r(eps) curve"],
+            [
+                [
+                    row.name,
+                    row.space_exponent,
+                    row.rounds_at_zero,
+                    row.paper_rounds_at_zero,
+                    " ".join(
+                        f"{eps}:{depth}"
+                        for eps, depth in sorted(row.rounds_by_eps.items())
+                    ),
+                ]
+                for row in rows
+            ],
+            title="Table 2 (recomputed from the plan builder)",
+        )
+    )
+
+
+def test_tradeoff_curve_l16(benchmark):
+    curve = benchmark(
+        tradeoff_curve,
+        16,
+        (Fraction(0), Fraction(1, 2), Fraction(2, 3), Fraction(3, 4)),
+    )
+    emit(
+        format_table(
+            ["eps", "rounds (measured)", "k_eps"],
+            [[eps, depth, base] for eps, depth, base in curve],
+            title="L16 rounds/space tradeoff: r ~ log k / log(2/(1-eps))",
+        )
+    )
+    depths = [depth for _, depth, _ in curve]
+    assert depths[0] == 4 and depths[-1] == 2
+    assert depths == sorted(depths, reverse=True)

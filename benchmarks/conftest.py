@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper and prints
+it (run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+tables; without ``-s`` the rows are still checked by assertions).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print a regenerated table, surviving pytest capture settings."""
+    print("\n" + text)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable exactly once (heavy sweeps)."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,65 @@
+"""Needle in a haystack: the JOIN-WITNESS barrier (Proposition 3.12).
+
+The query ``q = R(w), S1(w,x), S2(x,y), S3(y,z), T(z)`` with matchings
+``S_i`` and sqrt(n)-sized endpoints ``R, T`` has exactly one expected
+answer.  The paper proves no one-round MPC(eps) algorithm with
+``eps < 1/2`` finds it except with polynomially small probability --
+even producing a *single witness* requires the full replication budget
+of the chain subquery.
+
+This script hunts witnesses across p at eps = 0 and then repeats at the
+legal eps = 1/2, showing the cliff: below budget the hit rate collapses
+as 1/p; at budget every witness is found.
+
+Run:  python examples/witness_hunt.py
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.algorithms.witness import run_witness_experiment
+from repro.analysis.reporting import format_table
+
+
+def hunt(n: int, p: int, eps: Fraction, trials: int) -> tuple[int, int]:
+    """(instances with a witness, witnesses found) over seeds."""
+    eligible = found = 0
+    for seed in range(trials):
+        result = run_witness_experiment(n=n, p=p, eps=eps, seed=seed)
+        if result.true_witnesses:
+            eligible += 1
+            if result.found:
+                found += 1
+    return eligible, found
+
+
+def main() -> None:
+    n, trials = 144, 24
+    rows = []
+    for p in (2, 4, 9, 16):
+        low_eligible, low_found = hunt(n, p, Fraction(0), trials)
+        high_eligible, high_found = hunt(n, p, Fraction(1, 2), trials)
+        rows.append(
+            [
+                p,
+                f"{low_found}/{low_eligible}",
+                f"{high_found}/{high_eligible}",
+            ]
+        )
+    print(
+        format_table(
+            ["p", "witnesses found at eps=0", "at eps=1/2 (the budget)"],
+            rows,
+            title=f"JOIN-WITNESS hunt (n={n}, {trials} instances per cell)",
+        )
+    )
+    print(
+        "\nBelow eps=1/2 the hit rate collapses like 1/p (Prop 3.12); "
+        "at the budget the chain is fully recovered and every witness "
+        "surfaces."
+    )
+
+
+if __name__ == "__main__":
+    main()

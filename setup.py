@@ -1,0 +1,5 @@
+"""Legacy setup shim: lets ``pip install -e .`` / ``setup.py develop``
+work in offline environments that lack the ``wheel`` package."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""repro: Communication Steps for Parallel Query Processing, rebuilt.
+
+A complete Python implementation of Beame, Koutris and Suciu,
+*Communication Steps for Parallel Query Processing* (PODS 2013):
+
+* the MPC(eps) computation model as an exact simulator
+  (:mod:`repro.mpc`),
+* conjunctive-query theory -- hypergraphs, the characteristic
+  ``chi(q)``, fractional vertex covers / edge packings and ``tau*``
+  via an exact rational LP solver (:mod:`repro.core`, :mod:`repro.lp`),
+* the HyperCube algorithm, its below-budget partial variant, multi-
+  round query plans, connected components and baselines
+  (:mod:`repro.algorithms`),
+* matching databases and the paper's experiment inputs
+  (:mod:`repro.data`), and
+* table/figure regeneration harnesses (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from fractions import Fraction
+    from repro import core, data, algorithms
+
+    q = core.parse_query("C3(x,y,z) = S1(x,y), S2(y,z), S3(z,x)")
+    print(core.covering_number(q))        # 3/2
+    print(core.space_exponent(q))         # 1/3
+
+    db = data.matching_database(q, n=100, rng=0)
+    result = algorithms.run_hypercube(q, db, p=16)
+    print(len(result.answers), result.report.summary())
+"""
+
+from repro import algorithms, analysis, core, data, lp, mpc
+
+__version__ = "1.0.0"
+
+__all__ = ["algorithms", "analysis", "core", "data", "lp", "mpc", "__version__"]

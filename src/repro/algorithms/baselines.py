@@ -1,0 +1,233 @@
+"""Baseline algorithms the paper measures HyperCube against.
+
+* :func:`run_broadcast_join` -- ship every relation to every server
+  (the degenerate ``eps = 1`` regime): one round, replication ``p``.
+* :func:`run_single_server` -- ship everything to server 0 (the
+  ``p = 1`` regime in disguise): one round, maximum load ``N``.
+* :func:`run_single_attribute_join` -- hash all relations on one
+  shared variable (the one-round algorithm of Koutris-Suciu [17] for
+  queries with a variable in every atom, Corollary 3.10's class).
+* :func:`run_cartesian_grid` -- the introduction's drug-interaction
+  tradeoff: compute a cartesian product ``A x B`` with a ``g x g``
+  grid of reducers; replication rate ``g``, reducer input ``2n/g``,
+  optimal at ``g = sqrt(p)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.algorithms.localjoin import evaluate_query
+from repro.core.query import ConjunctiveQuery, QueryError
+from repro.data.database import Database, Relation, bits_per_value
+from repro.mpc.model import MPCConfig
+from repro.mpc.routing import HashFamily
+from repro.mpc.simulator import MPCSimulator
+from repro.mpc.stats import SimulationReport
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Answers plus communication statistics for a baseline run."""
+
+    answers: tuple[tuple[int, ...], ...]
+    report: SimulationReport
+
+
+def run_broadcast_join(
+    query: ConjunctiveQuery, database: Database, p: int
+) -> BaselineResult:
+    """Every relation broadcast to every worker; one round.
+
+    Always correct; replication rate is exactly ``p`` -- the
+    degenerate end of the space-exponent scale (``eps = 1``).
+    """
+    config = MPCConfig(p=p, eps=Fraction(1))
+    simulator = MPCSimulator(
+        config, input_bits=database.total_bits, enforce_capacity=True
+    )
+    simulator.begin_round()
+    for atom in query.atoms:
+        relation = database[atom.name]
+        simulator.broadcast_from_input(
+            atom.name, relation.tuples, relation.tuple_bits
+        )
+    simulator.end_round()
+    local = {
+        atom.name: simulator.worker_rows(0, atom.name)
+        for atom in query.atoms
+    }
+    return BaselineResult(
+        answers=evaluate_query(query, local), report=simulator.report
+    )
+
+
+def run_single_server(
+    query: ConjunctiveQuery, database: Database, p: int = 1
+) -> BaselineResult:
+    """Everything to worker 0; the sequential strawman."""
+    config = MPCConfig(p=max(1, p), eps=Fraction(1))
+    simulator = MPCSimulator(
+        config, input_bits=database.total_bits, enforce_capacity=False
+    )
+    simulator.begin_round()
+    for atom in query.atoms:
+        relation = database[atom.name]
+        simulator.send_from_input(
+            atom.name, 0, relation.tuples, relation.tuple_bits
+        )
+    simulator.end_round()
+    local = {
+        atom.name: simulator.worker_rows(0, atom.name)
+        for atom in query.atoms
+    }
+    return BaselineResult(
+        answers=evaluate_query(query, local), report=simulator.report
+    )
+
+
+def run_single_attribute_join(
+    query: ConjunctiveQuery,
+    database: Database,
+    p: int,
+    seed: int = 0,
+) -> BaselineResult:
+    """Hash-partition every relation on one variable shared by all atoms.
+
+    This is the classical parallel hash join ([17]'s one-round class):
+    it requires a variable occurring in *every* atom -- exactly the
+    queries with ``tau* = 1`` (Corollary 3.10).  Replication rate 1.
+
+    Raises:
+        QueryError: if no variable is shared by all atoms.
+    """
+    shared = None
+    for variable in query.variables:
+        if all(
+            variable in atom.variable_set for atom in query.atoms
+        ):
+            shared = variable
+            break
+    if shared is None:
+        raise QueryError(
+            "single-attribute hash join needs a variable in every atom "
+            f"(tau* = 1); {query.name} has none"
+        )
+    hashes = HashFamily(seed)
+    config = MPCConfig(p=p, eps=Fraction(0))
+    simulator = MPCSimulator(
+        config, input_bits=database.total_bits, enforce_capacity=False
+    )
+    simulator.begin_round()
+    for atom in query.atoms:
+        relation = database[atom.name]
+        position = atom.variables.index(shared)
+        batches: dict[int, list[tuple[int, ...]]] = {}
+        for row in relation:
+            worker = hashes.hash_value(shared, row[position], p)
+            batches.setdefault(worker, []).append(row)
+        for worker, rows in batches.items():
+            simulator.send_from_input(
+                atom.name, worker, rows, relation.tuple_bits
+            )
+    simulator.end_round()
+    answers: set[tuple[int, ...]] = set()
+    for worker in range(p):
+        local = {
+            atom.name: simulator.worker_rows(worker, atom.name)
+            for atom in query.atoms
+        }
+        answers.update(evaluate_query(query, local))
+    return BaselineResult(
+        answers=tuple(sorted(answers)), report=simulator.report
+    )
+
+
+@dataclass(frozen=True)
+class CartesianResult:
+    """The drug-interaction tradeoff, measured.
+
+    Attributes:
+        num_pairs: pairs examined (must be ``|A| * |B|``).
+        replication_rate: times each input item was shipped (``g``).
+        max_reducer_tuples: largest reducer input (``~ 2n/g``).
+        report: communication statistics.
+    """
+
+    num_pairs: int
+    replication_rate: float
+    max_reducer_tuples: int
+    report: SimulationReport
+
+
+def run_cartesian_grid(
+    left: Relation,
+    right: Relation,
+    p: int,
+    groups: int | None = None,
+) -> CartesianResult:
+    """Compute ``left x right`` with a ``g x g`` reducer grid.
+
+    Each side is split into ``g`` groups; reducer ``(i, j)`` receives
+    group ``i`` of ``left`` and group ``j`` of ``right`` -- Ullman's
+    drug-interaction example from the introduction.  With ``g**2 <= p``
+    each reducer is a worker; the tradeoff is replication ``g`` versus
+    reducer input ``|left|/g + |right|/g``.
+
+    Args:
+        left, right: unary or wider relations (rows are items).
+        p: number of workers; reducers use the first ``g*g``.
+        groups: ``g``; defaults to ``floor(sqrt(p))`` (the optimum).
+    """
+    import math
+
+    g = groups if groups is not None else max(1, math.isqrt(p))
+    if g * g > p:
+        raise ValueError(f"grid {g}x{g} needs {g * g} workers, have {p}")
+    n_bits = bits_per_value(max(left.domain_size, right.domain_size))
+    input_bits = (len(left) + len(right)) * n_bits
+    config = MPCConfig(p=p, eps=Fraction(1, 2), c=4.0)
+    simulator = MPCSimulator(config, input_bits, enforce_capacity=False)
+
+    def group_of(index: int) -> int:
+        return index % g
+
+    simulator.begin_round()
+    left_groups: dict[int, list[tuple[int, ...]]] = {}
+    for index, row in enumerate(left.tuples):
+        left_groups.setdefault(group_of(index), []).append(row)
+    right_groups: dict[int, list[tuple[int, ...]]] = {}
+    for index, row in enumerate(right.tuples):
+        right_groups.setdefault(group_of(index), []).append(row)
+    for i in range(g):
+        for j in range(g):
+            reducer = i * g + j
+            simulator.send_from_input(
+                left.name, reducer, left_groups.get(i, []), left.tuple_bits
+            )
+            simulator.send_from_input(
+                right.name, reducer, right_groups.get(j, []), right.tuple_bits
+            )
+    simulator.end_round()
+
+    pairs = 0
+    max_reducer = 0
+    for i in range(g):
+        for j in range(g):
+            reducer = i * g + j
+            a = simulator.worker_rows(reducer, left.name)
+            b = simulator.worker_rows(reducer, right.name)
+            pairs += len(a) * len(b)
+            max_reducer = max(max_reducer, len(a) + len(b))
+    replication = (
+        simulator.report.rounds[0].total_tuples / (len(left) + len(right))
+        if (len(left) + len(right))
+        else 0.0
+    )
+    return CartesianResult(
+        num_pairs=pairs,
+        replication_rate=replication,
+        max_reducer_tuples=max_reducer,
+        report=simulator.report,
+    )

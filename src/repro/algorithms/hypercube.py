@@ -1,0 +1,182 @@
+"""The HyperCube (HC) one-round algorithm (Section 3.1, Prop. 3.2).
+
+Given a query ``q`` with variables ``x_1..x_k`` and a fractional vertex
+cover ``v`` of value ``tau``:
+
+1. each variable gets share exponent ``e_i = v_i / tau``;
+2. the ``p`` servers form a grid ``[p_1] x ... x [p_k]`` with
+   ``p_i ~ p^{e_i}`` (integerised by
+   :func:`repro.core.shares.allocate_integer_shares`);
+3. independent hashes ``h_i : [n] -> [p_i]`` route every tuple
+   ``S_j(a)`` to all grid points agreeing with ``h`` on the dimensions
+   of ``vars(S_j)`` -- the tuple is replicated across the free
+   dimensions, ``prod_{i not in vars(S_j)} p_i <= p^{1-1/tau}`` times;
+4. after the single communication round each server joins its local
+   fragments; every potential answer ``(a_1..a_k)`` is assembled at
+   grid point ``(h_1(a_1), ..., h_k(a_k))``.
+
+On matching databases the maximum load is ``O(n / p^{1/tau})`` tuples
+per server w.h.p., matching Theorem 1.1's lower bound: HC is the
+optimal one-round algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import product
+from typing import Mapping
+
+from repro.algorithms.localjoin import evaluate_query
+from repro.core.covers import fractional_vertex_cover
+from repro.core.query import Atom, ConjunctiveQuery
+from repro.core.shares import ShareAllocation, allocate_integer_shares, share_exponents
+from repro.data.database import Database, Relation
+from repro.mpc.model import MPCConfig
+from repro.mpc.routing import HashFamily, grid_rank
+from repro.mpc.simulator import MPCSimulator
+from repro.mpc.stats import SimulationReport
+
+
+@dataclass(frozen=True)
+class HCResult:
+    """Outcome of a HyperCube run.
+
+    Attributes:
+        answers: the union of all servers' outputs, sorted.
+        allocation: the integer share grid used.
+        report: exact communication statistics of the run.
+        per_server_answers: answer count per server (diagnostics).
+    """
+
+    answers: tuple[tuple[int, ...], ...]
+    allocation: ShareAllocation
+    report: SimulationReport
+    per_server_answers: tuple[int, ...]
+
+
+def hc_destinations(
+    atom: Atom,
+    row: tuple[int, ...],
+    shares: Mapping[str, int],
+    variable_order: tuple[str, ...],
+    hashes: HashFamily,
+) -> list[int]:
+    """All grid ranks that must receive ``row`` of ``atom``.
+
+    Dimensions owned by the atom's variables are pinned to the hashed
+    coordinates; the remaining dimensions range over their full shares
+    (this is the replication).  Rows violating repeated-variable
+    equality within the atom route nowhere (they can never join).
+    """
+    pinned: dict[str, int] = {}
+    for position, variable in enumerate(atom.variables):
+        coordinate = hashes.hash_value(
+            variable, row[position], shares[variable]
+        )
+        if variable in pinned and pinned[variable] != coordinate:
+            return []
+        pinned[variable] = coordinate
+    # Repeated variables with unequal values can never satisfy the atom.
+    for position, variable in enumerate(atom.variables):
+        first = atom.variables.index(variable)
+        if row[position] != row[first]:
+            return []
+
+    axes = []
+    for variable in variable_order:
+        if variable in pinned:
+            axes.append((pinned[variable],))
+        else:
+            axes.append(tuple(range(shares[variable])))
+    dimensions = tuple(shares[variable] for variable in variable_order)
+    return [
+        grid_rank(coordinates, dimensions)
+        for coordinates in product(*axes)
+    ]
+
+
+def run_hypercube(
+    query: ConjunctiveQuery,
+    database: Database,
+    p: int,
+    eps: Fraction | float | None = None,
+    cover: Mapping[str, Fraction] | None = None,
+    seed: int = 0,
+    capacity_c: float = 4.0,
+    enforce_capacity: bool = False,
+) -> HCResult:
+    """Run one round of HC on the simulator and return all answers.
+
+    Args:
+        query: a full conjunctive query (connected or not).
+        database: instances for every atom of the query.
+        p: number of servers.
+        eps: space exponent for capacity accounting; defaults to the
+            query's own space exponent ``1 - 1/tau*`` (the budget at
+            which Proposition 3.2 guarantees success).
+        cover: fractional vertex cover to derive shares from; defaults
+            to an optimal one.
+        seed: hash-family seed (determinism / repetition).
+        capacity_c: the constant in the capacity bound.
+        enforce_capacity: raise on overload instead of just recording.
+
+    Returns:
+        An :class:`HCResult`; ``answers`` equals the true query answer
+        on any database (HC never misses: every potential answer is
+        assembled at exactly one grid point).
+    """
+    if cover is None:
+        cover = fractional_vertex_cover(query)
+    exponents = share_exponents(query, cover)
+    allocation = allocate_integer_shares(exponents, p)
+    shares = allocation.shares
+    variable_order = query.variables
+    hashes = HashFamily(seed)
+
+    if eps is None:
+        tau = sum((Fraction(v) for v in cover.values()), start=Fraction(0))
+        eps = max(Fraction(0), 1 - 1 / tau)
+    config = MPCConfig(p=p, eps=Fraction(eps), c=capacity_c)
+    simulator = MPCSimulator(
+        config,
+        input_bits=database.total_bits,
+        enforce_capacity=enforce_capacity,
+    )
+
+    simulator.begin_round()
+    for atom in query.atoms:
+        relation: Relation = database[atom.name]
+        batches: dict[int, list[tuple[int, ...]]] = {}
+        for row in relation:
+            for destination in hc_destinations(
+                atom, row, shares, variable_order, hashes
+            ):
+                batches.setdefault(destination, []).append(row)
+        for destination, rows in batches.items():
+            simulator.send_from_input(
+                atom.name,
+                destination,
+                rows,
+                bits_per_tuple=relation.tuple_bits,
+            )
+    simulator.end_round()
+
+    answers: set[tuple[int, ...]] = set()
+    per_server: list[int] = []
+    for worker in range(allocation.used_servers):
+        local = {
+            atom.name: simulator.worker_rows(worker, atom.name)
+            for atom in query.atoms
+        }
+        found = evaluate_query(query, local)
+        per_server.append(len(found))
+        answers.update(found)
+    per_server.extend([0] * (p - allocation.used_servers))
+
+    return HCResult(
+        answers=tuple(sorted(answers)),
+        allocation=allocation,
+        report=simulator.report,
+        per_server_answers=tuple(per_server),
+    )

@@ -1,0 +1,151 @@
+"""Exact in-memory conjunctive-query evaluation.
+
+Workers in the MPC model have unlimited local compute (Section 2.1);
+what they do locally after a communication round is evaluate the query
+on whatever tuples they received.  This module is that local engine: a
+straightforward index-backed backtracking join.
+
+The evaluator:
+
+* orders atoms greedily (smallest relation first, then always an atom
+  sharing a bound variable, to keep intermediate bindings selective);
+* builds, per atom, a hash index keyed by the positions already bound
+  when the atom is reached;
+* handles repeated variables within an atom (they act as equality
+  selections), which arise from contracted queries;
+* returns answers as sorted tuples in the query's head-variable order.
+
+For the matching databases of the paper every relation has ``n``
+tuples and joins are key-key, so evaluation is near-linear; the
+evaluator is nevertheless fully general and is cross-checked against
+brute-force enumeration in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.query import Atom, ConjunctiveQuery
+
+Rows = Sequence[tuple[int, ...]]
+
+
+def evaluate_query(
+    query: ConjunctiveQuery,
+    relations: Mapping[str, Iterable[Sequence[int]]],
+) -> tuple[tuple[int, ...], ...]:
+    """All answers of ``query`` over the given relation instances.
+
+    Args:
+        query: a full conjunctive query.
+        relations: rows per relation name; every atom of the query
+            must be present (missing relations are treated as empty).
+
+    Returns:
+        Sorted, duplicate-free answer tuples in head-variable order.
+    """
+    instances: dict[str, list[tuple[int, ...]]] = {}
+    for atom in query.atoms:
+        rows = relations.get(atom.name, ())
+        instances[atom.name] = [tuple(row) for row in rows]
+        if not instances[atom.name]:
+            return ()
+
+    order = _atom_order(query, instances)
+    indexes = _build_indexes(query, order, instances)
+
+    answers: set[tuple[int, ...]] = set()
+    binding: dict[str, int] = {}
+
+    def extend(depth: int) -> None:
+        if depth == len(order):
+            answers.add(tuple(binding[v] for v in query.head))
+            return
+        atom = order[depth]
+        bound_positions, index = indexes[depth]
+        key = tuple(binding[atom.variables[i]] for i in bound_positions)
+        for row in index.get(key, ()):
+            assigned: list[str] = []
+            consistent = True
+            for position, variable in enumerate(atom.variables):
+                value = row[position]
+                if variable in binding:
+                    if binding[variable] != value:
+                        consistent = False
+                        break
+                else:
+                    binding[variable] = value
+                    assigned.append(variable)
+            if consistent:
+                extend(depth + 1)
+            for variable in assigned:
+                del binding[variable]
+
+    extend(0)
+    return tuple(sorted(answers))
+
+
+def count_answers(
+    query: ConjunctiveQuery,
+    relations: Mapping[str, Iterable[Sequence[int]]],
+) -> int:
+    """Convenience: the number of answers (|q(I)|)."""
+    return len(evaluate_query(query, relations))
+
+
+def _atom_order(
+    query: ConjunctiveQuery,
+    instances: Mapping[str, list[tuple[int, ...]]],
+) -> list[Atom]:
+    """Greedy join order: smallest first, then stay connected."""
+    remaining = list(query.atoms)
+    remaining.sort(key=lambda atom: len(instances[atom.name]))
+    order: list[Atom] = [remaining.pop(0)]
+    bound: set[str] = set(order[0].variable_set)
+    while remaining:
+        connected = [
+            atom for atom in remaining if atom.variable_set & bound
+        ]
+        pool = connected or remaining
+        chosen = min(pool, key=lambda atom: len(instances[atom.name]))
+        remaining.remove(chosen)
+        order.append(chosen)
+        bound |= chosen.variable_set
+    return order
+
+
+def _build_indexes(
+    query: ConjunctiveQuery,
+    order: Sequence[Atom],
+    instances: Mapping[str, list[tuple[int, ...]]],
+) -> list[tuple[tuple[int, ...], dict[tuple[int, ...], list[tuple[int, ...]]]]]:
+    """Per-atom hash index on the positions bound before the atom.
+
+    For each atom in join order, determine which of its positions hold
+    variables bound by earlier atoms; index its rows by the values at
+    those positions.  Rows violating intra-atom repeated-variable
+    equality are dropped at build time.
+    """
+    indexes = []
+    bound: set[str] = set()
+    for atom in order:
+        first_position: dict[str, int] = {}
+        for position, variable in enumerate(atom.variables):
+            first_position.setdefault(variable, position)
+        bound_positions = tuple(
+            first_position[variable]
+            for variable in dict.fromkeys(atom.variables)
+            if variable in bound
+        )
+        index: dict[tuple[int, ...], list[tuple[int, ...]]] = {}
+        for row in instances[atom.name]:
+            if any(
+                row[position] != row[first_position[variable]]
+                for position, variable in enumerate(atom.variables)
+            ):
+                continue
+            key = tuple(row[i] for i in bound_positions)
+            index.setdefault(key, []).append(row)
+        indexes.append((bound_positions, index))
+        bound |= atom.variable_set
+    return indexes

@@ -1,0 +1,175 @@
+"""Multi-round plan execution (Proposition 4.1).
+
+Executes a :class:`repro.core.plans.QueryPlan` on the MPC simulator:
+each plan round is one communication round in which every operator
+(a ``Gamma^1_eps`` subquery) is evaluated by the HyperCube routing of
+Section 3.1, with all operators of the round sharing the same ``p``
+servers (their loads add within the round, as in the paper's
+"computed in parallel" argument of Lemma 4.3).
+
+View materialisation follows the tuple-based MPC discipline
+(Section 4.2.1): the tuples of a view are *join tuples* of the base
+relations; between rounds they are re-routed purely by content -- the
+executor hashes each view tuple exactly like a base tuple, so the
+whole execution is a legal tuple-based MPC(eps) algorithm.
+
+The executor returns both the final answer (asserted in tests to equal
+the single-site join) and the per-round communication statistics, so
+benchmarks can confirm that plan depth equals the number of simulator
+rounds and that loads respect the ``eps`` budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.algorithms.hypercube import hc_destinations
+from repro.algorithms.localjoin import evaluate_query
+from repro.core.covers import fractional_vertex_cover
+from repro.core.plans import QueryPlan, validate_plan
+from repro.core.shares import allocate_integer_shares, share_exponents
+from repro.data.database import Database, bits_per_value
+from repro.mpc.model import MPCConfig
+from repro.mpc.routing import HashFamily
+from repro.mpc.simulator import MPCSimulator
+from repro.mpc.stats import SimulationReport
+
+
+@dataclass(frozen=True)
+class MultiRoundResult:
+    """Outcome of a plan execution.
+
+    Attributes:
+        answers: the final view's tuples, sorted, in the head order of
+            the original query.
+        rounds_used: communication rounds executed (== plan depth).
+        report: communication statistics per round.
+        view_sizes: materialised size of every intermediate view.
+    """
+
+    answers: tuple[tuple[int, ...], ...]
+    rounds_used: int
+    report: SimulationReport
+    view_sizes: dict[str, int]
+
+
+def run_plan(
+    plan: QueryPlan,
+    database: Database,
+    p: int,
+    seed: int = 0,
+    capacity_c: float = 8.0,
+    enforce_capacity: bool = False,
+) -> MultiRoundResult:
+    """Execute a query plan round by round on the simulator.
+
+    Args:
+        plan: a validated multi-round plan (see
+            :func:`repro.core.plans.build_plan`).
+        database: instances for the plan's base relations.
+        p: number of servers.
+        seed: hash seed; each (round, step) derives its own sub-seed.
+        capacity_c: capacity constant for the accounting.
+        enforce_capacity: raise on overload when True.
+
+    Returns:
+        A :class:`MultiRoundResult`; ``answers`` is exactly
+        ``plan.query`` evaluated on ``database``.
+    """
+    validate_plan(plan)
+    n = database.domain_size
+    value_bits = bits_per_value(n)
+    config = MPCConfig(p=p, eps=plan.eps, c=capacity_c)
+    simulator = MPCSimulator(
+        config,
+        input_bits=database.total_bits,
+        enforce_capacity=enforce_capacity,
+    )
+
+    # Environment: relation/view name -> (schema, rows).  Base
+    # relations enter with their atom's variable schema.
+    environment: dict[str, tuple[tuple[str, ...], tuple[tuple[int, ...], ...]]] = {}
+    for atom in plan.query.atoms:
+        environment[atom.name] = (
+            atom.variables,
+            database[atom.name].tuples,
+        )
+
+    view_sizes: dict[str, int] = {}
+    for round_number, plan_round in enumerate(plan.rounds, start=1):
+        simulator.begin_round()
+        for step_index, step in enumerate(plan_round.steps):
+            step_query = step.query
+            cover = fractional_vertex_cover(step_query)
+            exponents = share_exponents(step_query, cover)
+            allocation = allocate_integer_shares(exponents, p)
+            hashes = HashFamily(
+                seed ^ (round_number << 20) ^ (step_index << 10)
+            )
+            order = step_query.variables
+            for atom in step_query.atoms:
+                schema, rows = environment[atom.name]
+                if schema != atom.variables:
+                    raise ValueError(
+                        f"schema mismatch for {atom.name}: "
+                        f"{schema} vs {atom.variables}"
+                    )
+                tuple_bits = len(schema) * value_bits
+                batches: dict[int, list[tuple[int, ...]]] = {}
+                for row in rows:
+                    for destination in hc_destinations(
+                        atom, row, allocation.shares, order, hashes
+                    ):
+                        batches.setdefault(destination, []).append(row)
+                # Storage is namespaced per step so concurrent
+                # operators sharing a relation do not mix fragments.
+                key = f"{step.output}:{atom.name}"
+                for destination, batch in batches.items():
+                    if round_number == 1:
+                        # Round 1: the input server for the relation
+                        # routes its tuples (arbitrary round-1
+                        # messages are allowed by the model).
+                        simulator.send(
+                            f"input:{atom.name}",
+                            destination,
+                            key,
+                            batch,
+                            tuple_bits,
+                        )
+                    else:
+                        # Tuple-based rounds >= 2: a worker holding
+                        # the join tuple forwards it by content.  We
+                        # charge the receiver the same bits either
+                        # way; sender 0 stands in for "some holder".
+                        simulator.send(0, destination, key, batch, tuple_bits)
+        simulator.end_round()
+
+        # Local evaluation of every step at every worker.
+        for step in plan_round.steps:
+            step_query = step.query
+            output_rows: set[tuple[int, ...]] = set()
+            for worker in range(p):
+                local = {
+                    atom.name: simulator.worker_rows(
+                        worker, f"{step.output}:{atom.name}"
+                    )
+                    for atom in step_query.atoms
+                }
+                output_rows.update(evaluate_query(step_query, local))
+            schema = step_query.head
+            environment[step.output] = (schema, tuple(sorted(output_rows)))
+            view_sizes[step.output] = len(output_rows)
+
+    final_schema, final_rows = environment[plan.output]
+    # Re-order columns into the original query's head order.
+    positions = [final_schema.index(v) for v in plan.query.head]
+    answers = tuple(
+        sorted(tuple(row[i] for i in positions) for row in final_rows)
+    )
+    return MultiRoundResult(
+        answers=answers,
+        rounds_used=simulator.report.num_rounds,
+        report=simulator.report,
+        view_sizes=view_sizes,
+    )

@@ -1,0 +1,39 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+* :mod:`repro.analysis.tables` -- Table 1 (query-family analysis) and
+  Table 2 (rounds/space tradeoffs), recomputed from the generic LP and
+  plan machinery and checked against the paper's closed forms.
+* :mod:`repro.analysis.experiments` -- parameter sweeps behind the
+  measured experiments (E4-E9 in DESIGN.md): HC load scaling, the
+  one-round answer-fraction decay, multi-round round counts, connected
+  components, JOIN-WITNESS and the cartesian-grid tradeoff.
+* :mod:`repro.analysis.reporting` -- fixed-width table rendering for
+  benchmark output.
+"""
+
+from repro.analysis.figures import ascii_curve, fit_power_law, slope_matches
+from repro.analysis.reporting import format_table
+from repro.analysis.tables import table1_rows, table2_rows
+from repro.analysis.experiments import (
+    sweep_cartesian_tradeoff,
+    sweep_components_rounds,
+    sweep_hc_load,
+    sweep_multiround_rounds,
+    sweep_one_round_fraction,
+    sweep_witness,
+)
+
+__all__ = [
+    "ascii_curve",
+    "fit_power_law",
+    "slope_matches",
+    "format_table",
+    "table1_rows",
+    "table2_rows",
+    "sweep_cartesian_tradeoff",
+    "sweep_components_rounds",
+    "sweep_hc_load",
+    "sweep_multiround_rounds",
+    "sweep_one_round_fraction",
+    "sweep_witness",
+]

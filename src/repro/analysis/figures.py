@@ -1,0 +1,125 @@
+"""Plot-free figure generation: ASCII curves and log-log slope fits.
+
+The paper's quantitative claims are power laws (answer fraction
+``~ p^{-(tau*(1-eps)-1)}``) and logarithmic round growth.  Without a
+plotting stack, the honest way to "draw" these is:
+
+* :func:`fit_power_law` -- least-squares slope in log-log space, so a
+  measured decay series can be summarised as a single exponent and
+  compared against the theoretical one;
+* :func:`ascii_curve` -- a terminal-friendly rendering of one or more
+  series on a shared x-axis, used by benchmark output.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """A fitted power law ``y ~ C * x^slope``.
+
+    Attributes:
+        slope: the exponent (negative for decays).
+        intercept: ``log(C)``.
+        r_squared: goodness of fit in log-log space.
+    """
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+
+def fit_power_law(
+    xs: Sequence[float], ys: Sequence[float]
+) -> PowerLawFit:
+    """Least-squares fit of ``log y = slope * log x + intercept``.
+
+    Args:
+        xs, ys: positive samples (zero y values are dropped along
+            with their x, since log is undefined there).
+
+    Raises:
+        ValueError: with fewer than two usable points.
+    """
+    pairs = [
+        (math.log(x), math.log(y))
+        for x, y in zip(xs, ys)
+        if x > 0 and y > 0
+    ]
+    if len(pairs) < 2:
+        raise ValueError("need at least two positive points to fit")
+    n = len(pairs)
+    mean_x = sum(lx for lx, _ in pairs) / n
+    mean_y = sum(ly for _, ly in pairs) / n
+    sxx = sum((lx - mean_x) ** 2 for lx, _ in pairs)
+    sxy = sum((lx - mean_x) * (ly - mean_y) for lx, ly in pairs)
+    if sxx == 0:
+        raise ValueError("all x values identical")
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_total = sum((ly - mean_y) ** 2 for _, ly in pairs)
+    ss_residual = sum(
+        (ly - (slope * lx + intercept)) ** 2 for lx, ly in pairs
+    )
+    r_squared = 1.0 if ss_total == 0 else 1.0 - ss_residual / ss_total
+    return PowerLawFit(slope=slope, intercept=intercept, r_squared=r_squared)
+
+
+def ascii_curve(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 50,
+    height: int = 12,
+    title: str | None = None,
+) -> str:
+    """Render series as a crude scatter chart in a character grid.
+
+    Each series gets the first letter of its label as its marker; axes
+    are linear.  Intended for benchmark output where a number table
+    plus a visual trend beats neither.
+    """
+    if not xs:
+        raise ValueError("need at least one x value")
+    all_values = [v for values in series.values() for v in values]
+    if not all_values:
+        raise ValueError("need at least one series value")
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(all_values), max(all_values)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for label, values in series.items():
+        marker = label[0]
+        for x, y in zip(xs, values):
+            column = int((x - x_low) / x_span * (width - 1))
+            row = int((y - y_low) / y_span * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: [{y_low:g}, {y_high:g}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"x: [{x_low:g}, {x_high:g}]   " + "  ".join(
+        f"{label[0]}={label}" for label in series
+    ))
+    return "\n".join(lines)
+
+
+def slope_matches(
+    measured: PowerLawFit, theory_slope: float, tolerance: float = 0.35
+) -> bool:
+    """Is the fitted exponent within ``tolerance`` of the theory?
+
+    A generous tolerance: the benchmarks run at modest n and few
+    trials, so sampling noise on the order of 0.1-0.2 in the exponent
+    is expected; what we are ruling out is the *wrong* power law.
+    """
+    return abs(measured.slope - theory_slope) <= tolerance

@@ -1,0 +1,207 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``analyze "S1(x,y), S2(y,z), S3(z,x)"`` -- print the full analysis
+  of a query: tau*, space exponent, covers, shares, chi, radius,
+  diameter, round bounds.
+* ``run "S1(x,y), S2(y,z)" --n 100 --p 16`` -- generate a random
+  matching database and run HyperCube on the simulator.
+* ``plan "S1(x,y), ..." --eps 1/2`` -- build and print a multi-round
+  plan.
+* ``tables`` -- regenerate Table 1 and Table 2 of the paper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+
+from repro.analysis.reporting import format_table
+from repro.core.bounds import round_upper_bound
+from repro.core.characteristic import characteristic, is_tree_like
+from repro.core.covers import analyze_covers
+from repro.core.plans import build_plan
+from repro.core.query import QueryError, parse_query
+from repro.core.shares import allocate_integer_shares, share_exponents
+
+
+def _parse_eps(text: str) -> Fraction:
+    try:
+        return Fraction(text)
+    except (ValueError, ZeroDivisionError) as error:
+        raise argparse.ArgumentTypeError(
+            f"invalid space exponent {text!r}: {error}"
+        ) from None
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    analysis = analyze_covers(query)
+    shares = share_exponents(query, analysis.vertex_cover)
+    rows = [
+        ["query", str(query)],
+        ["tau* (covering number)", analysis.tau_star],
+        ["space exponent (Thm 1.1)", analysis.space_exponent],
+        ["vertex cover", dict(analysis.vertex_cover)],
+        ["edge packing", dict(analysis.edge_packing)],
+        ["share exponents", dict(shares)],
+        ["characteristic chi", characteristic(query)],
+        ["tree-like", is_tree_like(query)],
+    ]
+    if query.is_connected:
+        hypergraph = query.hypergraph
+        rows.append(["radius", hypergraph.radius])
+        rows.append(["diameter", hypergraph.diameter])
+        rows.append(
+            ["rounds at eps=0 (Lemma 4.3)", round_upper_bound(query, Fraction(0))]
+        )
+    print(format_table(["property", "value"], rows))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.algorithms.hypercube import run_hypercube
+    from repro.algorithms.localjoin import evaluate_query
+    from repro.data.matching import matching_database
+
+    query = parse_query(args.query)
+    database = matching_database(query, n=args.n, rng=args.seed)
+    result = run_hypercube(query, database, p=args.p, seed=args.seed)
+    truth = evaluate_query(
+        query, {name: database[name].tuples for name in database.relations}
+    )
+    verified = result.answers == truth
+    print(format_table(
+        ["property", "value"],
+        [
+            ["query", str(query)],
+            ["n (domain)", args.n],
+            ["p (servers)", args.p],
+            ["shares", result.allocation.shares],
+            ["answers", len(result.answers)],
+            ["verified vs exact join", verified],
+            ["max load (tuples)", result.report.max_load_tuples],
+            ["replication rate", f"{result.report.replication_rate:.3f}"],
+        ],
+    ))
+    return 0 if verified else 1
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    plan = build_plan(query, args.eps)
+    print(f"plan for {query.name} at eps={args.eps}: depth {plan.depth}")
+    for index, round_ in enumerate(plan.rounds, start=1):
+        for step in round_.steps:
+            print(f"  round {index}: {step.output} := {step.query}")
+    return 0
+
+
+def cmd_shares(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    exponents = share_exponents(query)
+    allocation = allocate_integer_shares(exponents, args.p)
+    print(format_table(
+        ["variable", "exponent", "integer share"],
+        [
+            [variable, exponents[variable], allocation.shares[variable]]
+            for variable in query.variables
+        ],
+        title=f"shares for p={args.p} "
+        f"(grid uses {allocation.used_servers} servers)",
+    ))
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import table1_rows, table2_rows
+
+    rows1 = table1_rows(n=args.n, trials=args.trials, seed=0)
+    print(format_table(
+        ["query", "E[|q|]", "measured", "tau*", "eps", "matches paper"],
+        [
+            [
+                row.name,
+                f"{row.expected_answer_size:g}",
+                f"{row.measured_answer_size:g}",
+                row.tau_star,
+                row.space_exponent,
+                row.matches_paper,
+            ]
+            for row in rows1
+        ],
+        title="Table 1",
+    ))
+    print()
+    rows2 = table2_rows()
+    print(format_table(
+        ["query", "space exp", "rounds@0", "paper", "curve"],
+        [
+            [
+                row.name,
+                row.space_exponent,
+                row.rounds_at_zero,
+                row.paper_rounds_at_zero,
+                " ".join(
+                    f"{eps}:{depth}"
+                    for eps, depth in sorted(row.rounds_by_eps.items())
+                ),
+            ]
+            for row in rows2
+        ],
+        title="Table 2",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Beame-Koutris-Suciu (PODS 2013) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    analyze = commands.add_parser("analyze", help="analyse a query")
+    analyze.add_argument("query", help='e.g. "S1(x,y), S2(y,z), S3(z,x)"')
+    analyze.set_defaults(handler=cmd_analyze)
+
+    run = commands.add_parser("run", help="run HyperCube on a random matching DB")
+    run.add_argument("query")
+    run.add_argument("--n", type=int, default=100, help="domain size")
+    run.add_argument("--p", type=int, default=16, help="number of servers")
+    run.add_argument("--seed", type=int, default=0)
+    run.set_defaults(handler=cmd_run)
+
+    plan = commands.add_parser("plan", help="build a multi-round plan")
+    plan.add_argument("query")
+    plan.add_argument("--eps", type=_parse_eps, default=Fraction(0),
+                      help="space exponent, e.g. 1/2")
+    plan.set_defaults(handler=cmd_plan)
+
+    shares = commands.add_parser("shares", help="integer share allocation")
+    shares.add_argument("query")
+    shares.add_argument("--p", type=int, default=16)
+    shares.set_defaults(handler=cmd_shares)
+
+    tables = commands.add_parser("tables", help="regenerate Tables 1 and 2")
+    tables.add_argument("--n", type=int, default=60)
+    tables.add_argument("--trials", type=int, default=3)
+    tables.set_defaults(handler=cmd_tables)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except QueryError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""Core query theory from Beame-Koutris-Suciu (PODS 2013).
+
+This package implements the paper's primary contribution: the analysis
+machinery that maps a full conjunctive query to
+
+* its hypergraph and graph-theoretic parameters (radius, diameter,
+  connectivity, the characteristic ``chi(q)`` of Section 2.3),
+* the fractional vertex-cover / edge-packing LPs of Figure 1 and the
+  fractional covering number ``tau*(q)``,
+* the one-round *space exponent* ``eps = 1 - 1/tau*`` (Theorem 1.1),
+* HyperCube share exponents and integer share allocation (Section 3.1),
+* multi-round query plans built from one-round operators
+  (Section 4.1, ``Gamma^r_eps``), and
+* the lower-bound machinery: epsilon-good sets, (eps, r)-plans
+  (Definition 4.4) and every closed-form bound in the paper.
+"""
+
+from repro.core.query import Atom, ConjunctiveQuery, QueryError, parse_query
+from repro.core.hypergraph import Hypergraph
+from repro.core.characteristic import characteristic, contract
+from repro.core.covers import (
+    CoverAnalysis,
+    analyze_covers,
+    covering_number,
+    fractional_edge_packing,
+    fractional_vertex_cover,
+    space_exponent,
+)
+from repro.core.shares import (
+    ShareAllocation,
+    allocate_integer_shares,
+    share_exponents,
+)
+from repro.core.families import (
+    binomial_query,
+    cycle_query,
+    line_query,
+    spider_query,
+    star_query,
+)
+from repro.core.plans import PlanStep, PlanRound, QueryPlan, build_plan, in_gamma_one
+from repro.core.goodness import find_lower_bound_plan, is_eps_good
+from repro.core.bounds import (
+    cc_round_lower_bound,
+    cycle_round_lower_bound,
+    expected_answer_size,
+    k_eps,
+    m_eps,
+    one_round_answer_fraction,
+    round_lower_bound,
+    round_upper_bound,
+    space_exponent_lower_bound,
+)
+from repro.core.friedgut import (
+    edge_cover_number,
+    friedgut_bound,
+    friedgut_holds,
+    optimal_edge_cover,
+    output_size_bound,
+)
+from repro.core.extended import extend_query, is_tight_packing, lemma_39_holds
+from repro.core.isomorphism import are_isomorphic, find_isomorphism
+from repro.core.knowledge import g_constant, knowledge_bound
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "QueryError",
+    "parse_query",
+    "Hypergraph",
+    "characteristic",
+    "contract",
+    "CoverAnalysis",
+    "analyze_covers",
+    "covering_number",
+    "fractional_edge_packing",
+    "fractional_vertex_cover",
+    "space_exponent",
+    "ShareAllocation",
+    "allocate_integer_shares",
+    "share_exponents",
+    "binomial_query",
+    "cycle_query",
+    "line_query",
+    "spider_query",
+    "star_query",
+    "PlanStep",
+    "PlanRound",
+    "QueryPlan",
+    "build_plan",
+    "in_gamma_one",
+    "find_lower_bound_plan",
+    "is_eps_good",
+    "cc_round_lower_bound",
+    "cycle_round_lower_bound",
+    "expected_answer_size",
+    "k_eps",
+    "m_eps",
+    "one_round_answer_fraction",
+    "round_lower_bound",
+    "round_upper_bound",
+    "space_exponent_lower_bound",
+    "edge_cover_number",
+    "friedgut_bound",
+    "friedgut_holds",
+    "optimal_edge_cover",
+    "output_size_bound",
+    "extend_query",
+    "is_tight_packing",
+    "lemma_39_holds",
+    "are_isomorphic",
+    "find_isomorphism",
+    "g_constant",
+    "knowledge_bound",
+]

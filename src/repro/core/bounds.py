@@ -1,0 +1,175 @@
+"""Closed-form bounds from the paper, in one place.
+
+Every quantitative statement of the paper is exposed as a function so
+benchmarks and tests can compare measured behaviour against theory:
+
+=====================================  =====================================
+Paper statement                        Function
+=====================================  =====================================
+Theorem 1.1 (space exponent)           :func:`space_exponent_lower_bound`
+Theorem 3.3 (one-round answer frac.)   :func:`one_round_answer_fraction`
+Lemma 3.4  (expected answer size)      :func:`expected_answer_size`
+``k_eps = 2 * floor(1/(1-eps))``       :func:`k_eps`
+``m_eps = floor(2/(1-eps))``           :func:`m_eps`
+Corollary 4.8 (tree-like lower bound)  :func:`round_lower_bound`
+Lemma 4.3 (upper bound)                :func:`round_upper_bound`
+Lemma 4.9 (cycle lower bound)          :func:`cycle_round_lower_bound`
+Theorem 4.10 (connected components)    :func:`cc_round_lower_bound`
+=====================================  =====================================
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.characteristic import characteristic, is_tree_like
+from repro.core.covers import covering_number
+from repro.core.plans import in_gamma_one
+from repro.core.query import ConjunctiveQuery, QueryError
+
+
+def k_eps(eps: Fraction | float | int) -> int:
+    """``k_eps = 2 * floor(1 / (1 - eps))`` (Theorem 1.2).
+
+    The longest line query computable in one MPC(eps) round:
+    ``tau*(L_k) = ceil(k/2) <= 1/(1-eps)`` iff ``k <= k_eps``.
+    """
+    eps = Fraction(eps)
+    if not 0 <= eps < 1:
+        raise ValueError(f"space exponent must be in [0, 1), got {eps}")
+    return 2 * ((1 / (1 - eps)).__floor__())
+
+
+def m_eps(eps: Fraction | float | int) -> int:
+    """``m_eps = floor(2 / (1 - eps))`` (Lemma 4.9).
+
+    The longest cycle query computable in one MPC(eps) round:
+    ``tau*(C_k) = k/2 <= 1/(1-eps)`` iff ``k <= m_eps``.
+    """
+    eps = Fraction(eps)
+    if not 0 <= eps < 1:
+        raise ValueError(f"space exponent must be in [0, 1), got {eps}")
+    return (2 / (1 - eps)).__floor__()
+
+
+def space_exponent_lower_bound(query: ConjunctiveQuery) -> Fraction:
+    """Theorem 1.1: one round needs ``eps >= 1 - 1/tau*(q)``.
+
+    Holds for connected queries (without unary atoms) even on matching
+    databases; exact over matching databases.
+    """
+    if not query.is_connected:
+        raise QueryError("Theorem 1.1 applies to connected queries")
+    return 1 - 1 / covering_number(query)
+
+
+def one_round_answer_fraction(
+    query: ConjunctiveQuery, eps: Fraction | float, p: int
+) -> float:
+    """Theorem 3.3: expected reported fraction ``<= O(p^{-(tau*(1-eps)-1)})``.
+
+    Returns the fraction ``p^{-(tau*(1-eps)-1)}`` (capped at 1), the
+    decay rate any one-round MPC(eps) algorithm obeys when
+    ``eps < 1 - 1/tau*``; Proposition 3.11 shows the rate is achieved.
+    """
+    if p < 1:
+        raise ValueError(f"need p >= 1, got {p}")
+    tau = covering_number(query)
+    exponent = float(tau * (1 - Fraction(eps)) - 1)
+    if exponent <= 0:
+        return 1.0
+    return float(p) ** (-exponent)
+
+
+def expected_answer_size(query: ConjunctiveQuery, n: int) -> float:
+    """Lemma 3.4: ``E[|q(I)|] = n^(1 + chi(q))`` over matching databases.
+
+    Exact for connected queries; for disconnected queries the paper's
+    per-component argument multiplies, which is what this returns.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    exponent = sum(
+        1 + characteristic(component)
+        for component in query.connected_components
+    )
+    return float(n) ** exponent
+
+
+def _ceil_log(base: int, value: int) -> int:
+    """Smallest ``r >= 0`` with ``base ** r >= value`` (exact)."""
+    if base < 2:
+        raise ValueError(f"log base must be >= 2, got {base}")
+    if value < 1:
+        raise ValueError(f"log argument must be >= 1, got {value}")
+    result = 0
+    power = 1
+    while power < value:
+        power *= base
+        result += 1
+    return result
+
+
+def round_lower_bound(query: ConjunctiveQuery, eps: Fraction | float) -> int:
+    """Corollary 4.8: tree-like queries need >= ``ceil(log_{k_eps} diam)``.
+
+    For non-tree-like queries the generic machinery in
+    :mod:`repro.core.goodness` applies instead; calling this on one
+    raises :class:`QueryError`.
+    """
+    if not is_tree_like(query):
+        raise QueryError("Corollary 4.8 applies to tree-like queries")
+    eps = Fraction(eps)
+    return max(1, _ceil_log(k_eps(eps), query.hypergraph.diameter))
+
+
+def round_upper_bound(query: ConjunctiveQuery, eps: Fraction | float) -> int:
+    """Lemma 4.3: rounds needed by repeated HC on any connected query.
+
+    ``ceil(log_{k_eps} rad(q)) + 1`` for tree-like queries and
+    ``ceil(log_{k_eps} (rad(q) + 1)) + 1`` otherwise; 1 when the query
+    is already in ``Gamma^1_eps``.
+    """
+    eps = Fraction(eps)
+    if not query.is_connected:
+        raise QueryError("Lemma 4.3 applies to connected queries")
+    if in_gamma_one(query, eps):
+        return 1
+    radius = query.hypergraph.radius
+    argument = radius if is_tree_like(query) else radius + 1
+    return _ceil_log(k_eps(eps), argument) + 1
+
+
+def cycle_round_lower_bound(k: int, eps: Fraction | float) -> int:
+    """Lemma 4.9: ``C_k`` needs >= ``ceil(log_{k_eps}(k/(m_eps+1))) + 1``."""
+    if k < 3:
+        raise ValueError(f"cycle queries need k >= 3, got {k}")
+    eps = Fraction(eps)
+    base = k_eps(eps)
+    target = Fraction(k, m_eps(eps) + 1)
+    # Smallest r with base**r >= target, i.e. ceil(log_base target).
+    result = 0
+    power = Fraction(1)
+    while power < target:
+        power *= base
+        result += 1
+    return result + 1
+
+
+def cc_round_lower_bound(p: int, eps: Fraction | float) -> int:
+    """Theorem 4.10: CONNECTED-COMPONENTS needs ``Omega(log p)`` rounds.
+
+    Concretely ``ceil(log_{k_eps} floor(p^delta)) - 2`` with
+    ``delta = 1/(2t)`` and ``t = ceil(1/(1-eps))``, clamped to >= 1.
+    The layered-graph construction in
+    :mod:`repro.data.generators` realises the bound.
+    """
+    if p < 2:
+        raise ValueError(f"need p >= 2, got {p}")
+    eps = Fraction(eps)
+    t = max(1, (1 / (1 - eps)).__ceil__())
+    delta = 1.0 / (2 * t)
+    k = int(float(p) ** delta)
+    if k < 2:
+        return 1
+    return max(1, _ceil_log(k_eps(eps), k) - 2)

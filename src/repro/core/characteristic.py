@@ -1,0 +1,103 @@
+"""The characteristic ``chi(q)`` and query contraction (Section 2.3).
+
+For a query with ``k`` variables, ``l`` atoms, total arity ``a`` and
+``c`` connected components, the characteristic is::
+
+    chi(q) = k + l - a - c
+
+Lemma 2.1 establishes that chi is additive over components, subtracts
+under contraction, and is always <= 0; a connected query with
+``chi(q) = 0`` is *tree-like*.  Tree-like queries are exactly the ones
+with matching upper/lower round bounds in Section 4, and
+``E[|q(I)|] = n^(1 + chi(q))`` on random matching databases
+(Lemma 3.4), so chi is also the expected-output-size exponent.
+
+Contraction ``q/M`` collapses each connected component of the atom set
+``M`` to a single variable and deletes the atoms of ``M``; it is the
+step that peels one communication round off a multi-round algorithm in
+the lower-bound argument of Section 4.2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.query import Atom, ConjunctiveQuery, QueryError
+
+
+def characteristic(query: ConjunctiveQuery) -> int:
+    """``chi(q) = k + l - a - c`` (Section 2.3).
+
+    Always <= 0 (Lemma 2.1(c)); equal to 0 iff every connected
+    component is tree-like.
+    """
+    k = query.num_variables
+    ell = query.num_atoms
+    a = query.total_arity
+    c = len(query.connected_components)
+    return k + ell - a - c
+
+
+def is_tree_like(query: ConjunctiveQuery) -> bool:
+    """True when ``q`` is connected and ``chi(q) = 0``.
+
+    Every connected subquery of a tree-like query is also tree-like,
+    which Proposition 4.7 exploits.
+    """
+    return query.is_connected and characteristic(query) == 0
+
+
+def contract(query: ConjunctiveQuery, atom_names: Iterable[str]) -> ConjunctiveQuery:
+    """The contracted query ``q/M`` (Section 2.3).
+
+    Each connected component of ``M`` merges its variables into a
+    single representative (the earliest in head order), and the atoms
+    of ``M`` disappear.  For example (the paper's running example)::
+
+        L5 / {S2, S4} == S1(x0,x1), S3(x1,x3), S5(x3,x5)
+
+    Args:
+        query: the query to contract.
+        atom_names: the atom set ``M`` (relation names).
+
+    Raises:
+        QueryError: if ``M`` contains every atom of the query (the
+            result would have an empty body) or names unknown atoms.
+    """
+    contracted = set(atom_names)
+    known = {atom.name for atom in query.atoms}
+    unknown = contracted - known
+    if unknown:
+        raise QueryError(f"unknown atoms in M: {sorted(unknown)}")
+    if contracted >= known:
+        raise QueryError("cannot contract every atom of the query")
+    if not contracted:
+        return query
+
+    order = {variable: i for i, variable in enumerate(query.head)}
+    mapping: dict[str, str] = {}
+    for component in query.hypergraph.edge_components(contracted):
+        merged_variables: set[str] = set()
+        for atom_name in component:
+            merged_variables |= query.atom(atom_name).variable_set
+        representative = min(merged_variables, key=order.__getitem__)
+        for variable in merged_variables:
+            if variable != representative:
+                mapping[variable] = representative
+
+    surviving_atoms = tuple(
+        atom.rename(mapping)
+        for atom in query.atoms
+        if atom.name not in contracted
+    )
+    head = tuple(
+        variable
+        for variable in query.head
+        if variable not in mapping
+        and any(
+            variable in atom.variable_set for atom in surviving_atoms
+        )
+    )
+    return ConjunctiveQuery(
+        surviving_atoms, head=head, name=f"{query.name}/M"
+    )

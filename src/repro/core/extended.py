@@ -1,0 +1,153 @@
+"""The extended query and tight packings (Lemma 3.9, Section 3.2.2).
+
+The one-round lower bound applies Friedgut's inequality not to ``q``
+itself but to the *extended query*
+
+    q'(x_1..x_k) = S_1(..), ..., S_l(..), T_1(x_1), ..., T_k(x_k)
+
+which adds one fresh unary atom per variable.  Given an optimal
+fractional edge packing ``u`` of ``q``, setting
+
+    u'_i = 1 - sum_{j : x_i in vars(S_j)} u_j        (>= 0 by packing)
+
+makes ``(u, u')`` simultaneously a *tight* fractional edge packing and
+a *tight* fractional edge cover of ``q'`` (Lemma 3.9(a)), with
+
+    sum_j a_j u_j + sum_i u'_i = k                    (Lemma 3.9(b)).
+
+Tightness is exactly what lets the lower-bound proof convert the
+packing (which strong duality ties to tau*) into a cover (which
+Friedgut's inequality needs).  This module builds the construction and
+exposes the two lemma clauses as checkable predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping
+
+from repro.core.covers import fractional_edge_packing
+from repro.core.query import Atom, ConjunctiveQuery, QueryError
+
+
+@dataclass(frozen=True)
+class ExtendedQuery:
+    """The extended query ``q'`` with its canonical weight vector.
+
+    Attributes:
+        query: ``q'`` itself (original atoms plus unary ``T_i``).
+        base_weights: the packing ``u`` on the original atoms.
+        unary_weights: the complementary weights ``u'`` on the ``T_i``.
+    """
+
+    query: ConjunctiveQuery
+    base_weights: dict[str, Fraction]
+    unary_weights: dict[str, Fraction]
+
+    def combined_weights(self) -> dict[str, Fraction]:
+        """The full ``(u, u')`` vector keyed by atom name."""
+        weights = dict(self.base_weights)
+        weights.update(self.unary_weights)
+        return weights
+
+
+def unary_atom_name(variable: str) -> str:
+    """The name of the fresh unary atom attached to ``variable``."""
+    return f"T[{variable}]"
+
+
+def extend_query(
+    query: ConjunctiveQuery,
+    packing: Mapping[str, Fraction] | None = None,
+) -> ExtendedQuery:
+    """Build ``q'`` and the Lemma 3.9 weight vector ``(u, u')``.
+
+    Args:
+        query: the original query ``q``.
+        packing: a fractional edge packing of ``q``; optimal by
+            default.  A non-packing (some variable oversubscribed)
+            is rejected because ``u'`` would go negative.
+    """
+    if packing is None:
+        packing = fractional_edge_packing(query)
+    packing = {name: Fraction(value) for name, value in packing.items()}
+
+    unary: dict[str, Fraction] = {}
+    for variable in query.variables:
+        incident = sum(
+            (
+                packing.get(atom.name, Fraction(0))
+                for atom in query.atoms_of(variable)
+            ),
+            start=Fraction(0),
+        )
+        slack = 1 - incident
+        if slack < 0:
+            raise QueryError(
+                f"not an edge packing: variable {variable} carries "
+                f"{incident} > 1"
+            )
+        unary[unary_atom_name(variable)] = slack
+
+    atoms = list(query.atoms) + [
+        Atom(unary_atom_name(variable), (variable,))
+        for variable in query.variables
+    ]
+    extended = ConjunctiveQuery(
+        atoms, head=query.head, name=f"{query.name}'"
+    )
+    return ExtendedQuery(
+        query=extended,
+        base_weights={atom.name: packing.get(atom.name, Fraction(0))
+                      for atom in query.atoms},
+        unary_weights=unary,
+    )
+
+
+def is_tight_packing(
+    query: ConjunctiveQuery, weights: Mapping[str, Fraction]
+) -> bool:
+    """Every variable's incident weights sum to exactly 1.
+
+    A tight vector is simultaneously a feasible packing (<= 1) and a
+    feasible cover (>= 1), which is the pivot of Lemma 3.9(a).
+    """
+    return all(
+        sum(
+            (
+                Fraction(weights.get(atom.name, 0))
+                for atom in query.atoms_of(variable)
+            ),
+            start=Fraction(0),
+        )
+        == 1
+        for variable in query.variables
+    )
+
+
+def lemma_39_holds(extended: ExtendedQuery) -> bool:
+    """Check both clauses of Lemma 3.9 for a constructed ``q'``.
+
+    (a) ``(u, u')`` is a tight packing (hence also a tight cover);
+    (b) ``sum_j a_j u_j + sum_i u'_i = k``.
+    """
+    weights = extended.combined_weights()
+    if not is_tight_packing(extended.query, weights):
+        return False
+    total = Fraction(0)
+    for atom in extended.query.atoms:
+        total += atom.arity * weights[atom.name]
+    k = len(extended.query.head)
+    return total == k
+
+
+def knowledge_weight_bound(n: int, arity: int) -> Fraction:
+    """Lemma 3.8(a): ``w_j(a_j) <= n^{1 - a_j}`` for matchings.
+
+    The probability that a fixed tuple of arity ``a_j`` belongs to a
+    uniform ``a_j``-dimensional matching over ``[n]``.
+    """
+    if n < 1 or arity < 1:
+        raise ValueError("need n >= 1 and arity >= 1")
+    return Fraction(1, n ** (arity - 1))

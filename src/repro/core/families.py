@@ -1,0 +1,236 @@
+"""The paper's running query families (Table 1 and Table 2).
+
+Constructors for
+
+* ``C_k`` -- the cycle query ``/\\_j S_j(x_j, x_{(j mod k)+1})``,
+* ``T_k`` -- the star query ``/\\_j S_j(z, x_j)``,
+* ``L_k`` -- the line (chain) query ``/\\_j S_j(x_{j-1}, x_j)``,
+* ``B_{k,m}`` -- one relation per m-subset ``I`` of ``[k]``: ``S_I(x_I)``,
+* ``SP_k`` -- the "spider" ``/\\_i R_i(z, x_i), S_i(x_i, y_i)``
+  (Example 4.2 / Table 2),
+
+together with the *closed forms* the paper states for them: the minimum
+fractional vertex cover, optimal share exponents, ``tau*``, the space
+exponent, and the expected answer size on random matching databases.
+The closed forms are cross-checked against the generic LP machinery in
+the test suite -- they are the paper's Table 1 rows, so the repository
+regenerates that table from first principles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import combinations
+from math import comb
+from typing import Callable
+
+from repro.core.query import Atom, ConjunctiveQuery
+
+
+def cycle_query(k: int) -> ConjunctiveQuery:
+    """``C_k(x_1..x_k) = S_1(x_1,x_2), ..., S_k(x_k,x_1)`` for k >= 3."""
+    if k < 3:
+        raise ValueError(f"cycle queries need k >= 3, got {k}")
+    atoms = [
+        Atom(f"S{j}", (f"x{j}", f"x{j % k + 1}"))
+        for j in range(1, k + 1)
+    ]
+    return ConjunctiveQuery(atoms, name=f"C{k}")
+
+
+def star_query(k: int) -> ConjunctiveQuery:
+    """``T_k(z, x_1..x_k) = S_1(z,x_1), ..., S_k(z,x_k)`` for k >= 1."""
+    if k < 1:
+        raise ValueError(f"star queries need k >= 1, got {k}")
+    atoms = [Atom(f"S{j}", ("z", f"x{j}")) for j in range(1, k + 1)]
+    return ConjunctiveQuery(atoms, name=f"T{k}")
+
+
+def line_query(k: int) -> ConjunctiveQuery:
+    """``L_k(x_0..x_k) = S_1(x_0,x_1), ..., S_k(x_{k-1},x_k)`` for k >= 1."""
+    if k < 1:
+        raise ValueError(f"line queries need k >= 1, got {k}")
+    atoms = [
+        Atom(f"S{j}", (f"x{j - 1}", f"x{j}")) for j in range(1, k + 1)
+    ]
+    return ConjunctiveQuery(atoms, name=f"L{k}")
+
+
+def binomial_query(k: int, m: int) -> ConjunctiveQuery:
+    """``B_{k,m}``: one atom ``S_I(x_I)`` per m-subset ``I`` of ``[k]``.
+
+    Requires ``1 <= m <= k`` and, to keep the query free of unary
+    atoms (the paper's standing assumption in Section 3), ``m >= 2``
+    unless ``k == m``.
+    """
+    if not 1 <= m <= k:
+        raise ValueError(f"need 1 <= m <= k, got k={k}, m={m}")
+    atoms = []
+    for subset in combinations(range(1, k + 1), m):
+        label = "".join(str(i) for i in subset)
+        atoms.append(Atom(f"S{label}", tuple(f"x{i}" for i in subset)))
+    return ConjunctiveQuery(atoms, name=f"B{k}_{m}")
+
+
+def spider_query(k: int) -> ConjunctiveQuery:
+    """``SP_k = /\\_i R_i(z, x_i), S_i(x_i, y_i)`` (Example 4.2).
+
+    One-round space exponent ``1 - 1/k`` but a 2-round plan at
+    ``eps = 0``: the paper's showcase for the power of extra rounds.
+    """
+    if k < 1:
+        raise ValueError(f"spider queries need k >= 1, got {k}")
+    atoms = []
+    for i in range(1, k + 1):
+        atoms.append(Atom(f"R{i}", ("z", f"x{i}")))
+        atoms.append(Atom(f"S{i}", (f"x{i}", f"y{i}")))
+    return ConjunctiveQuery(atoms, name=f"SP{k}")
+
+
+@dataclass(frozen=True)
+class FamilyFacts:
+    """Closed-form facts for one Table 1 / Table 2 row.
+
+    Attributes:
+        query: the constructed query.
+        tau_star: the fractional covering number stated by the paper.
+        space_exp: the one-round space exponent ``1 - 1/tau*``.
+        vertex_cover: the minimum vertex cover stated by the paper.
+        share_exps: the optimal share exponents stated by the paper.
+        answer_size_exponent: ``1 + chi(q)``: on random matching
+            databases ``E[|q(I)|] = n^{answer_size_exponent}``
+            (Lemma 3.4); Table 1 reports ``n^1`` for ``L_k, T_k`` and
+            ``n^0 = 1`` for ``C_k``.
+        rounds_at_zero: Table 2's "rounds for eps = 0" entry, or None
+            when the paper lists no multi-round entry.
+    """
+
+    query: ConjunctiveQuery
+    tau_star: Fraction
+    space_exp: Fraction
+    vertex_cover: dict[str, Fraction]
+    share_exps: dict[str, Fraction]
+    answer_size_exponent: int
+    rounds_at_zero: int | None
+
+
+def cycle_facts(k: int) -> FamilyFacts:
+    """Table 1 row for ``C_k``: cover (1/2,..), tau* = k/2, eps = 1-2/k."""
+    query = cycle_query(k)
+    half = Fraction(1, 2)
+    cover = {f"x{i}": half for i in range(1, k + 1)}
+    shares = {f"x{i}": Fraction(1, k) for i in range(1, k + 1)}
+    rounds = _ceil_log2(k)
+    return FamilyFacts(
+        query=query,
+        tau_star=Fraction(k, 2),
+        space_exp=1 - Fraction(2, k),
+        vertex_cover=cover,
+        share_exps=shares,
+        answer_size_exponent=0,
+        rounds_at_zero=rounds,
+    )
+
+
+def star_facts(k: int) -> FamilyFacts:
+    """Table 1 row for ``T_k``: cover puts 1 on the hub; tau* = 1."""
+    query = star_query(k)
+    cover = {"z": Fraction(1)}
+    cover.update({f"x{i}": Fraction(0) for i in range(1, k + 1)})
+    shares = dict(cover)
+    return FamilyFacts(
+        query=query,
+        tau_star=Fraction(1),
+        space_exp=Fraction(0),
+        vertex_cover=cover,
+        share_exps=shares,
+        answer_size_exponent=1,
+        rounds_at_zero=1,
+    )
+
+
+def line_facts(k: int) -> FamilyFacts:
+    """Table 1 row for ``L_k``: cover 0,1,0,1,...; tau* = ceil(k/2)."""
+    query = line_query(k)
+    tau = Fraction(_ceil_div(k, 2))
+    cover: dict[str, Fraction] = {}
+    for i in range(0, k + 1):
+        # Odd positions x1, x3, ... carry weight 1; for even k the final
+        # odd position already covers the last atom.
+        cover[f"x{i}"] = Fraction(1) if i % 2 == 1 else Fraction(0)
+    if k % 2 == 0 and k >= 2:
+        # k even: atoms pair up perfectly; the alternating cover has
+        # exactly k/2 ones already.
+        pass
+    shares = {name: value / tau for name, value in cover.items()}
+    return FamilyFacts(
+        query=query,
+        tau_star=tau,
+        space_exp=1 - 1 / tau,
+        vertex_cover=cover,
+        share_exps=shares,
+        answer_size_exponent=1,
+        rounds_at_zero=_ceil_log2(k) if k >= 2 else 1,
+    )
+
+
+def binomial_facts(k: int, m: int) -> FamilyFacts:
+    """Table 1 row for ``B_{k,m}``: cover (1/m,..); tau* = k/m."""
+    query = binomial_query(k, m)
+    cover = {f"x{i}": Fraction(1, m) for i in range(1, k + 1)}
+    shares = {f"x{i}": Fraction(1, k) for i in range(1, k + 1)}
+    return FamilyFacts(
+        query=query,
+        tau_star=Fraction(k, m),
+        space_exp=1 - Fraction(m, k),
+        vertex_cover=cover,
+        share_exps=shares,
+        answer_size_exponent=k - (m - 1) * comb(k, m),
+        rounds_at_zero=None,
+    )
+
+
+def spider_facts(k: int) -> FamilyFacts:
+    """Table 2 row for ``SP_k``: tau* = k, eps = 1 - 1/k, 2 rounds at 0."""
+    query = spider_query(k)
+    cover: dict[str, Fraction] = {"z": Fraction(0)}
+    for i in range(1, k + 1):
+        cover[f"x{i}"] = Fraction(1)
+        cover[f"y{i}"] = Fraction(0)
+    tau = Fraction(k)
+    shares = {name: value / tau for name, value in cover.items()}
+    return FamilyFacts(
+        query=query,
+        tau_star=tau,
+        space_exp=1 - Fraction(1, k),
+        vertex_cover=cover,
+        share_exps=shares,
+        answer_size_exponent=1,
+        rounds_at_zero=1 if k == 1 else 2,
+    )
+
+
+#: Registry used by the Table 1 / Table 2 benchmarks: family label to
+#: (constructor of FamilyFacts taking the size parameter).
+FAMILY_REGISTRY: dict[str, Callable[[int], FamilyFacts]] = {
+    "C": cycle_facts,
+    "T": star_facts,
+    "L": line_facts,
+    "SP": spider_facts,
+}
+
+
+def _ceil_div(numerator: int, denominator: int) -> int:
+    return -(-numerator // denominator)
+
+
+def _ceil_log2(value: int) -> int:
+    if value < 1:
+        raise ValueError(f"ceil_log2 needs value >= 1, got {value}")
+    result = 0
+    power = 1
+    while power < value:
+        power *= 2
+        result += 1
+    return result

@@ -1,0 +1,241 @@
+"""Epsilon-good sets and (eps, r)-plans (Definition 4.4).
+
+These are the combinatorial gadgets behind the multi-round *lower*
+bounds of Section 4.2.  A set ``M`` of atoms is *eps-good* for a
+connected query ``q`` when
+
+1. every connected subquery of ``q`` lying in ``Gamma^1_eps`` contains
+   at most one atom of ``M`` (the atoms of ``M`` are too far apart to
+   be joined in a single round), and
+2. ``chi(Mbar) = 0`` for ``Mbar = atoms(q) - M`` (each connected
+   component of the complement is tree-like, so contracting it keeps
+   ``chi`` -- and hence the expected answer size -- unchanged).
+
+An ``(eps, r)``-plan is a chain ``atoms(q) = M_0 > M_1 > ... > M_r``
+where each ``M_{j+1}`` is eps-good for the contraction ``q / Mbar_j``
+and the final contraction is still outside ``Gamma^1_eps``.
+Theorem 4.5: a query with an ``(eps, r)``-plan needs more than
+``r + 1`` rounds on the tuple-based MPC(eps) model.
+
+:func:`find_lower_bound_plan` searches for the longest such chain by
+exhaustive search over atom subsets (queries in the paper have at most
+a dozen atoms, so this is cheap), and the structured constructions of
+Lemma 4.6 (lines) and Lemma 4.9 (cycles) are exposed as
+:func:`line_good_set` / :func:`cycle_good_set`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.characteristic import characteristic, contract
+from repro.core.covers import covering_number
+from repro.core.plans import gamma_one_threshold, in_gamma_one
+from repro.core.query import ConjunctiveQuery, QueryError
+
+
+def connected_atom_subsets(
+    query: ConjunctiveQuery, min_size: int = 1
+) -> tuple[frozenset[str], ...]:
+    """All connected subsets of atoms (by name) of size >= ``min_size``.
+
+    Enumerated by growing connected sets atom by atom; intended for the
+    small queries of the paper (exponential in the number of atoms).
+    """
+    adjacency = query.hypergraph.edge_adjacency
+    names = [atom.name for atom in query.atoms]
+    found: set[frozenset[str]] = set()
+    frontier: list[frozenset[str]] = [frozenset({name}) for name in names]
+    found |= set(frontier)
+    while frontier:
+        next_frontier: list[frozenset[str]] = []
+        for subset in frontier:
+            reachable = set().union(*(adjacency[name] for name in subset))
+            for name in reachable - subset:
+                grown = subset | {name}
+                if grown not in found:
+                    found.add(grown)
+                    next_frontier.append(grown)
+        frontier = next_frontier
+    return tuple(
+        subset for subset in found if len(subset) >= min_size
+    )
+
+
+def is_eps_good(
+    query: ConjunctiveQuery,
+    m_atoms: frozenset[str] | set[str],
+    eps: Fraction,
+) -> bool:
+    """Definition 4.4: is ``M`` eps-good for connected query ``q``?"""
+    eps = Fraction(eps)
+    m_atoms = frozenset(m_atoms)
+    all_names = {atom.name for atom in query.atoms}
+    if not m_atoms <= all_names:
+        raise QueryError(f"unknown atoms: {sorted(m_atoms - all_names)}")
+
+    # Condition 2: every connected component of the complement is
+    # tree-like, i.e. chi of each component is 0.
+    complement = all_names - m_atoms
+    if complement:
+        complement_query = query.subquery(complement)
+        if any(
+            characteristic(component) != 0
+            for component in complement_query.connected_components
+        ):
+            return False
+
+    # Condition 1: no Gamma^1_eps connected subquery holds two M-atoms.
+    threshold = gamma_one_threshold(eps)
+    for subset in connected_atom_subsets(query, min_size=2):
+        if len(subset & m_atoms) < 2:
+            continue
+        if covering_number(query.subquery(subset)) <= threshold:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class LowerBoundPlan:
+    """An ``(eps, r)``-plan found for a query.
+
+    Attributes:
+        query: the original query.
+        eps: the space exponent.
+        chain: the surviving-atom chain ``M_1 > M_2 > ... > M_r``
+            (``M_0 = atoms(q)`` is implicit).
+        contractions: the successive contracted queries
+            ``q / Mbar_1, ..., q / Mbar_r``.
+    """
+
+    query: ConjunctiveQuery
+    eps: Fraction
+    chain: tuple[frozenset[str], ...]
+    contractions: tuple[ConjunctiveQuery, ...]
+
+    @property
+    def r(self) -> int:
+        """The plan length ``r``."""
+        return len(self.chain)
+
+    @property
+    def rounds_lower_bound(self) -> int:
+        """Minimum number of rounds implied by this plan.
+
+        Theorem 4.5: with an ``(eps, r)``-plan, every ``r + 1``-round
+        tuple-based MPC(eps) algorithm fails, so any correct algorithm
+        uses at least ``r + 2`` rounds.  With an empty chain the bound
+        degrades gracefully: 2 when the query is outside
+        ``Gamma^1_eps`` (one round provably fails) and the trivial 1
+        when it is inside (one round suffices, so no lower bound).
+        """
+        if self.chain:
+            return self.r + 2
+        return 1 if in_gamma_one(self.query, self.eps) else 2
+
+
+def find_lower_bound_plan(
+    query: ConjunctiveQuery, eps: Fraction | float | int
+) -> LowerBoundPlan:
+    """Greedily build the longest ``(eps, r)``-plan we can find.
+
+    At each stage, among all eps-good sets ``M`` for the current
+    contraction we pick one with the largest ``|M|`` (ties broken by
+    lexicographic atom order) -- mirroring the "every ``k_eps``-th
+    atom" constructions of Lemmas 4.6 and 4.9 -- and contract.  The
+    chain stops when the contraction would land inside
+    ``Gamma^1_eps`` or no eps-good set with at least two atoms exists.
+
+    Returns:
+        A (possibly empty-chain) :class:`LowerBoundPlan`.  An empty
+        chain with ``q`` outside ``Gamma^1_eps`` still certifies that
+        one round is not enough (r = 0 gives a 2-round requirement).
+    """
+    eps = Fraction(eps)
+    if not query.is_connected:
+        raise QueryError("lower-bound plans require a connected query")
+    chain: list[frozenset[str]] = []
+    contractions: list[ConjunctiveQuery] = []
+    current = query
+    while True:
+        candidate = _best_good_set(current, eps)
+        if candidate is None:
+            break
+        complement = {
+            atom.name for atom in current.atoms
+        } - candidate
+        contracted = contract(current, complement)
+        if in_gamma_one(contracted, eps):
+            break
+        chain.append(candidate)
+        contractions.append(contracted)
+        current = contracted
+    return LowerBoundPlan(
+        query=query,
+        eps=eps,
+        chain=tuple(chain),
+        contractions=tuple(contractions),
+    )
+
+
+def _best_good_set(
+    query: ConjunctiveQuery, eps: Fraction
+) -> frozenset[str] | None:
+    """A large eps-good atom subset of size >= 2, or None.
+
+    Greedy construction mirroring Lemmas 4.6 / 4.9: walk the atoms in
+    declaration order (trying each rotation of the starting point) and
+    keep an atom whenever no ``Gamma^1_eps`` connected subquery links
+    it to an atom already kept.  The best candidate over all rotations
+    that also satisfies condition 2 is returned.
+    """
+    threshold = gamma_one_threshold(eps)
+    names = [atom.name for atom in query.atoms]
+    gamma_sets = [
+        subset
+        for subset in connected_atom_subsets(query, min_size=2)
+        if covering_number(query.subquery(subset)) <= threshold
+    ]
+    sets_containing: dict[str, list[frozenset[str]]] = {
+        name: [s for s in gamma_sets if name in s] for name in names
+    }
+
+    best: frozenset[str] | None = None
+    for start in range(len(names)):
+        rotation = names[start:] + names[:start]
+        chosen: set[str] = set()
+        for name in rotation:
+            if all(not (s & chosen) for s in sets_containing[name]):
+                chosen.add(name)
+        candidate = frozenset(chosen)
+        if len(candidate) < 2 or candidate == frozenset(names):
+            continue
+        if (best is None or len(candidate) > len(best)) and is_eps_good(
+            query, candidate, eps
+        ):
+            best = candidate
+    return best
+
+
+def line_good_set(k: int, eps: Fraction) -> frozenset[str]:
+    """Lemma 4.6's eps-good set for ``L_k``: every ``k_eps``-th atom."""
+    from repro.core.bounds import k_eps as k_eps_of
+
+    eps = Fraction(eps)
+    step = k_eps_of(eps)
+    return frozenset(f"S{j}" for j in range(1, k + 1, step))
+
+
+def cycle_good_set(k: int, eps: Fraction) -> frozenset[str]:
+    """Lemma 4.9's eps-good set for ``C_k``: atoms ``k_eps`` apart."""
+    from repro.core.bounds import k_eps as k_eps_of
+
+    eps = Fraction(eps)
+    step = k_eps_of(eps)
+    chosen = list(range(1, k + 1, step))
+    # Wrap-around: the last chosen atom must stay >= step away from the
+    # first along the cycle; drop it otherwise.
+    while len(chosen) > 1 and (k - chosen[-1] + chosen[0]) < step:
+        chosen.pop()
+    return frozenset(f"S{j}" for j in chosen)

@@ -1,0 +1,112 @@
+"""Query isomorphism: checkable "is isomorphic to L_k" claims.
+
+The multi-round lower-bound proofs repeatedly contract a query and
+assert the result "is isomorphic to" a smaller family member --
+``L_k / Mbar ~ L_{ceil(k/k_eps)}`` (Lemma 4.6), ``C_k / M ~
+C_{floor(k/k_eps)}`` (Lemma 4.9).  This module makes those assertions
+executable: two full conjunctive queries are isomorphic when some pair
+of bijections (atoms to atoms, variables to variables) maps one body
+onto the other position-for-position.
+
+The search is a straightforward backtracking over atom pairings with
+arity pre-grouping and incremental variable-binding checks; fine for
+the paper's small queries.
+"""
+
+from __future__ import annotations
+
+from repro.core.query import Atom, ConjunctiveQuery
+
+
+def find_isomorphism(
+    left: ConjunctiveQuery, right: ConjunctiveQuery
+) -> dict[str, str] | None:
+    """A variable bijection mapping ``left`` onto ``right``, or None.
+
+    Returns a mapping from left variable names to right variable names
+    such that some atom bijection sends every left atom ``S(x...)`` to
+    a right atom with the mapped variables in the same positions
+    (relation *names* are ignored: isomorphism is structural).
+    """
+    if left.num_atoms != right.num_atoms:
+        return None
+    if left.num_variables != right.num_variables:
+        return None
+    left_arities = sorted(atom.arity for atom in left.atoms)
+    right_arities = sorted(atom.arity for atom in right.atoms)
+    if left_arities != right_arities:
+        return None
+
+    right_by_arity: dict[int, list[Atom]] = {}
+    for atom in right.atoms:
+        right_by_arity.setdefault(atom.arity, []).append(atom)
+
+    # Order left atoms to keep the search connected: most-constrained
+    # (largest arity) first, then atoms sharing variables with earlier
+    # ones.
+    ordered = sorted(left.atoms, key=lambda atom: -atom.arity)
+    reordered: list[Atom] = []
+    seen_vars: set[str] = set()
+    pool = list(ordered)
+    while pool:
+        connected = [
+            atom for atom in pool if atom.variable_set & seen_vars
+        ]
+        chosen = connected[0] if connected else pool[0]
+        pool.remove(chosen)
+        reordered.append(chosen)
+        seen_vars |= chosen.variable_set
+
+    used_right: set[str] = set()
+    mapping: dict[str, str] = {}
+    reverse: dict[str, str] = {}
+
+    def try_bind(left_atom: Atom, right_atom: Atom) -> list[str] | None:
+        """Extend the variable bijection; return newly bound lefts."""
+        if left_atom.arity != right_atom.arity:
+            return None
+        bound: list[str] = []
+        for lv, rv in zip(left_atom.variables, right_atom.variables):
+            if lv in mapping:
+                if mapping[lv] != rv:
+                    for variable in bound:
+                        reverse.pop(mapping.pop(variable))
+                    return None
+            elif rv in reverse:
+                for variable in bound:
+                    reverse.pop(mapping.pop(variable))
+                return None
+            else:
+                mapping[lv] = rv
+                reverse[rv] = lv
+                bound.append(lv)
+        return bound
+
+    def search(index: int) -> bool:
+        if index == len(reordered):
+            return True
+        left_atom = reordered[index]
+        for right_atom in right_by_arity.get(left_atom.arity, []):
+            if right_atom.name in used_right:
+                continue
+            bound = try_bind(left_atom, right_atom)
+            if bound is None:
+                continue
+            used_right.add(right_atom.name)
+            if search(index + 1):
+                return True
+            used_right.discard(right_atom.name)
+            for variable in bound:
+                reverse.pop(mapping.pop(variable))
+        return False
+
+    if search(0):
+        return dict(mapping)
+    return None
+
+
+def are_isomorphic(
+    left: ConjunctiveQuery, right: ConjunctiveQuery
+) -> bool:
+    """True when the two queries are structurally isomorphic."""
+    return find_isomorphism(left, right) is not None

@@ -1,0 +1,138 @@
+"""The quantitative one-round lower bound, as an executable formula.
+
+Section 3.2 of the paper bounds the expected number of output tuples a
+single server can *know* after one communication round.  The chain is:
+
+1. Lemma 3.6: a server receiving a fraction ``f_j`` of the bits of a
+   matching ``S_j`` knows (in expectation) at most ``f_j * n`` of its
+   tuples.
+2. The capacity constraint gives
+   ``sum_j f_j (a_j - 1) <= c (a - l) / p^{1-eps}``.
+3. Lemma 3.7 (via Friedgut on the extended query):
+   ``E[|K_m(q)|] <= g_{q,c} * E[|q(I)|] / p^{(1-eps) tau*}`` with
+   ``g_{q,c} = (c (a - l) / tau*)^{tau*}``.
+4. A union bound over the ``p`` servers yields Theorem 3.3:
+   the reported fraction is at most ``g_{q,c} / p^{(1-eps) tau* - 1}``.
+
+This module computes each quantity so benchmarks can overlay the exact
+theoretical ceiling on measured data, and tests can check the
+internal consistency of the chain (e.g. the multi-round accounting of
+Theorem 4.11 reuses ``g`` with ``c (r + 1)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.covers import covering_number
+from repro.core.query import ConjunctiveQuery, QueryError
+
+
+def knowledge_fraction_budget(
+    query: ConjunctiveQuery, p: int, eps: Fraction | float, c: float = 1.0
+) -> float:
+    """The message-budget constraint ``sum_j f_j (a_j - 1)`` <= this.
+
+    Equals ``c (a - l) / p^{1-eps}``: the total fraction of input bits
+    a single server may receive (Section 3.2.2), where ``a`` is total
+    arity and ``l`` the number of atoms.
+    """
+    if p < 1:
+        raise QueryError(f"need p >= 1, got {p}")
+    a = query.total_arity
+    ell = query.num_atoms
+    if a <= ell:
+        raise QueryError(
+            "bit accounting needs arity >= 2 atoms (unary relations "
+            "are excluded by the paper's standing assumption)"
+        )
+    return c * (a - ell) / float(p) ** float(1 - Fraction(eps))
+
+
+def g_constant(query: ConjunctiveQuery, c: float = 1.0) -> float:
+    """The constant ``g_{q,c} = (c (a - l) / tau*)^{tau*}`` of Lemma 3.7."""
+    tau = covering_number(query)
+    a = query.total_arity
+    ell = query.num_atoms
+    return (c * (a - ell) / float(tau)) ** float(tau)
+
+
+@dataclass(frozen=True)
+class KnowledgeBound:
+    """The Lemma 3.7 / Theorem 3.3 quantities for one configuration.
+
+    Attributes:
+        tau_star: the fractional covering number.
+        per_server_fraction: max expected fraction of answers known by
+            ONE server: ``g_{q,c} / p^{(1-eps) tau*}``.
+        all_servers_fraction: Theorem 3.3's union bound over p servers:
+            ``g_{q,c} / p^{(1-eps) tau* - 1}`` (capped at 1).
+        g: the constant ``g_{q,c}``.
+    """
+
+    tau_star: Fraction
+    per_server_fraction: float
+    all_servers_fraction: float
+    g: float
+
+
+def knowledge_bound(
+    query: ConjunctiveQuery,
+    p: int,
+    eps: Fraction | float,
+    c: float = 1.0,
+) -> KnowledgeBound:
+    """Evaluate the full Theorem 3.3 ceiling for (q, p, eps, c).
+
+    Only meaningful in the sub-threshold regime
+    ``eps < 1 - 1/tau*(q)``; above it the ceiling exceeds 1 and is
+    capped (one round genuinely suffices there).
+    """
+    if p < 1:
+        raise QueryError(f"need p >= 1, got {p}")
+    eps = Fraction(eps)
+    tau = covering_number(query)
+    g = g_constant(query, c)
+    exponent = float((1 - eps) * tau)
+    per_server = min(1.0, g / float(p) ** exponent)
+    overall = min(1.0, g / float(p) ** (exponent - 1))
+    return KnowledgeBound(
+        tau_star=tau,
+        per_server_fraction=per_server,
+        all_servers_fraction=overall,
+        g=g,
+    )
+
+
+def multiround_g_constant(
+    query: ConjunctiveQuery, c: float, rounds: int
+) -> float:
+    """Theorem 4.11's per-stage constant ``g_{q', c(r+1)}``.
+
+    Each peeled round lets a server accumulate up to ``r + 1`` times
+    the single-round budget, so the constant inflates accordingly.
+    """
+    if rounds < 0:
+        raise QueryError(f"need rounds >= 0, got {rounds}")
+    return g_constant(query, c * (rounds + 1))
+
+
+def failure_probability_floor(
+    query: ConjunctiveQuery, n: int, p: int, eps: Fraction | float
+) -> float:
+    """Corollary 3.5's failure probability ``(1 - o(1)) n^{chi(q)}``.
+
+    For a deterministic-or-randomized one-round MPC(eps) algorithm
+    below threshold, the failure probability on a random matching
+    database is at least about ``n^{chi(q)}`` (1 for tree-like
+    queries, 1/n for cycles, ...), with the ``1 - o(1)`` factor driven
+    by the Theorem 3.3 fraction.
+    """
+    from repro.core.characteristic import characteristic
+
+    if not query.is_connected:
+        raise QueryError("Corollary 3.5 applies to connected queries")
+    fraction = knowledge_bound(query, p, eps).all_servers_fraction
+    chi = characteristic(query)
+    return max(0.0, (1.0 - fraction)) * float(n) ** chi

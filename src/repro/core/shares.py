@@ -1,0 +1,167 @@
+"""HyperCube share exponents and integer share allocation (Section 3.1).
+
+Given an optimal fractional vertex cover ``v`` with value ``tau``, the
+HC algorithm assigns each variable the *share exponent*
+``e_i = v_i / tau`` (so ``sum_i e_i = 1``) and organises the ``p``
+servers as a grid ``[p_1] x ... x [p_k]`` with ``p_i = p^{e_i}``.
+
+Real servers come in integer quantities, so this module also solves
+the rounding problem: find integers ``p_i >= 1`` with
+``prod_i p_i <= p`` that track the ideal real-valued shares as closely
+as possible.  We use a greedy ascent -- start from the floor and grow
+the coordinate with the largest log-shortfall while the product still
+fits -- which is how practical HyperCube implementations (e.g. Myria)
+allocate shares.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping
+
+from repro.core.covers import fractional_vertex_cover
+from repro.core.query import ConjunctiveQuery, QueryError
+
+
+def share_exponents(
+    query: ConjunctiveQuery,
+    cover: Mapping[str, Fraction] | None = None,
+) -> dict[str, Fraction]:
+    """Exact share exponents ``e_i = v_i / tau`` (Proposition 3.2).
+
+    Args:
+        query: the query being analysed.
+        cover: an optional fractional vertex cover; defaults to an
+            optimal one.  Passing a sub-optimal cover yields the share
+            exponents for *that* cover (useful in ablations).
+
+    Returns:
+        Mapping from variable name to an exact exponent; the exponents
+        sum to exactly 1.
+    """
+    if cover is None:
+        cover = fractional_vertex_cover(query)
+    tau = sum((Fraction(value) for value in cover.values()), start=Fraction(0))
+    if tau <= 0:
+        raise QueryError("vertex cover has non-positive total weight")
+    return {
+        variable: Fraction(cover.get(variable, Fraction(0))) / tau
+        for variable in query.variables
+    }
+
+
+@dataclass(frozen=True)
+class ShareAllocation:
+    """An integer share vector for a server grid.
+
+    Attributes:
+        shares: integer share per variable, each >= 1.
+        total_servers: the requested number of servers ``p``.
+        used_servers: ``prod_i shares[i]`` -- the servers actually
+            addressed by the grid (always <= ``total_servers``).
+        exponents: the ideal (fractional) share exponents targeted.
+    """
+
+    shares: dict[str, int]
+    total_servers: int
+    used_servers: int
+    exponents: dict[str, Fraction]
+
+    def dimensions(self) -> tuple[int, ...]:
+        """Grid dimensions in variable order of ``shares``."""
+        return tuple(self.shares.values())
+
+
+def allocate_integer_shares(
+    exponents: Mapping[str, Fraction],
+    p: int,
+) -> ShareAllocation:
+    """Round ideal shares ``p^{e_i}`` to an integer grid with prod <= p.
+
+    Greedy ascent: start at ``p_i = max(1, floor(p^{e_i}))`` and
+    repeatedly increment (by multiplying toward the ideal) the
+    coordinate whose log-space shortfall ``e_i log p - log p_i`` is
+    largest, while the grid still fits within ``p`` servers.
+
+    Args:
+        exponents: share exponents summing to at most 1.
+        p: number of available servers (>= 1).
+
+    Returns:
+        A :class:`ShareAllocation` with ``used_servers <= p``.
+    """
+    if p < 1:
+        raise ValueError(f"need at least one server, got p={p}")
+    total = sum(exponents.values(), start=Fraction(0))
+    if total > 1:
+        raise ValueError(f"share exponents sum to {total} > 1")
+
+    log_p = math.log(p) if p > 1 else 0.0
+    shares: dict[str, int] = {}
+    for variable, exponent in exponents.items():
+        ideal = math.exp(float(exponent) * log_p)
+        shares[variable] = max(1, math.floor(ideal + 1e-9))
+
+    def product() -> int:
+        result = 1
+        for value in shares.values():
+            result *= value
+        return result
+
+    # The floor can overshoot only by rounding slack; shrink if needed.
+    while product() > p:
+        variable = max(
+            shares,
+            key=lambda name: math.log(shares[name])
+            - float(exponents[name]) * log_p,
+        )
+        if shares[variable] == 1:  # pragma: no cover - defensive
+            break
+        shares[variable] -= 1
+
+    # Greedy ascent toward the ideal exponents.
+    improved = True
+    while improved:
+        improved = False
+        candidates = sorted(
+            shares,
+            key=lambda name: float(exponents[name]) * log_p
+            - math.log(shares[name]),
+            reverse=True,
+        )
+        for variable in candidates:
+            if exponents[variable] == 0:
+                continue
+            grown = product() // shares[variable] * (shares[variable] + 1)
+            if grown <= p:
+                shares[variable] += 1
+                improved = True
+                break
+
+    return ShareAllocation(
+        shares=dict(shares),
+        total_servers=p,
+        used_servers=product(),
+        exponents=dict(exponents),
+    )
+
+
+def replication_factor(
+    query: ConjunctiveQuery, shares: Mapping[str, int]
+) -> dict[str, int]:
+    """Per-atom replication ``prod_{i: x_i not in vars(S_j)} p_i``.
+
+    Each tuple of ``S_j`` is sent to this many servers by the HC
+    routing rule (Section 3.1); Proposition 3.2 bounds it by
+    ``p^{1 - 1/tau}`` when the shares come from a vertex cover.
+    """
+    result: dict[str, int] = {}
+    for atom in query.atoms:
+        replication = 1
+        for variable in query.variables:
+            if variable not in atom.variable_set:
+                replication *= shares.get(variable, 1)
+        result[atom.name] = replication
+    return result

@@ -1,0 +1,43 @@
+"""Input-data substrate: relations, databases and generators.
+
+The paper's input model (Section 2.5) is the *matching database*: every
+relation of arity ``a`` is an ``a``-dimensional matching over domain
+``[n]`` -- exactly ``n`` tuples, every column a permutation of
+``1..n``.  Matching databases are the skew-free worst case on which
+both the lower bounds and the HyperCube upper bound are exact.
+
+This package provides:
+
+* :class:`repro.data.database.Relation` / ``Database`` -- immutable
+  relation instances with the paper's bit accounting
+  (``N = O(n log n)`` bits),
+* :mod:`repro.data.matching` -- uniform random matching databases,
+* :mod:`repro.data.generators` -- auxiliary inputs: skewed relations,
+  the JOIN-WITNESS instances of Proposition 3.12, and the layered /
+  dense graphs of the CONNECTED-COMPONENTS experiment (Theorem 4.10).
+"""
+
+from repro.data.database import Database, Relation
+from repro.data.matching import (
+    identity_matching,
+    matching_database,
+    random_matching,
+)
+from repro.data.generators import (
+    dense_graph,
+    layered_path_graph,
+    skewed_relation,
+    witness_database,
+)
+
+__all__ = [
+    "Database",
+    "Relation",
+    "identity_matching",
+    "matching_database",
+    "random_matching",
+    "dense_graph",
+    "layered_path_graph",
+    "skewed_relation",
+    "witness_database",
+]

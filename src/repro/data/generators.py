@@ -1,0 +1,203 @@
+"""Auxiliary input generators for the paper's experiments.
+
+* :func:`skewed_relation` -- Zipf-like skew, used to contrast the
+  matching-database assumption (the paper defers skew to [17], we keep
+  a generator so tests can show where HC's load guarantee needs the
+  skew-free assumption).
+* :func:`witness_database` -- the Proposition 3.12 instances:
+  ``R(w), S1(w,x), S2(x,y), S3(y,z), T(z)`` with ``S_i`` matchings and
+  ``R, T`` uniform subsets of size ``ceil(sqrt(n))``.
+* :func:`layered_path_graph` -- Theorem 4.10's hard instances for
+  CONNECTED-COMPONENTS: ``k + 1`` layers of ``n_layer`` vertices with a
+  random perfect matching between adjacent layers, so each component is
+  a path of length ``k`` -- one per tuple of the corresponding ``L_k``.
+* :func:`dense_graph` -- dense random graphs for the contrast with the
+  two-round algorithm of Karloff et al. [16].
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.data.database import Database, DataError, Relation
+from repro.data.matching import random_matching, random_permutation
+
+
+def skewed_relation(
+    name: str,
+    n: int,
+    rng: random.Random,
+    heavy_fraction: float = 0.5,
+) -> Relation:
+    """A binary relation where one value is ``heavy``: it appears in a
+    ``heavy_fraction`` share of first-column positions.
+
+    Not a matching: demonstrates load imbalance under HC hashing.
+    """
+    if not 0 <= heavy_fraction <= 1:
+        raise DataError(f"heavy_fraction must be in [0,1], got {heavy_fraction}")
+    heavy_count = int(n * heavy_fraction)
+    rows = []
+    for i in range(1, n + 1):
+        left = 1 if i <= heavy_count else rng.randint(1, n)
+        rows.append((left, rng.randint(1, n)))
+    return Relation.from_tuples(name, rows, domain_size=n, arity=2)
+
+
+def witness_database(n: int, rng: random.Random | int | None = None) -> Database:
+    """Proposition 3.12's input family.
+
+    ``S1, S2, S3`` are uniform 2-dimensional matchings; ``R`` and ``T``
+    are uniform random subsets of ``[n]`` of size ``ceil(sqrt(n))``,
+    stored as unary relations.  The expected number of query answers is
+    1, making JOIN-WITNESS a needle-in-a-haystack problem.
+    """
+    if isinstance(rng, int) or rng is None:
+        rng = random.Random(rng or 0)
+    size = math.ceil(math.sqrt(n))
+    r_values = rng.sample(range(1, n + 1), size)
+    t_values = rng.sample(range(1, n + 1), size)
+    relations = [
+        Relation.from_tuples(
+            "R", [(v,) for v in r_values], domain_size=n, arity=1
+        ),
+        random_matching("S1", 2, n, rng),
+        random_matching("S2", 2, n, rng),
+        random_matching("S3", 2, n, rng),
+        Relation.from_tuples(
+            "T", [(v,) for v in t_values], domain_size=n, arity=1
+        ),
+    ]
+    return Database(
+        relations={relation.name: relation for relation in relations},
+        domain_size=n,
+    )
+
+
+@dataclass(frozen=True)
+class GraphInstance:
+    """An undirected graph with ground-truth component labels.
+
+    Attributes:
+        num_vertices: vertices are ``1..num_vertices``.
+        edges: undirected edges as ``(u, v)`` with ``u < v``.
+        labels: ground truth: ``labels[v]`` is the smallest vertex in
+            the component of ``v`` (the canonical component id).
+    """
+
+    num_vertices: int
+    edges: tuple[tuple[int, int], ...]
+    labels: dict[int, int]
+
+    @property
+    def num_components(self) -> int:
+        """Number of connected components."""
+        return len(set(self.labels.values()))
+
+    def edge_relation(self, domain_size: int | None = None) -> Relation:
+        """The edge set as a binary relation ``E`` (both orientations)."""
+        n = domain_size or self.num_vertices
+        rows = [(u, v) for u, v in self.edges] + [
+            (v, u) for u, v in self.edges
+        ]
+        return Relation.from_tuples("E", rows, domain_size=n, arity=2)
+
+
+def _component_labels(
+    num_vertices: int, edges: list[tuple[int, int]]
+) -> dict[int, int]:
+    """Union-find ground truth, labelling by the component minimum."""
+    parent = list(range(num_vertices + 1))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in edges:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[max(ru, rv)] = min(ru, rv)
+    return {v: find(v) for v in range(1, num_vertices + 1)}
+
+
+def layered_path_graph(
+    num_layers: int,
+    layer_size: int,
+    rng: random.Random | int | None = None,
+) -> GraphInstance:
+    """Theorem 4.10's hard instance: paths threaded through layers.
+
+    Vertices split into ``num_layers + 1`` layers ``P_1..P_{k+1}`` of
+    ``layer_size`` vertices each; a uniform random perfect matching
+    joins adjacent layers.  Every component is a path visiting one
+    vertex per layer, so component discovery is exactly the ``L_k``
+    join of the ``k`` inter-layer permutations.
+
+    Args:
+        num_layers: the path length ``k`` (>= 1).
+        layer_size: vertices per layer (the ``n/(k+1)`` of the paper).
+        rng: seed or generator.
+    """
+    if num_layers < 1:
+        raise DataError(f"need num_layers >= 1, got {num_layers}")
+    if layer_size < 1:
+        raise DataError(f"need layer_size >= 1, got {layer_size}")
+    if isinstance(rng, int) or rng is None:
+        rng = random.Random(rng or 0)
+
+    def vertex(layer: int, index: int) -> int:
+        return layer * layer_size + index + 1
+
+    edges: list[tuple[int, int]] = []
+    for layer in range(num_layers):
+        permutation = random_permutation(layer_size, rng)
+        for index in range(layer_size):
+            u = vertex(layer, index)
+            v = vertex(layer + 1, permutation[index] - 1)
+            edges.append((min(u, v), max(u, v)))
+    num_vertices = (num_layers + 1) * layer_size
+    return GraphInstance(
+        num_vertices=num_vertices,
+        edges=tuple(sorted(set(edges))),
+        labels=_component_labels(num_vertices, edges),
+    )
+
+
+def dense_graph(
+    num_vertices: int,
+    num_edges: int,
+    rng: random.Random | int | None = None,
+) -> GraphInstance:
+    """A uniform random graph with ``num_edges`` distinct edges.
+
+    Dense inputs (``num_edges >> num_vertices``) are where the
+    two-round spanning-forest algorithm of [16] applies; used as the
+    contrast case in the CONNECTED-COMPONENTS experiment.
+    """
+    if num_vertices < 2:
+        raise DataError(f"need >= 2 vertices, got {num_vertices}")
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    if num_edges > max_edges:
+        raise DataError(
+            f"{num_edges} edges > maximum {max_edges} for "
+            f"{num_vertices} vertices"
+        )
+    if isinstance(rng, int) or rng is None:
+        rng = random.Random(rng or 0)
+    edges: set[tuple[int, int]] = set()
+    while len(edges) < num_edges:
+        u = rng.randint(1, num_vertices)
+        v = rng.randint(1, num_vertices)
+        if u == v:
+            continue
+        edges.add((min(u, v), max(u, v)))
+    edge_list = sorted(edges)
+    return GraphInstance(
+        num_vertices=num_vertices,
+        edges=tuple(edge_list),
+        labels=_component_labels(num_vertices, edge_list),
+    )

@@ -1,0 +1,97 @@
+"""Uniform random matching databases (Section 2.5).
+
+An ``a``-dimensional matching over ``[n]`` has exactly ``n`` tuples and
+every column is a permutation of ``1..n``; for ``a = 2`` an instance is
+a permutation, for ``a = 3`` a set of ``n`` node-disjoint triangles.
+There are exactly ``(n!)^(a-1)`` such matchings, and
+:func:`random_matching` draws uniformly from them by fixing the first
+column to ``1..n`` (every matching has a unique such presentation) and
+sampling ``a - 1`` independent uniform permutations for the remaining
+columns.
+
+These are the paper's lower-bound *and* upper-bound inputs: skew-free
+by construction, with ``E[|q(I)|] = n^(1 + chi(q))`` (Lemma 3.4).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.core.query import ConjunctiveQuery
+from repro.data.database import Database, DataError, Relation
+
+
+def random_permutation(n: int, rng: random.Random) -> list[int]:
+    """A uniform permutation of ``[1, n]`` (Fisher-Yates via shuffle)."""
+    values = list(range(1, n + 1))
+    rng.shuffle(values)
+    return values
+
+
+def random_matching(
+    name: str, arity: int, n: int, rng: random.Random
+) -> Relation:
+    """A uniform random ``arity``-dimensional matching over ``[n]``.
+
+    Args:
+        name: relation symbol for the instance.
+        arity: number of columns (>= 1).
+        n: domain size; the matching has exactly ``n`` tuples.
+        rng: source of randomness (seeded for reproducibility).
+    """
+    if arity < 1:
+        raise DataError(f"{name}: arity must be >= 1, got {arity}")
+    if n < 1:
+        raise DataError(f"{name}: domain size must be >= 1, got {n}")
+    columns = [list(range(1, n + 1))]
+    for _ in range(arity - 1):
+        columns.append(random_permutation(n, rng))
+    rows = tuple(
+        tuple(column[i] for column in columns) for i in range(n)
+    )
+    return Relation(name=name, arity=arity, tuples=rows, domain_size=n)
+
+
+def identity_matching(name: str, arity: int, n: int) -> Relation:
+    """The identity matching ``{(1,..,1), (2,..,2), ...}``.
+
+    Used by the retraction argument of Lemma 4.12 and by
+    Proposition 4.7's reduction (pad a subquery's instance with
+    identity permutations for the removed atoms).
+    """
+    rows = tuple(tuple([i] * arity) for i in range(1, n + 1))
+    return Relation(name=name, arity=arity, tuples=rows, domain_size=n)
+
+
+def matching_database(
+    query: ConjunctiveQuery,
+    n: int,
+    rng: random.Random | int | None = None,
+    identity_atoms: Iterable[str] = (),
+) -> Database:
+    """A uniform random matching database for a query's vocabulary.
+
+    Each atom ``S_j`` of arity ``a_j`` receives an independent uniform
+    ``a_j``-dimensional matching; atoms listed in ``identity_atoms``
+    receive the identity matching instead.
+
+    Args:
+        query: fixes the vocabulary (names and arities).
+        n: the domain size.
+        rng: a :class:`random.Random`, an int seed, or None (seed 0).
+        identity_atoms: atom names to instantiate with identities.
+    """
+    if isinstance(rng, int) or rng is None:
+        rng = random.Random(rng or 0)
+    identity = set(identity_atoms)
+    relations = []
+    for atom in query.atoms:
+        if atom.name in identity:
+            relations.append(identity_matching(atom.name, atom.arity, n))
+        else:
+            relations.append(random_matching(atom.name, atom.arity, n, rng))
+    return Database(
+        relations={relation.name: relation for relation in relations},
+        domain_size=n,
+    )

@@ -1,0 +1,35 @@
+"""Exact linear-programming substrate.
+
+The fractional vertex cover and fractional edge packing linear programs
+(Figure 1 of the paper) are the engine behind every bound in
+Beame-Koutris-Suciu.  Their optimal values -- the fractional covering
+number ``tau*`` -- feed directly into share exponents and space
+exponents, so we solve them in *exact rational arithmetic* rather than
+floating point: ``tau*(C_3) = 3/2`` must come out as the fraction
+``3/2``, not ``1.4999999999``.
+
+The package provides:
+
+* :class:`repro.lp.model.LinearProgram` -- a small modelling layer
+  (named variables, linear constraints, min/max objective).
+* :class:`repro.lp.simplex.ExactSimplex` -- a from-scratch two-phase
+  primal simplex over :class:`fractions.Fraction` using Bland's rule,
+  which guarantees termination without cycling.
+* :mod:`repro.lp.duality` -- mechanical construction of the dual of a
+  standard-form LP and strong-duality verification, used to cross-check
+  the vertex-cover/edge-packing pair of Figure 1.
+"""
+
+from repro.lp.model import LinearProgram, LPSolution
+from repro.lp.simplex import ExactSimplex, SimplexResult, SimplexStatus
+from repro.lp.duality import dual_of, verify_strong_duality
+
+__all__ = [
+    "LinearProgram",
+    "LPSolution",
+    "ExactSimplex",
+    "SimplexResult",
+    "SimplexStatus",
+    "dual_of",
+    "verify_strong_duality",
+]

@@ -1,0 +1,99 @@
+"""Mechanical LP dualisation and strong-duality verification.
+
+Figure 1 of the paper pairs the fractional *vertex covering* LP with the
+fractional *edge packing* LP and relies on strong duality:
+
+    ``tau*(q) = min sum_i v_i = max sum_j u_j``
+
+This module constructs the dual of a standard-form LP mechanically, so
+tests can verify that the hand-written packing LP in
+:mod:`repro.core.covers` *is* the dual of the covering LP, and that both
+optima agree exactly.
+
+The supported primal forms are the two that arise from hypergraphs:
+
+* ``min c.x  s.t.  A x >= b, x >= 0``   (covering)  whose dual is
+  ``max b.y  s.t.  A^T y <= c, y >= 0`` (packing), and
+* ``max c.x  s.t.  A x <= b, x >= 0``   (packing)   whose dual is
+  ``min b.y  s.t.  A^T y >= c, y >= 0`` (covering).
+
+Mixed senses are rejected: the paper never needs them and refusing keeps
+the construction obviously correct.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.lp.model import LinearProgram, LPError
+from repro.lp.simplex import GREATER_EQUAL, LESS_EQUAL
+
+
+def dual_of(primal: LinearProgram) -> LinearProgram:
+    """Build the dual of a pure covering or pure packing LP.
+
+    Dual variables are named ``y0, y1, ...`` in primal-constraint order.
+
+    Raises:
+        LPError: if the primal mixes constraint senses, or uses a sense
+            inconsistent with its orientation (e.g. a maximisation with
+            ``>=`` rows), since such programs are not in either of the
+            two supported standard forms.
+    """
+    constraints = primal.constraints
+    if not constraints:
+        raise LPError("cannot dualise an LP with no constraints")
+    senses = {sense for _, sense, _ in constraints}
+    if len(senses) != 1:
+        raise LPError(f"mixed constraint senses are unsupported: {senses}")
+    sense = senses.pop()
+    expected = LESS_EQUAL if primal.maximize else GREATER_EQUAL
+    if sense != expected:
+        raise LPError(
+            f"{'max' if primal.maximize else 'min'} LP must use "
+            f"{expected!r} constraints, found {sense!r}"
+        )
+
+    dual = LinearProgram(maximize=not primal.maximize)
+    dual_names = [dual.add_variable(f"y{i}") for i in range(len(constraints))]
+
+    # One dual constraint per primal variable: column of A transposed.
+    objective = primal.objective
+    for var in primal.variables:
+        column = {
+            dual_names[i]: coeffs[var]
+            for i, (coeffs, _, _) in enumerate(constraints)
+            if var in coeffs
+        }
+        bound = objective.get(var, Fraction(0))
+        dual_sense = GREATER_EQUAL if primal.maximize else LESS_EQUAL
+        dual.add_constraint(column, dual_sense, bound, name=f"col[{var}]")
+
+    dual.set_objective(
+        {dual_names[i]: rhs for i, (_, _, rhs) in enumerate(constraints)}
+    )
+    return dual
+
+
+def verify_strong_duality(primal: LinearProgram) -> Fraction:
+    """Solve ``primal`` and its mechanical dual; assert equal optima.
+
+    Returns:
+        The common optimal value.
+
+    Raises:
+        LPError: if either program fails to solve or the optima differ
+            (which, with exact arithmetic, would indicate a solver bug).
+    """
+    primal_solution = primal.solve()
+    if not primal_solution.is_optimal:
+        raise LPError(f"primal not optimal: {primal_solution.status}")
+    dual_solution = dual_of(primal).solve()
+    if not dual_solution.is_optimal:
+        raise LPError(f"dual not optimal: {dual_solution.status}")
+    if primal_solution.objective != dual_solution.objective:
+        raise LPError(
+            "strong duality violated: "
+            f"{primal_solution.objective} != {dual_solution.objective}"
+        )
+    return primal_solution.objective

@@ -1,0 +1,187 @@
+"""A small modelling layer over the exact simplex solver.
+
+:class:`LinearProgram` lets callers build LPs with *named* variables and
+readable constraints, which keeps the covering/packing constructions in
+:mod:`repro.core.covers` close to the notation of Figure 1 in the paper::
+
+    lp = LinearProgram(maximize=False)
+    for variable in query.variables:
+        lp.add_variable(variable)
+    for atom in query.atoms:
+        lp.add_constraint({v: 1 for v in atom.variables}, ">=", 1)
+    lp.set_objective({v: 1 for v in query.variables})
+    solution = lp.solve()
+
+All variables are implicitly non-negative, which matches every LP in the
+paper (vertex cover, edge packing) and makes mechanical dualisation in
+:mod:`repro.lp.duality` straightforward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Mapping
+
+from repro.lp.simplex import (
+    EQUAL,
+    GREATER_EQUAL,
+    LESS_EQUAL,
+    ExactSimplex,
+    Number,
+    SimplexResult,
+    SimplexStatus,
+)
+
+
+class LPError(Exception):
+    """Raised for malformed models or unsolvable programs."""
+
+
+@dataclass(frozen=True)
+class LPSolution:
+    """A solved linear program.
+
+    Attributes:
+        status: termination status of the solver.
+        objective: exact optimal value (``None`` unless optimal).
+        values: mapping from variable name to exact optimal value.
+        duals: exact dual value per constraint, in insertion order.
+    """
+
+    status: SimplexStatus
+    objective: Fraction | None
+    values: dict[str, Fraction] = field(default_factory=dict)
+    duals: tuple[Fraction, ...] = ()
+
+    @property
+    def is_optimal(self) -> bool:
+        """True when the program was solved to optimality."""
+        return self.status is SimplexStatus.OPTIMAL
+
+    def __getitem__(self, name: str) -> Fraction:
+        return self.values[name]
+
+
+@dataclass(frozen=True)
+class _Constraint:
+    coefficients: dict[str, Fraction]
+    sense: str
+    rhs: Fraction
+    name: str
+
+
+class LinearProgram:
+    """An LP over named non-negative variables.
+
+    Args:
+        maximize: orientation of the objective.
+
+    Variables must be added before they are referenced by constraints or
+    the objective; referencing an unknown variable raises
+    :class:`LPError` immediately, which catches typos in query-variable
+    names early.
+    """
+
+    def __init__(self, maximize: bool = True) -> None:
+        self._maximize = maximize
+        self._variables: list[str] = []
+        self._index: dict[str, int] = {}
+        self._constraints: list[_Constraint] = []
+        self._objective: dict[str, Fraction] = {}
+
+    # -- model building ---------------------------------------------------
+
+    @property
+    def maximize(self) -> bool:
+        """True when this is a maximisation problem."""
+        return self._maximize
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """Variable names in insertion order."""
+        return tuple(self._variables)
+
+    @property
+    def constraints(self) -> tuple[tuple[dict[str, Fraction], str, Fraction], ...]:
+        """Constraints as ``(coefficients, sense, rhs)`` triples."""
+        return tuple(
+            (dict(c.coefficients), c.sense, c.rhs) for c in self._constraints
+        )
+
+    @property
+    def objective(self) -> dict[str, Fraction]:
+        """Objective coefficients by variable name."""
+        return dict(self._objective)
+
+    def add_variable(self, name: str) -> str:
+        """Register a non-negative variable and return its name."""
+        if name in self._index:
+            raise LPError(f"duplicate variable: {name!r}")
+        self._index[name] = len(self._variables)
+        self._variables.append(name)
+        return name
+
+    def add_constraint(
+        self,
+        coefficients: Mapping[str, Number],
+        sense: str,
+        rhs: Number,
+        name: str = "",
+    ) -> None:
+        """Add ``sum coefficients[v] * v  (sense)  rhs``."""
+        if sense not in (LESS_EQUAL, GREATER_EQUAL, EQUAL):
+            raise LPError(f"invalid sense: {sense!r}")
+        resolved: dict[str, Fraction] = {}
+        for var, coeff in coefficients.items():
+            if var not in self._index:
+                raise LPError(f"unknown variable in constraint: {var!r}")
+            resolved[var] = Fraction(coeff)
+        self._constraints.append(
+            _Constraint(resolved, sense, Fraction(rhs), name)
+        )
+
+    def set_objective(self, coefficients: Mapping[str, Number]) -> None:
+        """Set the objective; unspecified variables get coefficient 0."""
+        for var in coefficients:
+            if var not in self._index:
+                raise LPError(f"unknown variable in objective: {var!r}")
+        self._objective = {
+            var: Fraction(coeff) for var, coeff in coefficients.items()
+        }
+
+    # -- solving ------------------------------------------------------------
+
+    def _dense(self) -> tuple[list[Fraction], list[tuple[list[Fraction], str, Fraction]]]:
+        n = len(self._variables)
+        objective = [Fraction(0)] * n
+        for var, coeff in self._objective.items():
+            objective[self._index[var]] = coeff
+        constraints = []
+        for constraint in self._constraints:
+            row = [Fraction(0)] * n
+            for var, coeff in constraint.coefficients.items():
+                row[self._index[var]] = coeff
+            constraints.append((row, constraint.sense, constraint.rhs))
+        return objective, constraints
+
+    def solve(self) -> LPSolution:
+        """Solve with the exact simplex and return an :class:`LPSolution`."""
+        if not self._variables:
+            raise LPError("cannot solve an LP with no variables")
+        objective, constraints = self._dense()
+        result: SimplexResult = ExactSimplex(
+            objective, constraints, maximize=self._maximize
+        ).solve()
+        if not result.is_optimal:
+            return LPSolution(status=result.status, objective=None)
+        values = {
+            name: result.solution[i]
+            for i, name in enumerate(self._variables)
+        }
+        return LPSolution(
+            status=result.status,
+            objective=result.objective,
+            values=values,
+            duals=result.duals,
+        )

@@ -1,0 +1,417 @@
+"""Exact two-phase primal simplex over rational numbers.
+
+This is a deliberately simple, exact implementation aimed at the small
+linear programs that arise from query hypergraphs (tens of variables and
+constraints).  All arithmetic uses :class:`fractions.Fraction`, so the
+optimal objective value is returned exactly -- e.g. the fractional
+covering number of the triangle query is the fraction ``3/2``.
+
+The solver accepts problems of the form::
+
+    maximize / minimize   c . x
+    subject to            a_i . x  (<= | >= | ==)  b_i     for each i
+                          x >= 0
+
+Internally the problem is converted to equality standard form with
+slack, surplus and artificial variables, and solved with the classical
+two-phase tableau method.  Pivoting follows Bland's rule (smallest
+index), which is slower than Dantzig's rule but provably never cycles --
+important because degenerate vertices are common in covering LPs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+Number = int | float | Fraction
+
+#: Sentinel senses accepted for constraints.
+LESS_EQUAL = "<="
+GREATER_EQUAL = ">="
+EQUAL = "=="
+
+_VALID_SENSES = (LESS_EQUAL, GREATER_EQUAL, EQUAL)
+
+
+class SimplexStatus(enum.Enum):
+    """Termination status of a simplex solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+
+
+@dataclass(frozen=True)
+class SimplexResult:
+    """Outcome of :meth:`ExactSimplex.solve`.
+
+    Attributes:
+        status: one of :class:`SimplexStatus`.
+        objective: exact optimal objective value (in the *original*
+            min/max orientation), or ``None`` unless status is OPTIMAL.
+        solution: exact values of the structural variables, or ``None``
+            unless status is OPTIMAL.
+        duals: exact dual values, one per constraint, or ``None``
+            unless status is OPTIMAL.  Sign convention: the duals
+            satisfy strong duality for the original orientation, i.e.
+            ``sum_i duals[i] * b_i == objective``.
+    """
+
+    status: SimplexStatus
+    objective: Fraction | None = None
+    solution: tuple[Fraction, ...] | None = None
+    duals: tuple[Fraction, ...] | None = None
+
+    @property
+    def is_optimal(self) -> bool:
+        """True when an optimal solution was found."""
+        return self.status is SimplexStatus.OPTIMAL
+
+
+def _to_fraction(value: Number) -> Fraction:
+    """Convert ``value`` to an exact Fraction.
+
+    Floats are accepted for convenience but converted via their exact
+    binary expansion; prefer ints, Fractions, or strings like ``"1/3"``
+    upstream when exactness matters.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    return Fraction(value).limit_denominator(10**12)
+
+
+class ExactSimplex:
+    """Two-phase exact simplex solver.
+
+    Args:
+        objective: coefficients of the structural variables.
+        constraints: iterable of ``(coefficients, sense, rhs)`` triples;
+            ``coefficients`` must have the same length as ``objective``
+            and ``sense`` is one of ``"<="``, ``">="``, ``"=="``.
+        maximize: if True the objective is maximised, otherwise
+            minimised.
+
+    Example:
+        >>> solver = ExactSimplex(
+        ...     objective=[1, 1, 1],
+        ...     constraints=[([1, 1, 0], ">=", 1),
+        ...                  ([0, 1, 1], ">=", 1),
+        ...                  ([1, 0, 1], ">=", 1)],
+        ...     maximize=False)
+        >>> result = solver.solve()
+        >>> result.objective
+        Fraction(3, 2)
+    """
+
+    def __init__(
+        self,
+        objective: Sequence[Number],
+        constraints: Iterable[tuple[Sequence[Number], str, Number]],
+        maximize: bool = True,
+    ) -> None:
+        self._n = len(objective)
+        self._maximize = maximize
+        # Internally we always maximise; negate for minimisation.
+        sign = 1 if maximize else -1
+        self._c = [sign * _to_fraction(v) for v in objective]
+        self._rows: list[list[Fraction]] = []
+        self._senses: list[str] = []
+        self._b: list[Fraction] = []
+        for coeffs, sense, rhs in constraints:
+            if sense not in _VALID_SENSES:
+                raise ValueError(f"invalid constraint sense: {sense!r}")
+            if len(coeffs) != self._n:
+                raise ValueError(
+                    f"constraint has {len(coeffs)} coefficients, "
+                    f"expected {self._n}"
+                )
+            self._rows.append([_to_fraction(v) for v in coeffs])
+            self._senses.append(sense)
+            self._b.append(_to_fraction(rhs))
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def solve(self) -> SimplexResult:
+        """Solve the LP and return a :class:`SimplexResult`."""
+        tableau = _Tableau.build(self._rows, self._senses, self._b, self._c)
+        if not tableau.run_phase_one():
+            return SimplexResult(status=SimplexStatus.INFEASIBLE)
+        if not tableau.run_phase_two():
+            return SimplexResult(status=SimplexStatus.UNBOUNDED)
+        objective = tableau.objective_value()
+        solution = tableau.primal_solution(self._n)
+        duals = tableau.dual_solution()
+        if not self._maximize:
+            objective = -objective
+            duals = tuple(-d for d in duals)
+        return SimplexResult(
+            status=SimplexStatus.OPTIMAL,
+            objective=objective,
+            solution=solution,
+            duals=duals,
+        )
+
+
+class _Tableau:
+    """Dense simplex tableau in equality form with exact arithmetic.
+
+    Columns are laid out as ``[structural | slack/surplus | artificial]``
+    and the right-hand side is stored separately.  ``basis[i]`` is the
+    column index basic in row ``i``.  The (reduced-cost) objective row
+    stores ``z_j - c_j``; a column may enter the basis while its entry
+    is negative.
+    """
+
+    def __init__(self) -> None:
+        self.rows: list[list[Fraction]] = []
+        self.rhs: list[Fraction] = []
+        self.basis: list[int] = []
+        self.ncols = 0
+        self.n_structural = 0
+        self.artificial_cols: set[int] = set()
+        #: per-constraint (column, sign) of its slack/surplus variable,
+        #: or None for equality rows; used for dual extraction.
+        self.slack_info: list[tuple[int, int] | None] = []
+        #: per-constraint flag: True when the row was negated during
+        #: right-hand-side normalisation (the dual flips sign too).
+        self.row_negated: list[bool] = []
+        self.cost: list[Fraction] = []
+        self.cost_rhs = Fraction(0)
+        self._phase2_c: list[Fraction] = []
+
+    # -- construction ---------------------------------------------------
+
+    @staticmethod
+    def build(
+        rows: list[list[Fraction]],
+        senses: list[str],
+        b: list[Fraction],
+        c: list[Fraction],
+    ) -> "_Tableau":
+        tab = _Tableau()
+        m = len(rows)
+        n = len(c)
+        tab.n_structural = n
+
+        # Normalise rows so that every right-hand side is non-negative.
+        norm_rows: list[list[Fraction]] = []
+        norm_senses: list[str] = []
+        norm_b: list[Fraction] = []
+        for row, sense, rhs in zip(rows, senses, b):
+            negated = rhs < 0
+            if negated:
+                row = [-v for v in row]
+                rhs = -rhs
+                if sense == LESS_EQUAL:
+                    sense = GREATER_EQUAL
+                elif sense == GREATER_EQUAL:
+                    sense = LESS_EQUAL
+            tab.row_negated.append(negated)
+            norm_rows.append(list(row))
+            norm_senses.append(sense)
+            norm_b.append(rhs)
+
+        n_slack = sum(1 for s in norm_senses if s != EQUAL)
+        n_artificial = sum(1 for s in norm_senses if s != LESS_EQUAL)
+        tab.ncols = n + n_slack + n_artificial
+
+        slack_at = n
+        artificial_at = n + n_slack
+        for i in range(m):
+            row = norm_rows[i] + [Fraction(0)] * (tab.ncols - n)
+            sense = norm_senses[i]
+            if sense == LESS_EQUAL:
+                row[slack_at] = Fraction(1)
+                tab.slack_info.append((slack_at, 1))
+                tab.basis.append(slack_at)
+                slack_at += 1
+            elif sense == GREATER_EQUAL:
+                row[slack_at] = Fraction(-1)
+                tab.slack_info.append((slack_at, -1))
+                slack_at += 1
+                row[artificial_at] = Fraction(1)
+                tab.artificial_cols.add(artificial_at)
+                tab.basis.append(artificial_at)
+                artificial_at += 1
+            else:  # EQUAL
+                tab.slack_info.append(None)
+                row[artificial_at] = Fraction(1)
+                tab.artificial_cols.add(artificial_at)
+                tab.basis.append(artificial_at)
+                artificial_at += 1
+            tab.rows.append(row)
+            tab.rhs.append(norm_b[i])
+
+        tab._phase2_c = list(c) + [Fraction(0)] * (tab.ncols - n)
+        return tab
+
+    # -- pivoting -------------------------------------------------------
+
+    def _pivot(self, row_idx: int, col_idx: int) -> None:
+        """Pivot on (row_idx, col_idx), updating rows, rhs and cost."""
+        pivot_row = self.rows[row_idx]
+        pivot_val = pivot_row[col_idx]
+        inv = Fraction(1) / pivot_val
+        self.rows[row_idx] = [v * inv for v in pivot_row]
+        self.rhs[row_idx] *= inv
+        pivot_row = self.rows[row_idx]
+        pivot_rhs = self.rhs[row_idx]
+
+        for i, row in enumerate(self.rows):
+            if i == row_idx:
+                continue
+            factor = row[col_idx]
+            if factor == 0:
+                continue
+            self.rows[i] = [v - factor * pv for v, pv in zip(row, pivot_row)]
+            self.rhs[i] -= factor * pivot_rhs
+
+        factor = self.cost[col_idx]
+        if factor != 0:
+            self.cost = [v - factor * pv for v, pv in zip(self.cost, pivot_row)]
+            self.cost_rhs -= factor * pivot_rhs
+
+        self.basis[row_idx] = col_idx
+
+    def _iterate(self, allowed_cols: set[int] | None = None) -> bool:
+        """Run simplex iterations to optimality with Bland's rule.
+
+        Returns False if the problem is unbounded in the current phase.
+        ``allowed_cols`` optionally restricts entering columns.
+        """
+        while True:
+            entering = -1
+            for j in range(self.ncols):
+                if allowed_cols is not None and j not in allowed_cols:
+                    continue
+                if self.cost[j] < 0:
+                    entering = j
+                    break
+            if entering < 0:
+                return True
+
+            leaving = -1
+            best_ratio: Fraction | None = None
+            for i, row in enumerate(self.rows):
+                coeff = row[entering]
+                if coeff <= 0:
+                    continue
+                ratio = self.rhs[i] / coeff
+                if (
+                    best_ratio is None
+                    or ratio < best_ratio
+                    or (ratio == best_ratio and self.basis[i] < self.basis[leaving])
+                ):
+                    best_ratio = ratio
+                    leaving = i
+            if leaving < 0:
+                return False
+            self._pivot(leaving, entering)
+
+    # -- phases ----------------------------------------------------------
+
+    def run_phase_one(self) -> bool:
+        """Drive artificial variables to zero.  Returns feasibility."""
+        if not self.artificial_cols:
+            # All-slack basis: already feasible; just install phase-2 cost.
+            return True
+
+        # Phase-1 objective: maximise -(sum of artificials); reduced
+        # costs must be priced out against the artificial basis.
+        self.cost = [Fraction(0)] * self.ncols
+        for j in self.artificial_cols:
+            self.cost[j] = Fraction(1)
+        self.cost_rhs = Fraction(0)
+        for i, basic in enumerate(self.basis):
+            if basic in self.artificial_cols:
+                self.cost = [
+                    cv - rv for cv, rv in zip(self.cost, self.rows[i])
+                ]
+                self.cost_rhs -= self.rhs[i]
+
+        if not self._iterate():  # pragma: no cover - phase 1 is bounded
+            raise AssertionError("phase-1 LP cannot be unbounded")
+        if self.cost_rhs != 0:
+            return False
+
+        # Pivot any artificial variables remaining in the basis out, or
+        # drop their (redundant) rows.
+        for i in range(len(self.rows) - 1, -1, -1):
+            if self.basis[i] not in self.artificial_cols:
+                continue
+            pivot_col = -1
+            for j in range(self.ncols):
+                if j in self.artificial_cols:
+                    continue
+                if self.rows[i][j] != 0:
+                    pivot_col = j
+                    break
+            if pivot_col >= 0:
+                self._pivot(i, pivot_col)
+            else:
+                del self.rows[i]
+                del self.rhs[i]
+                del self.basis[i]
+        return True
+
+    def run_phase_two(self) -> bool:
+        """Optimise the real objective.  Returns False if unbounded."""
+        # Install reduced costs for the phase-2 objective: z_j - c_j,
+        # priced out against the current basis.
+        self.cost = [-v for v in self._phase2_c]
+        self.cost_rhs = Fraction(0)
+        for i, basic in enumerate(self.basis):
+            cb = self._phase2_c[basic]
+            if cb != 0:
+                self.cost = [
+                    cv + cb * rv for cv, rv in zip(self.cost, self.rows[i])
+                ]
+                self.cost_rhs += cb * self.rhs[i]
+
+        allowed = {j for j in range(self.ncols) if j not in self.artificial_cols}
+        return self._iterate(allowed_cols=allowed)
+
+    # -- extraction -------------------------------------------------------
+
+    def objective_value(self) -> Fraction:
+        """Optimal objective value of the internal (max) orientation."""
+        return self.cost_rhs
+
+    def primal_solution(self, n_structural: int) -> tuple[Fraction, ...]:
+        """Values of the structural variables at the optimum."""
+        values = [Fraction(0)] * n_structural
+        for i, basic in enumerate(self.basis):
+            if basic < n_structural:
+                values[basic] = self.rhs[i]
+        return tuple(values)
+
+    def dual_solution(self) -> tuple[Fraction, ...]:
+        """Dual values, one per original constraint.
+
+        For a constraint with a slack variable (coefficient ``sign``)
+        the dual equals ``sign * (z_j - c_j)`` of that slack column.
+        For equality constraints the dual is recovered from the
+        reduced cost of the constraint's artificial column (whose
+        original cost is zero in phase 2).
+        """
+        duals: list[Fraction] = []
+        artificial_sorted = sorted(self.artificial_cols)
+        next_artificial = 0
+        for info, negated in zip(self.slack_info, self.row_negated):
+            if info is not None:
+                col, sign = info
+                value = sign * self.cost[col]
+            else:
+                col = artificial_sorted[next_artificial]
+                value = self.cost[col]
+            if info is None or info[1] == -1:
+                next_artificial += 1
+            duals.append(-value if negated else value)
+        return tuple(duals)

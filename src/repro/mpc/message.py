@@ -1,0 +1,89 @@
+"""Messages exchanged on the simulated network.
+
+A :class:`Message` is a batch of same-shaped tuples for one relation
+(or view) sent from one endpoint to one worker, with its bit cost
+computed once at construction.  Batching per (sender, receiver,
+relation) keeps the simulator allocation-light while preserving exact
+bit accounting: the paper charges ``Theta(log n)`` bits per tuple, and
+we charge exactly ``arity * ceil(log2 n)``.
+
+Senders are either worker indices (``int``) or input-server labels
+(``"input:S1"``); receivers are always worker indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+Endpoint = int | str
+
+
+def input_server(relation: str) -> str:
+    """The endpoint label of the input server holding ``relation``."""
+    return f"input:{relation}"
+
+
+@dataclass(frozen=True)
+class Message:
+    """A batch of tuples in flight.
+
+    Attributes:
+        sender: worker index or input-server label.
+        receiver: destination worker index.
+        relation: the relation/view these tuples belong to.
+        rows: the tuples themselves.
+        bits_per_tuple: exact cost charged per tuple.
+    """
+
+    sender: Endpoint
+    receiver: int
+    relation: str
+    rows: tuple[tuple[int, ...], ...]
+    bits_per_tuple: int
+
+    def __post_init__(self) -> None:
+        if self.bits_per_tuple < 0:
+            raise ValueError(
+                f"bits_per_tuple must be >= 0, got {self.bits_per_tuple}"
+            )
+        object.__setattr__(self, "rows", tuple(map(tuple, self.rows)))
+
+    @property
+    def size_bits(self) -> int:
+        """Total bit cost of the batch."""
+        return len(self.rows) * self.bits_per_tuple
+
+    @property
+    def num_tuples(self) -> int:
+        """Number of tuples in the batch."""
+        return len(self.rows)
+
+
+@dataclass
+class Mailbox:
+    """Per-worker accumulation of received data, by relation.
+
+    Attributes:
+        storage: relation name -> list of received rows (kept across
+            rounds: the model lets workers remember everything they
+            have ever received).
+    """
+
+    storage: dict[str, list[tuple[int, ...]]] = field(default_factory=dict)
+
+    def deliver(self, message: Message) -> None:
+        """Append a message's rows to the receiver's storage."""
+        self.storage.setdefault(message.relation, []).extend(message.rows)
+
+    def rows(self, relation: str) -> list[tuple[int, ...]]:
+        """Rows received so far for ``relation`` (possibly empty)."""
+        return self.storage.get(relation, [])
+
+    def relations(self) -> Iterable[str]:
+        """Names of relations with at least one received row."""
+        return self.storage.keys()
+
+    def clear(self) -> None:
+        """Drop all stored rows (used between independent runs)."""
+        self.storage.clear()

@@ -1,0 +1,97 @@
+"""Seeded hash families and hypercube addressing (Section 3.1).
+
+The HC algorithm needs ``k`` independent hash functions
+``h_i : [n] -> [p_i]``, one per query variable.  We derive them from a
+single 64-bit seed with a splitmix64-style mixer: deterministic across
+runs (reproducible experiments) while behaving like independent
+uniform hashing, which is what the Chernoff load argument of
+Proposition 3.2 needs on matching inputs.
+
+The grid helpers convert between a worker's flat index in ``[0, P)``
+and its coordinates in the ``[p_1] x ... x [p_k]`` hypercube
+(mixed-radix encoding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def splitmix64(value: int) -> int:
+    """The splitmix64 finaliser: a high-quality 64-bit mixer."""
+    value = (value + _GOLDEN) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+@dataclass(frozen=True)
+class HashFamily:
+    """A keyed family of hash functions indexed by dimension name.
+
+    Two families with the same seed agree everywhere; distinct
+    dimension names give (empirically) independent functions.
+    """
+
+    seed: int = 0
+
+    def hash_value(self, dimension: str, value: int, buckets: int) -> int:
+        """Hash ``value`` into ``[0, buckets)`` for one dimension.
+
+        Args:
+            dimension: the variable name owning this hash function.
+            value: the domain value to hash.
+            buckets: the share ``p_i`` of the dimension (>= 1).
+        """
+        if buckets < 1:
+            raise ValueError(f"need >= 1 bucket, got {buckets}")
+        if buckets == 1:
+            return 0
+        dimension_key = splitmix64(hash(dimension) & _MASK64)
+        mixed = splitmix64((self.seed ^ dimension_key) + value * _GOLDEN)
+        return mixed % buckets
+
+
+def grid_rank(coordinates: Sequence[int], dimensions: Sequence[int]) -> int:
+    """Flatten hypercube coordinates to a worker index (mixed radix).
+
+    Args:
+        coordinates: one coordinate per dimension, ``0 <= c_i < p_i``.
+        dimensions: the shares ``(p_1, ..., p_k)``.
+    """
+    if len(coordinates) != len(dimensions):
+        raise ValueError("coordinate/dimension length mismatch")
+    rank = 0
+    for coordinate, size in zip(coordinates, dimensions):
+        if not 0 <= coordinate < size:
+            raise ValueError(
+                f"coordinate {coordinate} outside [0, {size})"
+            )
+        rank = rank * size + coordinate
+    return rank
+
+
+def grid_coordinates(rank: int, dimensions: Sequence[int]) -> tuple[int, ...]:
+    """Inverse of :func:`grid_rank`."""
+    total = 1
+    for size in dimensions:
+        total *= size
+    if not 0 <= rank < total:
+        raise ValueError(f"rank {rank} outside [0, {total})")
+    coordinates = []
+    for size in reversed(dimensions):
+        coordinates.append(rank % size)
+        rank //= size
+    return tuple(reversed(coordinates))
+
+
+def grid_size(dimensions: Sequence[int]) -> int:
+    """Total number of grid points ``prod_i p_i``."""
+    total = 1
+    for size in dimensions:
+        total *= size
+    return total

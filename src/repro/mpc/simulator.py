@@ -1,0 +1,236 @@
+"""The round-based MPC network simulator (Sections 2.1 and 2.4).
+
+Usage pattern (one HyperCube round)::
+
+    simulator = MPCSimulator(config, input_bits=database.total_bits)
+    simulator.begin_round()
+    for relation in database:
+        for row in relation:
+            for worker in destinations(row):
+                simulator.send_from_input(relation.name, worker, [row],
+                                          bits_per_tuple=relation.tuple_bits)
+    stats = simulator.end_round()
+    rows_at_3 = simulator.mailbox(3).rows("S1")
+
+The simulator enforces the model's ground rules:
+
+* messages are staged during a round and delivered only at
+  :meth:`MPCSimulator.end_round` (communication is synchronous);
+* each worker's received bits per round are compared against
+  ``c * N / p^{1-eps}``; exceeding the budget raises
+  :class:`CapacityExceeded` when enforcement is on (the paper's
+  algorithms abort in this event, which occurs with exponentially
+  small probability on matching inputs -- Proposition 3.2);
+* input servers (one per relation, Section 2.4) may send only during
+  round 1, after which they fall silent -- matching the lower-bound
+  model;
+* workers keep everything they have ever received (servers are
+  infinitely powerful; only communication is scarce).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.mpc.message import Endpoint, Mailbox, Message, input_server
+from repro.mpc.model import MPCConfig
+from repro.mpc.stats import RoundStats, SimulationReport
+
+
+class ProtocolError(Exception):
+    """Raised when an algorithm violates the MPC ground rules."""
+
+
+class CapacityExceeded(Exception):
+    """A worker received more than ``c * N / p^{1-eps}`` bits in a round.
+
+    Attributes:
+        worker: the overloaded worker index.
+        received_bits: what it received this round.
+        capacity_bits: its budget.
+        round_index: the offending round.
+    """
+
+    def __init__(
+        self,
+        worker: int,
+        received_bits: int,
+        capacity_bits: float,
+        round_index: int,
+    ) -> None:
+        super().__init__(
+            f"worker {worker} received {received_bits} bits in round "
+            f"{round_index}, capacity {capacity_bits:.0f}"
+        )
+        self.worker = worker
+        self.received_bits = received_bits
+        self.capacity_bits = capacity_bits
+        self.round_index = round_index
+
+
+class MPCSimulator:
+    """A synchronous network of ``p`` workers plus input servers.
+
+    Args:
+        config: the MPC(eps) parameters.
+        input_bits: the input size ``N`` (drives the capacity bound).
+        enforce_capacity: raise :class:`CapacityExceeded` on overload
+            when True; otherwise loads are recorded but not enforced
+            (useful for measuring *how far* an algorithm overshoots).
+    """
+
+    def __init__(
+        self,
+        config: MPCConfig,
+        input_bits: int,
+        enforce_capacity: bool = True,
+    ) -> None:
+        self.config = config
+        self.input_bits = input_bits
+        self.enforce_capacity = enforce_capacity
+        self.report = SimulationReport(input_bits=input_bits)
+        self._mailboxes = [Mailbox() for _ in range(config.p)]
+        self._pending: list[Message] = []
+        self._round_index = 0
+        self._in_round = False
+
+    # -- round lifecycle ----------------------------------------------------
+
+    @property
+    def round_index(self) -> int:
+        """The current round number (1-based once a round begins)."""
+        return self._round_index
+
+    @property
+    def num_workers(self) -> int:
+        """Number of workers ``p``."""
+        return self.config.p
+
+    def begin_round(self) -> int:
+        """Open a new communication round and return its index."""
+        if self._in_round:
+            raise ProtocolError("previous round still open")
+        self._round_index += 1
+        self._in_round = True
+        self._pending = []
+        return self._round_index
+
+    def end_round(self) -> RoundStats:
+        """Deliver staged messages, account loads, close the round.
+
+        Raises:
+            CapacityExceeded: if enforcement is on and some worker
+                exceeded its receive budget this round.
+        """
+        if not self._in_round:
+            raise ProtocolError("no round in progress")
+        received_bits = [0] * self.config.p
+        received_tuples = [0] * self.config.p
+        for message in self._pending:
+            received_bits[message.receiver] += message.size_bits
+            received_tuples[message.receiver] += message.num_tuples
+        capacity = self.config.capacity_bits(self.input_bits)
+        if self.enforce_capacity:
+            for worker, bits in enumerate(received_bits):
+                if bits > capacity:
+                    raise CapacityExceeded(
+                        worker, bits, capacity, self._round_index
+                    )
+        for message in self._pending:
+            self._mailboxes[message.receiver].deliver(message)
+        stats = RoundStats(
+            round_index=self._round_index,
+            received_bits=tuple(received_bits),
+            received_tuples=tuple(received_tuples),
+            capacity_bits=capacity,
+        )
+        self.report.rounds.append(stats)
+        self._pending = []
+        self._in_round = False
+        return stats
+
+    # -- sending --------------------------------------------------------------
+
+    def send(
+        self,
+        sender: Endpoint,
+        receiver: int,
+        relation: str,
+        rows: Iterable[Sequence[int]],
+        bits_per_tuple: int,
+    ) -> None:
+        """Stage a batch of tuples for delivery at round end.
+
+        Args:
+            sender: worker index, or an input-server label.
+            receiver: destination worker index.
+            relation: relation/view name the rows belong to.
+            rows: the tuples.
+            bits_per_tuple: exact per-tuple cost in bits.
+        """
+        if not self._in_round:
+            raise ProtocolError("send outside of a round")
+        if not 0 <= receiver < self.config.p:
+            raise ProtocolError(
+                f"receiver {receiver} outside [0, {self.config.p})"
+            )
+        if isinstance(sender, int) and not 0 <= sender < self.config.p:
+            raise ProtocolError(
+                f"worker sender {sender} outside [0, {self.config.p})"
+            )
+        if (
+            isinstance(sender, str)
+            and sender.startswith("input:")
+            and self._round_index > 1
+        ):
+            raise ProtocolError(
+                "input servers may send only during round 1 "
+                f"(round {self._round_index})"
+            )
+        materialised = tuple(tuple(row) for row in rows)
+        if not materialised:
+            return
+        self._pending.append(
+            Message(
+                sender=sender,
+                receiver=receiver,
+                relation=relation,
+                rows=materialised,
+                bits_per_tuple=bits_per_tuple,
+            )
+        )
+
+    def send_from_input(
+        self,
+        relation: str,
+        receiver: int,
+        rows: Iterable[Sequence[int]],
+        bits_per_tuple: int,
+    ) -> None:
+        """Convenience: send from the input server of ``relation``."""
+        self.send(
+            input_server(relation), receiver, relation, rows, bits_per_tuple
+        )
+
+    def broadcast_from_input(
+        self,
+        relation: str,
+        rows: Iterable[Sequence[int]],
+        bits_per_tuple: int,
+    ) -> None:
+        """Send the same rows to every worker (round-1 broadcast)."""
+        materialised = tuple(tuple(row) for row in rows)
+        for worker in range(self.config.p):
+            self.send_from_input(
+                relation, worker, materialised, bits_per_tuple
+            )
+
+    # -- worker state ------------------------------------------------------------
+
+    def mailbox(self, worker: int) -> Mailbox:
+        """The accumulated storage of one worker."""
+        return self._mailboxes[worker]
+
+    def worker_rows(self, worker: int, relation: str) -> list[tuple[int, ...]]:
+        """Rows of ``relation`` held by ``worker`` (ever received)."""
+        return self._mailboxes[worker].rows(relation)

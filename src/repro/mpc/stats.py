@@ -1,0 +1,122 @@
+"""Per-round and whole-run communication statistics.
+
+The two quantities the paper bounds are the number of rounds and the
+bits received per worker per round; :class:`RoundStats` captures the
+latter exactly for one round, and :class:`SimulationReport` aggregates
+a full run, deriving the observed replication rate (total bits moved
+divided by input bits) that Table 1's space exponents predict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RoundStats:
+    """Exact communication accounting for one round.
+
+    Attributes:
+        round_index: 1-based round number.
+        received_bits: per-worker bits received this round.
+        received_tuples: per-worker tuples received this round.
+        capacity_bits: the enforced per-worker budget this round.
+    """
+
+    round_index: int
+    received_bits: tuple[int, ...]
+    received_tuples: tuple[int, ...]
+    capacity_bits: float
+
+    @property
+    def max_received_bits(self) -> int:
+        """The most loaded worker's received bits (the paper's load)."""
+        return max(self.received_bits) if self.received_bits else 0
+
+    @property
+    def max_received_tuples(self) -> int:
+        """The most loaded worker's received tuple count."""
+        return max(self.received_tuples) if self.received_tuples else 0
+
+    @property
+    def total_bits(self) -> int:
+        """Bits moved across the network this round."""
+        return sum(self.received_bits)
+
+    @property
+    def total_tuples(self) -> int:
+        """Tuples moved across the network this round."""
+        return sum(self.received_tuples)
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max/mean received bits (1.0 = perfectly balanced)."""
+        if not self.received_bits or self.total_bits == 0:
+            return 1.0
+        mean = self.total_bits / len(self.received_bits)
+        return self.max_received_bits / mean
+
+
+@dataclass
+class SimulationReport:
+    """Aggregated statistics for a completed simulation.
+
+    Attributes:
+        input_bits: the input size ``N`` used for capacity.
+        rounds: per-round statistics, in order.
+    """
+
+    input_bits: int
+    rounds: list[RoundStats] = field(default_factory=list)
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of communication rounds executed."""
+        return len(self.rounds)
+
+    @property
+    def max_load_bits(self) -> int:
+        """The worst per-worker per-round received bits of the run."""
+        return max(
+            (stats.max_received_bits for stats in self.rounds), default=0
+        )
+
+    @property
+    def max_load_tuples(self) -> int:
+        """The worst per-worker per-round received tuple count."""
+        return max(
+            (stats.max_received_tuples for stats in self.rounds), default=0
+        )
+
+    @property
+    def total_bits(self) -> int:
+        """All bits moved across the network over all rounds."""
+        return sum(stats.total_bits for stats in self.rounds)
+
+    @property
+    def replication_rate(self) -> float:
+        """Total bits moved divided by input bits.
+
+        For one HC round this is the replication factor the space
+        exponent controls: ``O(p^eps)``.
+        """
+        if self.input_bits == 0:
+            return 0.0
+        return self.total_bits / self.input_bits
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"rounds={self.num_rounds} input_bits={self.input_bits} "
+            f"total_bits={self.total_bits} "
+            f"replication={self.replication_rate:.3f}"
+        ]
+        for stats in self.rounds:
+            lines.append(
+                f"  round {stats.round_index}: max_bits="
+                f"{stats.max_received_bits} max_tuples="
+                f"{stats.max_received_tuples} total_bits="
+                f"{stats.total_bits} imbalance={stats.load_imbalance:.2f} "
+                f"capacity={stats.capacity_bits:.0f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Unit tests for baseline algorithms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.baselines import (
+    run_broadcast_join,
+    run_cartesian_grid,
+    run_single_attribute_join,
+    run_single_server,
+)
+from repro.algorithms.localjoin import evaluate_query
+from repro.core.families import cycle_query, line_query, star_query
+from repro.core.query import QueryError, parse_query
+from repro.data.database import Relation
+from repro.data.matching import matching_database
+
+
+def truth_of(query, database):
+    return evaluate_query(
+        query, {name: database[name].tuples for name in database.relations}
+    )
+
+
+class TestBroadcastJoin:
+    def test_correct(self, triangle, triangle_db):
+        result = run_broadcast_join(triangle, triangle_db, p=4)
+        assert result.answers == truth_of(triangle, triangle_db)
+
+    def test_replication_is_p(self, triangle, triangle_db):
+        result = run_broadcast_join(triangle, triangle_db, p=4)
+        assert result.report.replication_rate == pytest.approx(4.0)
+
+
+class TestSingleServer:
+    def test_correct(self, chain4, chain4_db):
+        result = run_single_server(chain4, chain4_db, p=4)
+        assert result.answers == truth_of(chain4, chain4_db)
+
+    def test_one_worker_takes_everything(self, chain4, chain4_db):
+        result = run_single_server(chain4, chain4_db, p=4)
+        stats = result.report.rounds[0]
+        assert stats.received_bits[0] == chain4_db.total_bits
+        assert all(bits == 0 for bits in stats.received_bits[1:])
+
+
+class TestSingleAttributeJoin:
+    def test_star_query_correct(self, star3):
+        database = matching_database(star3, n=50, rng=2)
+        result = run_single_attribute_join(star3, database, p=8)
+        assert result.answers == truth_of(star3, database)
+
+    def test_two_hop_correct(self, two_hop):
+        database = matching_database(two_hop, n=50, rng=3)
+        result = run_single_attribute_join(two_hop, database, p=8)
+        assert result.answers == truth_of(two_hop, database)
+
+    def test_no_shared_variable_rejected(self):
+        query = line_query(3)
+        database = matching_database(query, n=10, rng=1)
+        with pytest.raises(QueryError, match="variable in every atom"):
+            run_single_attribute_join(query, database, p=4)
+
+    def test_cycle_rejected(self):
+        query = cycle_query(3)
+        database = matching_database(query, n=10, rng=1)
+        with pytest.raises(QueryError):
+            run_single_attribute_join(query, database, p=4)
+
+    def test_replication_rate_one(self, star3):
+        database = matching_database(star3, n=40, rng=4)
+        result = run_single_attribute_join(star3, database, p=8)
+        assert result.report.replication_rate == pytest.approx(1.0)
+
+
+class TestCartesianGrid:
+    def make_sets(self, n=64):
+        left = Relation.from_tuples(
+            "A", [(i,) for i in range(1, n + 1)], domain_size=n
+        )
+        right = Relation.from_tuples(
+            "B", [(i,) for i in range(1, n + 1)], domain_size=n
+        )
+        return left, right
+
+    def test_all_pairs_examined(self):
+        left, right = self.make_sets(32)
+        result = run_cartesian_grid(left, right, p=16, groups=4)
+        assert result.num_pairs == 32 * 32
+
+    def test_replication_equals_g(self):
+        left, right = self.make_sets(32)
+        for g in (1, 2, 4):
+            result = run_cartesian_grid(left, right, p=16, groups=g)
+            assert result.replication_rate == pytest.approx(g)
+
+    def test_reducer_size_tradeoff(self):
+        left, right = self.make_sets(64)
+        sizes = {}
+        for g in (1, 2, 4):
+            result = run_cartesian_grid(left, right, p=16, groups=g)
+            sizes[g] = result.max_reducer_tuples
+        assert sizes[1] > sizes[2] > sizes[4]
+        assert sizes[1] == 128  # 2n at g = 1
+
+    def test_default_g_is_sqrt_p(self):
+        left, right = self.make_sets(16)
+        result = run_cartesian_grid(left, right, p=16)
+        assert result.replication_rate == pytest.approx(4.0)
+
+    def test_grid_too_large_rejected(self):
+        left, right = self.make_sets(8)
+        with pytest.raises(ValueError, match="workers"):
+            run_cartesian_grid(left, right, p=4, groups=3)

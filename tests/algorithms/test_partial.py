@@ -1,0 +1,102 @@
+"""Unit tests for the Proposition 3.11 partial-answer algorithm."""
+
+from __future__ import annotations
+
+import statistics
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms.localjoin import evaluate_query
+from repro.algorithms.partial import run_partial_hypercube
+from repro.core.bounds import one_round_answer_fraction
+from repro.core.families import cycle_query, line_query
+from repro.data.matching import matching_database
+
+
+class TestSoundness:
+    def test_reported_answers_are_correct(self):
+        query = line_query(3)
+        database = matching_database(query, n=60, rng=3)
+        result = run_partial_hypercube(
+            query, database, p=8, eps=Fraction(0), seed=1
+        )
+        truth = set(
+            evaluate_query(
+                query,
+                {name: database[name].tuples for name in database.relations},
+            )
+        )
+        assert set(result.answers) <= truth
+        assert result.total_answers == len(truth)
+
+    def test_fraction_fields_consistent(self):
+        query = line_query(3)
+        database = matching_database(query, n=60, rng=4)
+        result = run_partial_hypercube(
+            query, database, p=8, eps=Fraction(0), seed=2
+        )
+        assert result.reported_fraction == pytest.approx(
+            len(result.answers) / result.total_answers
+        )
+
+    def test_runs_one_round(self):
+        query = cycle_query(3)
+        database = matching_database(query, n=50, rng=5)
+        result = run_partial_hypercube(
+            query, database, p=8, eps=Fraction(0), seed=0
+        )
+        assert result.report.num_rounds == 1
+
+
+class TestTheoremThreeThree:
+    """Measured fraction tracks p^{-(tau*(1-eps)-1)} (Thm 3.3 tight)."""
+
+    def test_l3_fraction_decays_like_one_over_p(self):
+        query = line_query(3)  # tau* = 2, eps = 0 -> fraction ~ 1/p
+        n, trials = 128, 8
+        for p in (4, 16):
+            fractions = []
+            for seed in range(trials):
+                database = matching_database(query, n=n, rng=seed)
+                result = run_partial_hypercube(
+                    query, database, p=p, eps=Fraction(0), seed=seed
+                )
+                fractions.append(result.reported_fraction)
+            measured = statistics.mean(fractions)
+            theory = one_round_answer_fraction(query, Fraction(0), p)
+            assert 0.2 * theory <= measured <= 5 * theory, (p, measured, theory)
+
+    def test_more_servers_fewer_answers(self):
+        """The paper's punchline: more parallelism = smaller fraction."""
+        query = line_query(3)
+        n, trials = 128, 10
+        means = []
+        for p in (4, 64):
+            fractions = []
+            for seed in range(trials):
+                database = matching_database(query, n=n, rng=100 + seed)
+                result = run_partial_hypercube(
+                    query, database, p=p, eps=Fraction(0), seed=seed
+                )
+                fractions.append(result.reported_fraction)
+            means.append(statistics.mean(fractions))
+        assert means[1] < means[0]
+
+    def test_virtual_grid_exceeds_p_below_threshold(self):
+        query = cycle_query(3)
+        database = matching_database(query, n=30, rng=1)
+        result = run_partial_hypercube(
+            query, database, p=16, eps=Fraction(0), seed=1
+        )
+        assert result.virtual_grid_points > 16
+        assert result.theory_fraction < 1.0
+
+    def test_at_space_exponent_reports_everything(self):
+        """At eps = eps(q) the virtual grid is ~p: full recovery."""
+        query = line_query(3)  # eps(L3) = 1/2
+        database = matching_database(query, n=64, rng=2)
+        result = run_partial_hypercube(
+            query, database, p=16, eps=Fraction(1, 2), seed=3
+        )
+        assert result.reported_fraction == 1.0

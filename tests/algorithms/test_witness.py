@@ -1,0 +1,66 @@
+"""Unit tests for the JOIN-WITNESS experiment (Proposition 3.12)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.algorithms.witness import (
+    WITNESS_CHAIN,
+    run_witness_experiment,
+)
+from repro.core.covers import covering_number
+
+
+class TestChainQuery:
+    def test_chain_has_tau_two(self):
+        assert covering_number(WITNESS_CHAIN) == 2
+
+    def test_chain_variables(self):
+        assert WITNESS_CHAIN.head == ("w", "x", "y", "z")
+
+
+class TestExperiment:
+    def test_recovered_witnesses_are_true(self):
+        for seed in range(6):
+            result = run_witness_experiment(
+                n=81, p=4, eps=Fraction(0), seed=seed
+            )
+            assert set(result.witnesses) <= set(result.true_witnesses)
+            if result.found:
+                assert result.witnesses
+
+    def test_found_flag_consistent(self):
+        result = run_witness_experiment(n=64, p=4, eps=Fraction(0), seed=3)
+        assert result.found == bool(result.witnesses)
+
+    def test_chain_fraction_in_unit_interval(self):
+        result = run_witness_experiment(n=64, p=8, eps=Fraction(0), seed=1)
+        assert 0.0 <= result.chain_fraction <= 1.0
+
+    def test_full_budget_finds_all_witnesses(self):
+        """At eps = 1/2 (the chain's space exponent) nothing is lost.
+
+        p = 9 makes the virtual grid (3 x 3) coincide exactly with the
+        servers; with p not of that form, integer share rounding can
+        leave a sliver of grid points unassigned.
+        """
+        for seed in range(8):
+            result = run_witness_experiment(
+                n=49, p=9, eps=Fraction(1, 2), seed=seed
+            )
+            assert set(result.witnesses) == set(result.true_witnesses)
+
+    def test_hit_rate_degrades_with_p(self):
+        """Aggregate shape check for the eps < 1/2 regime: across
+        seeds, the chain fraction at p=16 is below that at p=2."""
+        import statistics
+
+        def mean_fraction(p):
+            return statistics.mean(
+                run_witness_experiment(
+                    n=100, p=p, eps=Fraction(0), seed=seed
+                ).chain_fraction
+                for seed in range(6)
+            )
+
+        assert mean_fraction(16) < mean_fraction(2)

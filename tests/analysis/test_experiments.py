@@ -1,0 +1,98 @@
+"""Small-scale smoke + shape tests for the experiment sweeps."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.analysis.experiments import (
+    sweep_cartesian_tradeoff,
+    sweep_components_rounds,
+    sweep_hc_load,
+    sweep_multiround_rounds,
+    sweep_one_round_fraction,
+    sweep_witness,
+)
+from repro.core.families import cycle_query, line_query
+
+
+class TestHCLoadSweep:
+    def test_ratio_stays_bounded(self):
+        rows = sweep_hc_load(
+            cycle_query(3), n=100, p_values=(4, 16), trials=2, seed=1
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert 0.1 <= row["ratio"] <= 3.0
+
+    def test_load_decreases_with_p(self):
+        rows = sweep_hc_load(
+            line_query(2), n=200, p_values=(4, 64), trials=2, seed=2
+        )
+        assert rows[0]["max_load_tuples"] > rows[1]["max_load_tuples"]
+
+
+class TestFractionSweep:
+    def test_fraction_decreases_with_p(self):
+        rows = sweep_one_round_fraction(
+            line_query(3),
+            eps=Fraction(0),
+            n=100,
+            p_values=(4, 32),
+            trials=3,
+            seed=3,
+        )
+        assert rows[0]["measured_fraction"] > rows[1]["measured_fraction"]
+
+    def test_theory_column_matches_formula(self):
+        rows = sweep_one_round_fraction(
+            line_query(3),
+            eps=Fraction(0),
+            n=50,
+            p_values=(16,),
+            trials=1,
+            seed=0,
+        )
+        assert rows[0]["theory_fraction"] == 1 / 16
+
+
+class TestMultiroundSweep:
+    def test_measured_rounds_match_paper(self):
+        rows = sweep_multiround_rounds(
+            k_values=(4, 8),
+            eps_values=(Fraction(0),),
+            n=30,
+            p=4,
+            seed=0,
+        )
+        for row in rows:
+            assert row["rounds_measured"] == row["paper_rounds"]
+            assert row["lower_bound"] <= row["rounds_measured"]
+            assert row["rounds_measured"] <= row["upper_bound"]
+
+
+class TestComponentsSweep:
+    def test_sparse_grows_dense_constant(self):
+        rows = sweep_components_rounds(
+            p_values=(4, 64), layer_size=8, seed=0
+        )
+        assert rows[-1]["sparse_rounds"] >= rows[0]["sparse_rounds"]
+        assert all(row["dense_rounds"] == 2 for row in rows)
+
+
+class TestWitnessSweep:
+    def test_rows_have_theory_column(self):
+        rows = sweep_witness(
+            n=49, p_values=(2, 4), trials=4, seed=0
+        )
+        assert len(rows) == 2
+        assert rows[0]["theory_chain_fraction"] > rows[1]["theory_chain_fraction"]
+
+
+class TestCartesianSweep:
+    def test_invariant_product(self):
+        rows = sweep_cartesian_tradeoff(
+            n=64, p=16, group_values=(1, 2, 4), seed=0
+        )
+        for row in rows:
+            # replication * reducer-size ~ 2n (the tradeoff identity).
+            assert row["replication_rate"] * row["theory_reducer"] == 128

@@ -1,0 +1,78 @@
+"""Unit tests for power-law fits and ASCII curves."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.figures import (
+    ascii_curve,
+    fit_power_law,
+    slope_matches,
+)
+
+
+class TestPowerLawFit:
+    def test_exact_power_law_recovered(self):
+        xs = [2, 4, 8, 16, 32]
+        ys = [5.0 * x ** -1.5 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.slope == pytest.approx(-1.5)
+        assert math.exp(fit.intercept) == pytest.approx(5.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_fit_close(self):
+        import random
+
+        rng = random.Random(0)
+        xs = [2 ** i for i in range(1, 9)]
+        ys = [x ** -1.0 * (1 + 0.1 * (rng.random() - 0.5)) for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert abs(fit.slope + 1.0) < 0.1
+        assert fit.r_squared > 0.99
+
+    def test_zero_values_dropped(self):
+        fit = fit_power_law([1, 2, 4, 8], [1.0, 0.5, 0.0, 0.125])
+        assert fit.slope == pytest.approx(-1.0)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0.0, 0.0])
+
+    def test_identical_x_rejected(self):
+        with pytest.raises(ValueError):
+            fit_power_law([3, 3], [1.0, 2.0])
+
+
+class TestSlopeMatches:
+    def test_within_tolerance(self):
+        fit = fit_power_law([2, 4, 8], [1 / 2, 1 / 4, 1 / 8])
+        assert slope_matches(fit, -1.0)
+        assert not slope_matches(fit, -2.0)
+
+
+class TestAsciiCurve:
+    def test_contains_markers_and_bounds(self):
+        text = ascii_curve(
+            [1, 2, 3],
+            {"measured": [3.0, 2.0, 1.0], "theory": [3.0, 1.5, 1.0]},
+            width=20,
+            height=6,
+            title="decay",
+        )
+        assert "decay" in text
+        assert "m" in text and "t" in text
+        assert "x: [1, 3]" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_curve([], {"a": []})
+        with pytest.raises(ValueError):
+            ascii_curve([1], {"a": []})
+
+    def test_flat_series_renders(self):
+        text = ascii_curve([1, 2], {"flat": [1.0, 1.0]})
+        assert "f" in text

@@ -1,0 +1,32 @@
+"""Tests for the table renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"], [["a", 1], ["long-name", 22]]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[3]
+        # All rows align on the second column.
+        positions = {line.rstrip().rfind(" ") for line in lines[2:]}
+        assert len(positions) >= 1
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text

@@ -1,0 +1,65 @@
+"""Tests for Table 1 / Table 2 regeneration."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.analysis.tables import (
+    table1_rows,
+    table2_rows,
+    tradeoff_curve,
+)
+
+
+class TestTable1:
+    def test_every_row_matches_paper(self):
+        rows = table1_rows(n=40, trials=3, seed=1)
+        assert rows
+        assert all(row.matches_paper for row in rows)
+
+    def test_line_and_star_measured_exactly_n(self):
+        rows = {row.name: row for row in table1_rows(n=40, trials=3, seed=2)}
+        # chi = 0 families have exactly n answers on every matching db.
+        assert rows["T3"].measured_answer_size == 40
+        assert rows["L3"].measured_answer_size == 40
+        assert rows["L4"].measured_answer_size == 40
+
+    def test_cycle_measured_near_one(self):
+        rows = {row.name: row for row in table1_rows(n=40, trials=5, seed=3)}
+        assert rows["C3"].expected_answer_size == 1.0
+        assert rows["C3"].measured_answer_size < 10
+
+    def test_share_exponents_normalised(self):
+        for row in table1_rows(n=20, trials=1, seed=0):
+            assert sum(row.share_exponents.values()) == 1
+
+
+class TestTable2:
+    def test_rows_match_paper_at_eps_zero(self):
+        for row in table2_rows():
+            if row.paper_rounds_at_zero is not None:
+                assert row.rounds_at_zero == row.paper_rounds_at_zero
+
+    def test_rounds_decrease_with_eps(self):
+        for row in table2_rows():
+            depths = [
+                row.rounds_by_eps[eps]
+                for eps in sorted(row.rounds_by_eps)
+            ]
+            assert depths == sorted(depths, reverse=True)
+
+    def test_depth_never_exceeds_upper_bound(self):
+        for row in table2_rows():
+            assert row.rounds_at_zero <= row.upper_bound_at_zero
+
+
+class TestTradeoffCurve:
+    def test_l16_curve(self):
+        curve = tradeoff_curve(
+            16, (Fraction(0), Fraction(1, 2), Fraction(3, 4))
+        )
+        depths = [depth for _, depth, _ in curve]
+        assert depths[0] == 4
+        assert depths == sorted(depths, reverse=True)
+        bases = [base for _, _, base in curve]
+        assert bases == [2, 4, 8]

@@ -1,0 +1,206 @@
+"""Unit tests for every closed-form bound of the paper."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.bounds import (
+    cc_round_lower_bound,
+    cycle_round_lower_bound,
+    expected_answer_size,
+    k_eps,
+    m_eps,
+    one_round_answer_fraction,
+    round_lower_bound,
+    round_upper_bound,
+    space_exponent_lower_bound,
+)
+from repro.core.covers import covering_number
+from repro.core.families import cycle_query, line_query, star_query
+from repro.core.query import Atom, ConjunctiveQuery, QueryError, parse_query
+
+
+class TestKepsMeps:
+    @pytest.mark.parametrize(
+        "eps,expected",
+        [
+            (Fraction(0), 2),
+            (Fraction(1, 4), 2),
+            (Fraction(1, 2), 4),
+            (Fraction(2, 3), 6),
+            (Fraction(3, 4), 8),
+        ],
+    )
+    def test_k_eps(self, eps, expected):
+        assert k_eps(eps) == expected
+
+    @pytest.mark.parametrize(
+        "eps,expected",
+        [
+            (Fraction(0), 2),
+            (Fraction(1, 3), 3),
+            (Fraction(1, 2), 4),
+            (Fraction(2, 3), 6),
+        ],
+    )
+    def test_m_eps(self, eps, expected):
+        assert m_eps(eps) == expected
+
+    def test_k_eps_characterises_one_round_lines(self):
+        """L_k in Gamma^1_eps iff k <= k_eps."""
+        from repro.core.plans import in_gamma_one
+
+        for eps in (Fraction(0), Fraction(1, 2), Fraction(2, 3)):
+            boundary = k_eps(eps)
+            assert in_gamma_one(line_query(boundary), eps)
+            assert not in_gamma_one(line_query(boundary + 1), eps)
+
+    def test_m_eps_characterises_one_round_cycles(self):
+        from repro.core.plans import in_gamma_one
+
+        for eps in (Fraction(1, 3), Fraction(1, 2), Fraction(2, 3)):
+            boundary = m_eps(eps)
+            if boundary >= 3:
+                assert in_gamma_one(cycle_query(boundary), eps)
+            assert not in_gamma_one(cycle_query(boundary + 1), eps)
+
+    def test_invalid_eps_rejected(self):
+        with pytest.raises(ValueError):
+            k_eps(Fraction(1))
+        with pytest.raises(ValueError):
+            m_eps(Fraction(-1, 2))
+
+
+class TestSpaceExponentBound:
+    def test_matches_covering_number(self):
+        for query in (cycle_query(5), line_query(4), star_query(3)):
+            assert space_exponent_lower_bound(query) == 1 - 1 / covering_number(query)
+
+    def test_disconnected_rejected(self):
+        query = ConjunctiveQuery(
+            [Atom("R", ("x", "y")), Atom("S", ("u", "v"))]
+        )
+        with pytest.raises(QueryError):
+            space_exponent_lower_bound(query)
+
+
+class TestAnswerFraction:
+    def test_decays_polynomially(self):
+        query = cycle_query(3)  # tau* = 3/2
+        # At eps = 0: fraction = p^{-1/2}.
+        assert one_round_answer_fraction(query, 0, 4) == pytest.approx(0.5)
+        assert one_round_answer_fraction(query, 0, 16) == pytest.approx(0.25)
+
+    def test_capped_at_one_above_threshold(self):
+        query = cycle_query(3)
+        assert one_round_answer_fraction(query, Fraction(1, 3), 64) == 1.0
+        assert one_round_answer_fraction(query, Fraction(1, 2), 64) == 1.0
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            one_round_answer_fraction(cycle_query(3), 0, 0)
+
+
+class TestExpectedAnswerSize:
+    def test_lemma_34_values(self):
+        n = 50
+        assert expected_answer_size(line_query(4), n) == n  # chi = 0
+        assert expected_answer_size(cycle_query(4), n) == 1.0  # chi = -1
+        assert expected_answer_size(star_query(3), n) == n
+
+    def test_disconnected_multiplies(self):
+        query = ConjunctiveQuery(
+            [Atom("R", ("x", "y")), Atom("S", ("u", "v"))]
+        )
+        # Two independent matchings: n * n expected answers.
+        assert expected_answer_size(query, 10) == 100
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ValueError):
+            expected_answer_size(line_query(2), 0)
+
+
+class TestRoundBounds:
+    @pytest.mark.parametrize(
+        "k,eps,expected",
+        [
+            (4, Fraction(0), 2),
+            (8, Fraction(0), 3),
+            (16, Fraction(0), 4),
+            (16, Fraction(1, 2), 2),
+            (16, Fraction(2, 3), 2),
+        ],
+    )
+    def test_line_lower_bounds(self, k, eps, expected):
+        """Corollary 4.8 with diam(L_k) = k."""
+        assert round_lower_bound(line_query(k), eps) == expected
+
+    def test_lower_bound_requires_tree_like(self):
+        with pytest.raises(QueryError, match="tree-like"):
+            round_lower_bound(cycle_query(5), Fraction(0))
+
+    @pytest.mark.parametrize(
+        "query,eps,expected",
+        [
+            (line_query(8), Fraction(0), 3),     # ceil(log2 rad=4) + 1
+            (line_query(16), Fraction(0), 4),
+            (star_query(5), Fraction(0), 1),     # already Gamma^1
+            (cycle_query(5), Fraction(0), 3),    # non-tree-like: rad+1
+        ],
+        ids=["L8", "L16", "T5", "C5"],
+    )
+    def test_upper_bounds(self, query, eps, expected):
+        assert round_upper_bound(query, eps) == expected
+
+    def test_bounds_bracket_each_other(self):
+        """rlow <= rup <= rlow + 1 for tree-like queries (Thm 1.2)."""
+        for k in (3, 4, 7, 10, 16):
+            for eps in (Fraction(0), Fraction(1, 2)):
+                query = line_query(k)
+                low = round_lower_bound(query, eps)
+                high = round_upper_bound(query, eps)
+                assert low <= high <= low + 1
+
+    def test_upper_bound_disconnected_rejected(self):
+        query = ConjunctiveQuery(
+            [Atom("R", ("x", "y")), Atom("S", ("u", "v"))]
+        )
+        with pytest.raises(QueryError):
+            round_upper_bound(query, Fraction(0))
+
+
+class TestCycleAndCC:
+    @pytest.mark.parametrize(
+        "k,eps,expected",
+        [
+            (8, Fraction(0), 3),   # ceil(log2(8/3)) + 1
+            (5, Fraction(0), 2),   # ceil(log2(5/3)) + 1
+            (16, Fraction(0), 4),
+        ],
+    )
+    def test_cycle_lower_bound(self, k, eps, expected):
+        assert cycle_round_lower_bound(k, eps) == expected
+
+    def test_cycle_small_k_rejected(self):
+        with pytest.raises(ValueError):
+            cycle_round_lower_bound(2, Fraction(0))
+
+    def test_cc_bound_grows_with_p(self):
+        values = [cc_round_lower_bound(p, Fraction(0)) for p in (16, 256, 65536)]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+    def test_cc_bound_minimum_one(self):
+        assert cc_round_lower_bound(2, Fraction(0)) >= 1
+
+    def test_cc_invalid_p(self):
+        with pytest.raises(ValueError):
+            cc_round_lower_bound(1, Fraction(0))
+
+    def test_witness_query_tau(self):
+        """Prop 3.12's chain has tau* = 2, hence fraction p^{-(2(1-eps)-1)}."""
+        chain = parse_query("S1(w,x), S2(x,y), S3(y,z)")
+        assert covering_number(chain) == 2
+        assert one_round_answer_fraction(chain, 0, 16) == pytest.approx(1 / 16)

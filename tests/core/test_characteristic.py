@@ -1,0 +1,154 @@
+"""Unit tests for chi(q), Lemma 2.1 and contraction (Section 2.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.characteristic import characteristic, contract, is_tree_like
+from repro.core.families import (
+    binomial_query,
+    cycle_query,
+    line_query,
+    spider_query,
+    star_query,
+)
+from repro.core.query import Atom, ConjunctiveQuery, QueryError, parse_query
+
+
+class TestCharacteristicValues:
+    @pytest.mark.parametrize("k", [3, 4, 5, 8])
+    def test_cycles_have_chi_minus_one(self, k):
+        assert characteristic(cycle_query(k)) == -1
+
+    @pytest.mark.parametrize("k", [1, 2, 5, 9])
+    def test_lines_are_tree_like(self, k):
+        query = line_query(k)
+        assert characteristic(query) == 0
+        assert is_tree_like(query)
+
+    @pytest.mark.parametrize("k", [1, 3, 6])
+    def test_stars_are_tree_like(self, k):
+        assert is_tree_like(star_query(k))
+
+    def test_spiders_are_tree_like(self):
+        assert is_tree_like(spider_query(3))
+
+    def test_binomial_chi(self):
+        # B_{k,m}: chi = k + C(k,m) - m C(k,m) - 1.
+        from math import comb
+
+        for k, m in [(3, 2), (4, 2), (4, 3)]:
+            expected = k + comb(k, m) - m * comb(k, m) - 1
+            assert characteristic(binomial_query(k, m)) == expected
+
+    def test_acyclic_but_not_tree_like(self):
+        # The paper's example: S1(x0,x1,x2), S2(x1,x2,x3).
+        query = parse_query("S1(x0,x1,x2), S2(x1,x2,x3)")
+        assert characteristic(query) == 4 + 2 - 6 - 1
+        assert not is_tree_like(query)
+
+
+class TestLemma21:
+    def test_a_additive_over_components(self):
+        """chi(q) = sum of chi over connected components."""
+        query = ConjunctiveQuery(
+            [
+                Atom("R1", ("a", "b")),
+                Atom("R2", ("b", "c")),
+                Atom("Q1", ("u", "v")),
+            ]
+        )
+        total = characteristic(query)
+        parts = sum(
+            characteristic(component)
+            for component in query.connected_components
+        )
+        assert total == parts
+
+    @pytest.mark.parametrize(
+        "query,m",
+        [
+            (line_query(5), ["S2", "S4"]),
+            (line_query(6), ["S1"]),
+            (cycle_query(6), ["S2", "S5"]),
+            (spider_query(3), ["R1", "S1"]),
+        ],
+        ids=["L5", "L6", "C6", "SP3"],
+    )
+    def test_b_contraction_subtracts(self, query, m):
+        """chi(q/M) = chi(q) - chi(M)."""
+        m_query = query.subquery(m)
+        assert characteristic(contract(query, m)) == characteristic(
+            query
+        ) - characteristic(m_query)
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            line_query(4),
+            cycle_query(5),
+            star_query(3),
+            binomial_query(4, 2),
+            spider_query(2),
+            parse_query("S1(x,y,z), S2(z,w)"),
+        ],
+        ids=["L4", "C5", "T3", "B42", "SP2", "ternary"],
+    )
+    def test_c_chi_nonpositive(self, query):
+        assert characteristic(query) <= 0
+
+    def test_d_contraction_never_decreases_chi(self):
+        query = cycle_query(6)
+        for m in (["S1"], ["S1", "S2"], ["S1", "S3", "S5"]):
+            assert characteristic(contract(query, m)) >= characteristic(query)
+
+
+class TestContraction:
+    def test_paper_example_l5(self):
+        """L5/{S2,S4} = S1(x0,x1), S3(x1,x3), S5(x3,x5)."""
+        contracted = contract(line_query(5), ["S2", "S4"])
+        assert [str(atom) for atom in contracted.atoms] == [
+            "S1(x0, x1)",
+            "S3(x1, x3)",
+            "S5(x3, x5)",
+        ]
+
+    def test_contract_nothing_is_identity(self, chain4):
+        assert contract(chain4, []) is chain4
+
+    def test_contract_all_atoms_rejected(self, chain4):
+        with pytest.raises(QueryError, match="every atom"):
+            contract(chain4, ["S1", "S2", "S3", "S4"])
+
+    def test_contract_unknown_atoms_rejected(self, chain4):
+        with pytest.raises(QueryError, match="unknown atoms"):
+            contract(chain4, ["S9"])
+
+    def test_contract_cycle_shrinks_cycle(self):
+        contracted = contract(cycle_query(6), ["S2", "S4", "S6"])
+        # C6 with every other atom contracted is isomorphic to C3.
+        assert contracted.num_atoms == 3
+        assert contracted.num_variables == 3
+        assert characteristic(contracted) == -1
+
+    def test_contract_component_merges_to_representative(self):
+        query = parse_query("S1(a,b), S2(b,c), S3(c,d)")
+        contracted = contract(query, ["S2"])
+        # b and c merge into b (earliest in head order).
+        assert set(contracted.head) == {"a", "b", "d"}
+        assert contracted.atom("S3").variables == ("b", "d")
+
+    def test_contract_disconnected_component_drops_variables(self):
+        query = ConjunctiveQuery(
+            [Atom("R", ("x", "y")), Atom("S", ("u", "v"))]
+        )
+        contracted = contract(query, ["S"])
+        assert set(contracted.head) == {"x", "y"}
+
+    def test_contract_can_create_repeated_variables(self):
+        # Contracting the middle of a triangle identifies endpoints.
+        query = cycle_query(3)
+        contracted = contract(query, ["S1"])
+        # S2(x2,x3), S3(x3,x1) with x1 = x2 -> repeated variable pattern.
+        assert contracted.num_atoms == 2
+        assert contracted.num_variables == 2

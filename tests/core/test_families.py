@@ -1,0 +1,129 @@
+"""Closed forms of Table 1/2 vs the generic machinery, per family."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.characteristic import characteristic
+from repro.core.covers import (
+    covering_number,
+    is_fractional_vertex_cover,
+    space_exponent,
+)
+from repro.core.families import (
+    FAMILY_REGISTRY,
+    binomial_facts,
+    binomial_query,
+    cycle_facts,
+    cycle_query,
+    line_facts,
+    line_query,
+    spider_facts,
+    spider_query,
+    star_facts,
+    star_query,
+)
+
+
+class TestConstructors:
+    def test_cycle_shape(self):
+        query = cycle_query(4)
+        assert query.num_atoms == 4
+        assert query.atom("S4").variables == ("x4", "x1")
+
+    def test_cycle_minimum_size(self):
+        with pytest.raises(ValueError):
+            cycle_query(2)
+
+    def test_line_shape(self):
+        query = line_query(3)
+        assert query.head == ("x0", "x1", "x2", "x3")
+
+    def test_line_minimum_size(self):
+        with pytest.raises(ValueError):
+            line_query(0)
+
+    def test_star_shape(self):
+        query = star_query(2)
+        assert all("z" in atom.variable_set for atom in query.atoms)
+
+    def test_binomial_shape(self):
+        from math import comb
+
+        query = binomial_query(4, 2)
+        assert query.num_atoms == comb(4, 2)
+        assert query.num_variables == 4
+
+    def test_binomial_bad_m(self):
+        with pytest.raises(ValueError):
+            binomial_query(3, 4)
+
+    def test_spider_shape(self):
+        query = spider_query(2)
+        assert query.num_atoms == 4
+        assert query.num_variables == 5
+
+
+FACT_CASES = [
+    cycle_facts(3),
+    cycle_facts(4),
+    cycle_facts(6),
+    line_facts(2),
+    line_facts(3),
+    line_facts(5),
+    line_facts(8),
+    star_facts(1),
+    star_facts(4),
+    binomial_facts(3, 2),
+    binomial_facts(4, 2),
+    binomial_facts(4, 3),
+    spider_facts(2),
+    spider_facts(3),
+]
+
+
+class TestClosedFormsAgainstLP:
+    """The paper's Table 1 closed forms, checked against the exact LP."""
+
+    @pytest.mark.parametrize(
+        "facts", FACT_CASES, ids=lambda f: f.query.name
+    )
+    def test_tau_star(self, facts):
+        assert covering_number(facts.query) == facts.tau_star
+
+    @pytest.mark.parametrize(
+        "facts", FACT_CASES, ids=lambda f: f.query.name
+    )
+    def test_space_exponent(self, facts):
+        assert space_exponent(facts.query) == facts.space_exp
+
+    @pytest.mark.parametrize(
+        "facts", FACT_CASES, ids=lambda f: f.query.name
+    )
+    def test_paper_cover_is_feasible_and_optimal(self, facts):
+        assert is_fractional_vertex_cover(facts.query, facts.vertex_cover)
+        assert sum(facts.vertex_cover.values()) == facts.tau_star
+
+    @pytest.mark.parametrize(
+        "facts", FACT_CASES, ids=lambda f: f.query.name
+    )
+    def test_share_exponents_sum_to_one(self, facts):
+        assert sum(facts.share_exps.values()) == 1
+
+    @pytest.mark.parametrize(
+        "facts", FACT_CASES, ids=lambda f: f.query.name
+    )
+    def test_answer_size_exponent_is_one_plus_chi(self, facts):
+        assert facts.answer_size_exponent == 1 + characteristic(facts.query)
+
+
+class TestRegistry:
+    def test_registry_families(self):
+        assert set(FAMILY_REGISTRY) == {"C", "T", "L", "SP"}
+
+    def test_registry_constructs(self):
+        facts = FAMILY_REGISTRY["L"](4)
+        assert facts.query.name == "L4"
+        assert facts.tau_star == 2

@@ -1,0 +1,146 @@
+"""Unit tests for eps-good sets and (eps, r)-plans (Definition 4.4)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.bounds import k_eps
+from repro.core.characteristic import characteristic
+from repro.core.families import cycle_query, line_query, star_query
+from repro.core.goodness import (
+    connected_atom_subsets,
+    cycle_good_set,
+    find_lower_bound_plan,
+    is_eps_good,
+    line_good_set,
+)
+from repro.core.plans import build_plan, in_gamma_one
+from repro.core.query import QueryError
+
+
+class TestConnectedSubsets:
+    def test_line_subsets_are_intervals(self):
+        subsets = connected_atom_subsets(line_query(4))
+        # Connected subsets of a path = intervals: 4+3+2+1 = 10.
+        assert len(subsets) == 10
+
+    def test_cycle_subset_count(self):
+        subsets = connected_atom_subsets(cycle_query(4))
+        # Arcs of a 4-cycle: 4 singletons + 4 pairs + 4 triples + full.
+        assert len(subsets) == 13
+
+    def test_min_size_filter(self):
+        subsets = connected_atom_subsets(line_query(3), min_size=2)
+        assert all(len(s) >= 2 for s in subsets)
+        assert len(subsets) == 3
+
+
+class TestIsEpsGood:
+    def test_paper_good_set_for_line(self):
+        """Lemma 4.6: every k_eps-th atom of L_k is eps-good."""
+        for eps in (Fraction(0), Fraction(1, 2)):
+            for k in (6, 8):
+                good = line_good_set(k, eps)
+                assert is_eps_good(line_query(k), good, eps)
+
+    def test_adjacent_atoms_not_good_at_zero(self):
+        """S1, S2 are joined by an L2 in Gamma^1_0: not 0-good."""
+        assert not is_eps_good(
+            line_query(4), {"S1", "S2"}, Fraction(0)
+        )
+
+    def test_distance_two_good_at_zero_but_not_at_half(self):
+        """S1, S3 in L4: L3 connecting them has tau* = 2;
+        in Gamma^1 at eps = 1/2 (not good) but not at eps = 0 (good)."""
+        query = line_query(4)
+        assert is_eps_good(query, {"S1", "S3"}, Fraction(0))
+        assert not is_eps_good(query, {"S1", "S3"}, Fraction(1, 2))
+
+    def test_condition_two_requires_tree_like_complement(self):
+        """For C6 and M = {S1, S4}, the complement is two paths
+        (tree-like): good at eps=0.  For the star the complement is
+        never an issue but condition 1 fails for any pair."""
+        assert is_eps_good(cycle_query(6), {"S1", "S4"}, Fraction(0))
+        assert not is_eps_good(star_query(3), {"S1", "S2"}, Fraction(0))
+
+    def test_unknown_atoms_rejected(self):
+        with pytest.raises(QueryError, match="unknown"):
+            is_eps_good(line_query(3), {"S9"}, Fraction(0))
+
+    def test_cycle_good_set_construction(self):
+        for k in (6, 8, 10):
+            good = cycle_good_set(k, Fraction(0))
+            assert is_eps_good(cycle_query(k), good, Fraction(0))
+
+
+class TestLowerBoundPlans:
+    @pytest.mark.parametrize(
+        "k,eps,expected_rounds",
+        [
+            (4, Fraction(0), 2),
+            (8, Fraction(0), 3),
+            (16, Fraction(0), 4),
+            (16, Fraction(1, 2), 2),
+        ],
+    )
+    def test_line_lower_bounds_match_lemma_46(self, k, eps, expected_rounds):
+        """Lemma 4.6: L_k needs ceil(log_{k_eps} k) rounds."""
+        plan = find_lower_bound_plan(line_query(k), eps)
+        base = k_eps(eps)
+        target = _ceil_log(base, k)
+        assert plan.rounds_lower_bound == target == expected_rounds
+
+    def test_lower_bound_never_exceeds_builder_depth(self):
+        """Consistency: lower bound <= achievable depth."""
+        for k in (4, 5, 8, 11, 16):
+            for eps in (Fraction(0), Fraction(1, 2)):
+                query = line_query(k)
+                lower = find_lower_bound_plan(query, eps).rounds_lower_bound
+                upper = build_plan(query, eps).depth
+                assert lower <= upper, (k, eps, lower, upper)
+
+    def test_cycle_lower_bound(self):
+        plan = find_lower_bound_plan(cycle_query(8), Fraction(0))
+        # C8 at eps=0: paper's Lemma 4.9 gives ceil(log2(8/3)) + 1 = 3.
+        assert plan.rounds_lower_bound == 3
+
+    def test_contractions_preserve_characteristic(self):
+        """Each contraction step must keep chi (Definition 4.4 cond 2)."""
+        query = line_query(16)
+        plan = find_lower_bound_plan(query, Fraction(0))
+        assert plan.r >= 1
+        for contracted in plan.contractions:
+            assert characteristic(contracted) == characteristic(query)
+
+    def test_final_contraction_outside_gamma_one(self):
+        plan = find_lower_bound_plan(line_query(16), Fraction(0))
+        assert plan.contractions
+        assert not in_gamma_one(plan.contractions[-1], Fraction(0))
+
+    def test_gamma_one_query_gets_trivial_bound(self):
+        plan = find_lower_bound_plan(star_query(4), Fraction(0))
+        assert plan.r == 0
+        assert plan.rounds_lower_bound == 1  # one round suffices
+
+    def test_outside_gamma_one_empty_chain_gives_two(self):
+        plan = find_lower_bound_plan(cycle_query(3), Fraction(0))
+        assert plan.rounds_lower_bound >= 2
+
+    def test_disconnected_rejected(self):
+        from repro.core.query import Atom, ConjunctiveQuery
+
+        query = ConjunctiveQuery(
+            [Atom("R", ("x", "y")), Atom("S", ("u", "v"))]
+        )
+        with pytest.raises(QueryError, match="connected"):
+            find_lower_bound_plan(query, Fraction(0))
+
+
+def _ceil_log(base: int, value: int) -> int:
+    result, power = 0, 1
+    while power < value:
+        power *= base
+        result += 1
+    return result

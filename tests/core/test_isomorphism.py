@@ -1,0 +1,107 @@
+"""Unit tests for query isomorphism, incl. the paper's contraction claims."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.characteristic import contract
+from repro.core.families import cycle_query, line_query, star_query
+from repro.core.goodness import line_good_set
+from repro.core.isomorphism import are_isomorphic, find_isomorphism
+from repro.core.query import parse_query
+
+
+class TestBasics:
+    def test_identical_queries(self, triangle):
+        assert are_isomorphic(triangle, triangle)
+
+    def test_renamed_variables(self):
+        a = parse_query("S1(x,y), S2(y,z)")
+        b = parse_query("R(u,v), Q(v,w)")
+        mapping = find_isomorphism(a, b)
+        assert mapping == {"x": "u", "y": "v", "z": "w"}
+
+    def test_reversed_chain_is_isomorphic(self):
+        a = parse_query("S1(x,y), S2(y,z)")
+        b = parse_query("S1(z,y), S2(y,x)")
+        assert are_isomorphic(a, b)
+
+    def test_different_atom_counts(self):
+        assert not are_isomorphic(line_query(2), line_query(3))
+
+    def test_different_variable_counts(self):
+        assert not are_isomorphic(
+            parse_query("S1(x,y), S2(y,x)"), parse_query("S1(x,y), S2(y,z)")
+        )
+
+    def test_different_arities(self):
+        assert not are_isomorphic(
+            parse_query("S(x,y,z)"), parse_query("S(x,y)")
+        )
+
+    def test_structure_not_names(self):
+        """Relation names are ignored: structure is what matters."""
+        assert are_isomorphic(
+            parse_query("A(x,y), B(y,z)"), parse_query("B(x,y), A(y,z)")
+        )
+
+    def test_cycle_vs_line(self):
+        assert not are_isomorphic(cycle_query(3), line_query(3))
+
+    def test_star_vs_line_orientation_matters(self):
+        # T2 = S1(z,x1), S2(z,x2) and L2 = S1(x0,x1), S2(x1,x2) draw
+        # the same undirected path, but isomorphism is positional
+        # (column order is part of a relation's identity): the shared
+        # variable sits at position 0 of both T2 atoms but at
+        # different positions in L2 -- not isomorphic.
+        assert not are_isomorphic(star_query(2), line_query(2))
+        assert not are_isomorphic(star_query(3), line_query(3))
+        # Reversing one atom's columns aligns them.
+        oriented = parse_query("S1(x1,x0), S2(x1,x2)")
+        assert are_isomorphic(star_query(2), oriented)
+
+    def test_repeated_variable_patterns(self):
+        a = parse_query("S(x,x), T(x,y)")
+        b = parse_query("P(u,u), Q(u,v)")
+        c = parse_query("P(u,v), Q(u,v)")
+        assert are_isomorphic(a, b)
+        assert not are_isomorphic(a, c)
+
+    def test_mapping_is_a_bijection(self):
+        mapping = find_isomorphism(cycle_query(5), cycle_query(5))
+        assert mapping is not None
+        assert len(set(mapping.values())) == len(mapping)
+
+
+class TestPaperContractionClaims:
+    @pytest.mark.parametrize(
+        "k,eps,expected",
+        [(8, Fraction(0), 4), (16, Fraction(0), 8), (16, Fraction(1, 2), 4)],
+    )
+    def test_lemma_46_line_contraction(self, k, eps, expected):
+        """L_k contracted through Lemma 4.6's good set is L_{k/k_eps}."""
+        query = line_query(k)
+        good = line_good_set(k, eps)
+        complement = {
+            atom.name for atom in query.atoms
+        } - good
+        contracted = contract(query, complement)
+        assert are_isomorphic(contracted, line_query(expected))
+
+    def test_lemma_49_cycle_contraction(self):
+        """C_6 with alternating atoms contracted is C_3."""
+        contracted = contract(cycle_query(6), ["S2", "S4", "S6"])
+        assert are_isomorphic(contracted, cycle_query(3))
+
+    def test_paper_l5_example(self):
+        """L5/{S2,S4} is isomorphic to L3."""
+        contracted = contract(line_query(5), ["S2", "S4"])
+        assert are_isomorphic(contracted, line_query(3))
+
+    def test_spider_arm_is_l2(self):
+        from repro.core.families import spider_query
+
+        arm = spider_query(3).subquery(["R1", "S1"])
+        assert are_isomorphic(arm, line_query(2))

@@ -1,0 +1,143 @@
+"""Unit tests for share exponents and integer share allocation."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.core.covers import fractional_vertex_cover
+from repro.core.families import cycle_query, line_query, star_query
+from repro.core.query import QueryError
+from repro.core.shares import (
+    allocate_integer_shares,
+    replication_factor,
+    share_exponents,
+)
+
+
+class TestShareExponents:
+    @pytest.mark.parametrize("k", [3, 5, 7])
+    def test_odd_cycle_shares_are_uniform(self, k):
+        """Odd cycles have a unique optimal cover (all 1/2), so their
+        share exponents are forced to 1/k each.  (Even cycles admit
+        integral optima like (1,0,1,0), so no uniqueness there.)"""
+        exponents = share_exponents(cycle_query(k))
+        assert all(value == Fraction(1, k) for value in exponents.values())
+
+    def test_even_cycle_shares_from_paper_cover(self):
+        """With the paper's canonical (1/2,...,1/2) cover supplied
+        explicitly, even cycles also get uniform shares."""
+        from repro.core.families import cycle_facts
+
+        facts = cycle_facts(4)
+        exponents = share_exponents(facts.query, facts.vertex_cover)
+        assert all(value == Fraction(1, 4) for value in exponents.values())
+
+    def test_star_shares_concentrate_on_hub(self):
+        exponents = share_exponents(star_query(3))
+        assert exponents["z"] == 1
+        assert all(
+            exponents[f"x{i}"] == 0 for i in range(1, 4)
+        )
+
+    @pytest.mark.parametrize(
+        "query",
+        [cycle_query(3), line_query(5), star_query(4)],
+        ids=lambda q: q.name,
+    )
+    def test_exponents_sum_to_one(self, query):
+        assert sum(share_exponents(query).values()) == 1
+
+    def test_custom_cover_respected(self):
+        query = line_query(2)
+        cover = {"x0": Fraction(1), "x1": Fraction(1), "x2": Fraction(1)}
+        exponents = share_exponents(query, cover)
+        assert all(value == Fraction(1, 3) for value in exponents.values())
+
+    def test_zero_cover_rejected(self):
+        query = line_query(2)
+        with pytest.raises(QueryError, match="non-positive"):
+            share_exponents(
+                query, {v: Fraction(0) for v in query.variables}
+            )
+
+
+class TestIntegerAllocation:
+    def test_perfect_cube(self):
+        exponents = share_exponents(cycle_query(3))
+        allocation = allocate_integer_shares(exponents, 27)
+        assert allocation.shares == {"x1": 3, "x2": 3, "x3": 3}
+        assert allocation.used_servers == 27
+
+    def test_product_never_exceeds_p(self):
+        for p in (1, 2, 3, 5, 7, 10, 16, 31, 64, 100, 1000):
+            for query in (cycle_query(3), line_query(4), star_query(3)):
+                exponents = share_exponents(query)
+                allocation = allocate_integer_shares(exponents, p)
+                product = math.prod(allocation.shares.values())
+                assert product == allocation.used_servers <= p
+                assert all(s >= 1 for s in allocation.shares.values())
+
+    def test_p_one_gives_all_ones(self):
+        exponents = share_exponents(cycle_query(4))
+        allocation = allocate_integer_shares(exponents, 1)
+        assert set(allocation.shares.values()) == {1}
+
+    def test_zero_exponent_gets_share_one(self):
+        exponents = share_exponents(line_query(4))
+        allocation = allocate_integer_shares(exponents, 64)
+        for variable, exponent in exponents.items():
+            if exponent == 0:
+                assert allocation.shares[variable] == 1
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError, match="at least one server"):
+            allocate_integer_shares({"x": Fraction(1)}, 0)
+
+    def test_exponents_over_one_rejected(self):
+        with pytest.raises(ValueError, match="sum to"):
+            allocate_integer_shares(
+                {"x": Fraction(1), "y": Fraction(1)}, 8
+            )
+
+    def test_greedy_beats_floor_only(self):
+        """Ablation: greedy ascent uses more of the budget than floors."""
+        exponents = share_exponents(cycle_query(3))
+        p = 30  # not a perfect cube: floor gives 3*3*3 = 27
+        allocation = allocate_integer_shares(exponents, p)
+        floor_product = math.prod(
+            max(1, math.floor(p ** float(e))) for e in exponents.values()
+        )
+        assert allocation.used_servers >= floor_product
+
+    def test_dimensions_ordering(self):
+        exponents = share_exponents(cycle_query(3))
+        allocation = allocate_integer_shares(exponents, 8)
+        assert allocation.dimensions() == tuple(allocation.shares.values())
+
+
+class TestReplication:
+    def test_replication_bound_proposition_32(self):
+        """Each atom's replication <= p^{1 - 1/tau} (Prop 3.2)."""
+        for query in (cycle_query(3), line_query(3), star_query(3)):
+            cover = fractional_vertex_cover(query)
+            tau = sum(cover.values())
+            for p in (8, 27, 64):
+                exponents = share_exponents(query, cover)
+                allocation = allocate_integer_shares(exponents, p)
+                bound = float(p) ** float(1 - 1 / tau)
+                for atom_name, factor in replication_factor(
+                    query, allocation.shares
+                ).items():
+                    # Integer rounding can add slack of at most the
+                    # largest single share step; allow a 2x margin.
+                    assert factor <= 2 * bound, (query.name, atom_name)
+
+    def test_star_has_no_replication(self):
+        query = star_query(4)
+        exponents = share_exponents(query)
+        allocation = allocate_integer_shares(exponents, 16)
+        factors = replication_factor(query, allocation.shares)
+        assert all(factor == 1 for factor in factors.values())

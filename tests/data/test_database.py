@@ -1,0 +1,138 @@
+"""Unit tests for Relation / Database and bit accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.database import (
+    Database,
+    DataError,
+    Relation,
+    as_mapping,
+    bits_per_value,
+)
+
+
+def rel(name="R", rows=((1, 2), (2, 1)), n=4, arity=None):
+    return Relation.from_tuples(name, rows, domain_size=n, arity=arity)
+
+
+class TestBitsPerValue:
+    @pytest.mark.parametrize(
+        "n,bits", [(1, 1), (2, 1), (3, 2), (4, 2), (5, 3), (1024, 10), (1025, 11)]
+    )
+    def test_values(self, n, bits):
+        assert bits_per_value(n) == bits
+
+    def test_invalid(self):
+        with pytest.raises(DataError):
+            bits_per_value(0)
+
+
+class TestRelation:
+    def test_deduplicates_and_sorts(self):
+        relation = rel(rows=[(2, 1), (1, 2), (2, 1)])
+        assert relation.tuples == ((1, 2), (2, 1))
+        assert len(relation) == 2
+
+    def test_contains(self):
+        relation = rel()
+        assert (1, 2) in relation
+        assert (3, 3) not in relation
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(DataError, match="arity"):
+            Relation("R", 2, ((1,),), 4)
+
+    def test_domain_violation_rejected(self):
+        with pytest.raises(DataError, match="domain"):
+            rel(rows=[(1, 9)], n=4)
+        with pytest.raises(DataError, match="domain"):
+            rel(rows=[(0, 1)], n=4)
+
+    def test_empty_needs_explicit_arity(self):
+        with pytest.raises(DataError, match="infer arity"):
+            Relation.from_tuples("R", [], domain_size=4)
+        empty = Relation.from_tuples("R", [], domain_size=4, arity=2)
+        assert len(empty) == 0
+
+    def test_size_bits(self):
+        relation = rel(rows=[(1, 2), (3, 4)], n=4)  # 2 bits/value
+        assert relation.tuple_bits == 4
+        assert relation.size_bits == 8
+
+    def test_is_matching(self):
+        good = Relation.from_tuples(
+            "M", [(1, 2), (2, 3), (3, 1)], domain_size=3
+        )
+        assert good.is_matching()
+        short = Relation.from_tuples("M", [(1, 2)], domain_size=3)
+        assert not short.is_matching()
+        repeated = Relation.from_tuples(
+            "M", [(1, 2), (2, 2), (3, 1)], domain_size=3
+        )
+        assert not repeated.is_matching()
+
+    def test_project(self):
+        relation = rel(rows=[(1, 2), (3, 4)], n=4)
+        assert relation.project([1]) == ((2,), (4,))
+        assert relation.project([1, 0]) == ((2, 1), (4, 3))
+
+
+class TestDatabase:
+    def test_from_relations_rescales_domain(self):
+        database = Database.from_relations(
+            [rel("R", [(1, 2)], n=2), rel("S", [(3, 4)], n=4)]
+        )
+        assert database.domain_size == 4
+        assert database["R"].domain_size == 4
+
+    def test_name_key_consistency_checked(self):
+        with pytest.raises(DataError, match="relation key"):
+            Database(relations={"X": rel("R")}, domain_size=4)
+
+    def test_domain_consistency_checked(self):
+        with pytest.raises(DataError, match="domain"):
+            Database(relations={"R": rel("R", n=4)}, domain_size=8)
+
+    def test_totals(self):
+        database = Database.from_relations(
+            [rel("R", [(1, 2), (2, 1)], n=4), rel("S", [(1, 1)], n=4)]
+        )
+        assert database.total_tuples == 3
+        assert database.total_bits == 3 * 4
+
+    def test_restrict(self):
+        database = Database.from_relations(
+            [rel("R"), rel("S", [(1, 1)])]
+        )
+        restricted = database.restrict(["R"])
+        assert set(restricted.relations) == {"R"}
+        with pytest.raises(DataError, match="unknown relations"):
+            database.restrict(["Z"])
+
+    def test_with_relation_replaces(self):
+        database = Database.from_relations([rel("R")])
+        updated = database.with_relation(rel("R", [(3, 3)], n=4))
+        assert updated["R"].tuples == ((3, 3),)
+        assert database["R"].tuples != updated["R"].tuples
+
+    def test_with_relation_domain_checked(self):
+        database = Database.from_relations([rel("R", n=4)])
+        with pytest.raises(DataError, match="domain"):
+            database.with_relation(rel("S", [(1, 1)], n=8))
+
+    def test_iteration_and_membership(self):
+        database = Database.from_relations([rel("R"), rel("S", [(1, 1)])])
+        assert "R" in database
+        assert "Z" not in database
+        assert {r.name for r in database} == {"R", "S"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError, match="at least one"):
+            Database.from_relations([])
+
+    def test_as_mapping(self):
+        database = Database.from_relations([rel("R")])
+        mapping = as_mapping(database)
+        assert mapping["R"] == ((1, 2), (2, 1))

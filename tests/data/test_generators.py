@@ -1,0 +1,119 @@
+"""Unit tests for the experiment input generators."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.data.database import DataError
+from repro.data.generators import (
+    dense_graph,
+    layered_path_graph,
+    skewed_relation,
+    witness_database,
+)
+
+
+class TestSkewedRelation:
+    def test_heavy_value_dominates(self, rng):
+        relation = skewed_relation("S", 100, rng, heavy_fraction=0.5)
+        heavy = sum(1 for row in relation.tuples if row[0] == 1)
+        assert heavy >= 40  # dedup may eat a few
+        assert not relation.is_matching()
+
+    def test_fraction_validated(self, rng):
+        with pytest.raises(DataError):
+            skewed_relation("S", 10, rng, heavy_fraction=1.5)
+
+
+class TestWitnessDatabase:
+    def test_shapes(self):
+        database = witness_database(n=100, rng=0)
+        assert set(database.relations) == {"R", "S1", "S2", "S3", "T"}
+        assert len(database["R"]) == math.ceil(math.sqrt(100))
+        assert len(database["T"]) == 10
+        for name in ("S1", "S2", "S3"):
+            assert database[name].is_matching()
+
+    def test_expected_answer_is_small(self):
+        """E[|q|] = 1: over seeds, answers should be rare."""
+        from repro.algorithms.localjoin import evaluate_query
+        from repro.algorithms.witness import WITNESS_CHAIN
+
+        total = 0
+        trials = 20
+        for seed in range(trials):
+            database = witness_database(n=64, rng=seed)
+            r = {row[0] for row in database["R"]}
+            t = {row[0] for row in database["T"]}
+            chain = evaluate_query(
+                WITNESS_CHAIN,
+                {
+                    name: database[name].tuples
+                    for name in ("S1", "S2", "S3")
+                },
+            )
+            total += sum(
+                1 for row in chain if row[0] in r and row[-1] in t
+            )
+        assert total / trials < 4
+
+
+class TestLayeredPathGraph:
+    def test_component_structure(self):
+        graph = layered_path_graph(num_layers=4, layer_size=10, rng=0)
+        assert graph.num_vertices == 50
+        assert len(graph.edges) == 40
+        # Every component is a path with one vertex per layer.
+        assert graph.num_components == 10
+        sizes = {}
+        for label in graph.labels.values():
+            sizes[label] = sizes.get(label, 0) + 1
+        assert set(sizes.values()) == {5}
+
+    def test_labels_match_networkx(self):
+        graph = layered_path_graph(num_layers=3, layer_size=8, rng=2)
+        nx_graph = nx.Graph(graph.edges)
+        nx_graph.add_nodes_from(range(1, graph.num_vertices + 1))
+        for component in nx.connected_components(nx_graph):
+            expected = min(component)
+            assert all(
+                graph.labels[v] == expected for v in component
+            )
+
+    def test_edge_relation_symmetric(self):
+        graph = layered_path_graph(num_layers=2, layer_size=4, rng=1)
+        relation = graph.edge_relation()
+        rows = set(relation.tuples)
+        assert all((v, u) in rows for u, v in rows)
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            layered_path_graph(0, 5)
+        with pytest.raises(DataError):
+            layered_path_graph(3, 0)
+
+
+class TestDenseGraph:
+    def test_edge_count_exact(self):
+        graph = dense_graph(20, 100, rng=0)
+        assert len(graph.edges) == 100
+        assert all(u < v for u, v in graph.edges)
+
+    def test_labels_match_networkx(self):
+        graph = dense_graph(30, 60, rng=3)
+        nx_graph = nx.Graph(graph.edges)
+        nx_graph.add_nodes_from(range(1, 31))
+        for component in nx.connected_components(nx_graph):
+            expected = min(component)
+            assert all(graph.labels[v] == expected for v in component)
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(DataError, match="maximum"):
+            dense_graph(4, 10, rng=0)
+
+    def test_too_few_vertices_rejected(self):
+        with pytest.raises(DataError):
+            dense_graph(1, 0, rng=0)

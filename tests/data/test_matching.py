@@ -1,0 +1,123 @@
+"""Unit tests for matching-database generation (Section 2.5)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.families import cycle_query, line_query
+from repro.core.query import parse_query
+from repro.data.database import DataError
+from repro.data.matching import (
+    identity_matching,
+    matching_database,
+    random_matching,
+    random_permutation,
+)
+
+
+class TestRandomPermutation:
+    def test_is_permutation(self, rng):
+        values = random_permutation(20, rng)
+        assert sorted(values) == list(range(1, 21))
+
+    def test_seeded_reproducibility(self):
+        a = random_permutation(10, random.Random(3))
+        b = random_permutation(10, random.Random(3))
+        assert a == b
+
+
+class TestRandomMatching:
+    @pytest.mark.parametrize("arity", [1, 2, 3, 4])
+    def test_every_column_is_permutation(self, arity, rng):
+        relation = random_matching("S", arity, 15, rng)
+        assert relation.is_matching()
+        assert len(relation) == 15
+
+    def test_first_column_canonical(self, rng):
+        relation = random_matching("S", 3, 10, rng)
+        assert [row[0] for row in relation.tuples] == list(range(1, 11))
+
+    def test_invalid_arguments(self, rng):
+        with pytest.raises(DataError):
+            random_matching("S", 0, 5, rng)
+        with pytest.raises(DataError):
+            random_matching("S", 2, 0, rng)
+
+    def test_distribution_spreads(self):
+        """Different seeds should give different matchings (n! >> 1)."""
+        a = random_matching("S", 2, 30, random.Random(1))
+        b = random_matching("S", 2, 30, random.Random(2))
+        assert a.tuples != b.tuples
+
+
+class TestIdentityMatching:
+    def test_shape(self):
+        relation = identity_matching("I", 3, 4)
+        assert relation.tuples == tuple(
+            (i, i, i) for i in range(1, 5)
+        )
+        assert relation.is_matching()
+
+
+class TestMatchingDatabase:
+    def test_vocabulary_respected(self, triangle):
+        database = matching_database(triangle, n=12, rng=0)
+        assert set(database.relations) == {"S1", "S2", "S3"}
+        assert database.is_matching_database()
+
+    def test_arities_follow_atoms(self):
+        query = parse_query("R(x,y,z), S(z,w)")
+        database = matching_database(query, n=8, rng=1)
+        assert database["R"].arity == 3
+        assert database["S"].arity == 2
+
+    def test_int_seed_reproducible(self, chain4):
+        a = matching_database(chain4, n=10, rng=5)
+        b = matching_database(chain4, n=10, rng=5)
+        assert all(
+            a[name].tuples == b[name].tuples for name in a.relations
+        )
+
+    def test_identity_atoms(self):
+        query = line_query(3)
+        database = matching_database(
+            query, n=6, rng=0, identity_atoms=["S2"]
+        )
+        assert database["S2"].tuples == tuple(
+            (i, i) for i in range(1, 7)
+        )
+        assert database["S1"].is_matching()
+
+    def test_expected_answer_count_matches_lemma_34(self):
+        """Empirical check of E[|q(I)|] = n^{1+chi} for L3 and C3."""
+        from repro.algorithms.localjoin import evaluate_query
+
+        n, trials = 64, 30
+        line = line_query(3)
+        counts = []
+        for seed in range(trials):
+            database = matching_database(line, n=n, rng=seed)
+            counts.append(
+                len(
+                    evaluate_query(
+                        line,
+                        {r.name: r.tuples for r in database},
+                    )
+                )
+            )
+        # chi(L3) = 0: |q(I)| is exactly n for every matching input.
+        assert all(count == n for count in counts)
+
+        triangle = cycle_query(3)
+        total = 0
+        for seed in range(trials):
+            database = matching_database(triangle, n=n, rng=seed)
+            total += len(
+                evaluate_query(
+                    triangle, {r.name: r.tuples for r in database}
+                )
+            )
+        # chi(C3) = -1: expected 1 answer; allow generous slack.
+        assert total / trials < 5

@@ -1,0 +1,81 @@
+"""Integration tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAnalyze:
+    def test_triangle(self, capsys):
+        code = main(["analyze", "S1(x,y), S2(y,z), S3(z,x)"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "3/2" in output
+        assert "1/3" in output
+        assert "tree-like" in output
+
+    def test_disconnected_query_analyzed(self, capsys):
+        code = main(["analyze", "R(x,y), S(u,v)"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "tau*" in output
+
+    def test_malformed_query_errors(self, capsys):
+        code = main(["analyze", "garbage("])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_verified_run(self, capsys):
+        code = main(
+            ["run", "S1(x,y), S2(y,z)", "--n", "30", "--p", "4"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "True" in output
+        assert "answers" in output
+
+
+class TestPlan:
+    def test_depth_printed(self, capsys):
+        code = main(
+            ["plan", "S1(a,b), S2(b,c), S3(c,d), S4(d,e)", "--eps", "0"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "depth 2" in output
+        assert "round 1" in output
+
+    def test_eps_fraction_parsing(self, capsys):
+        code = main(
+            ["plan", "S1(a,b), S2(b,c), S3(c,d), S4(d,e)", "--eps", "1/2"]
+        )
+        assert code == 0
+        assert "depth 1" in capsys.readouterr().out
+
+    def test_bad_eps_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "S1(a,b)", "--eps", "nope"])
+
+
+class TestShares:
+    def test_cube_allocation(self, capsys):
+        code = main(
+            ["shares", "S1(x,y), S2(y,z), S3(z,x)", "--p", "27"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "27 servers" in output
+
+
+class TestTables:
+    def test_tables_regenerate(self, capsys):
+        code = main(["tables", "--n", "20", "--trials", "1"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "Table 1" in output
+        assert "Table 2" in output
+        assert "True" in output  # matches_paper column

@@ -1,0 +1,125 @@
+"""End-to-end integration tests across the whole stack."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import (
+    run_broadcast_join,
+    run_hypercube,
+    run_plan,
+    run_single_server,
+)
+from repro.algorithms.localjoin import evaluate_query
+from repro.core import (
+    build_plan,
+    covering_number,
+    parse_query,
+    round_upper_bound,
+    space_exponent,
+)
+from repro.core.families import cycle_query, line_query
+from repro.data.matching import matching_database
+
+
+class TestAllAlgorithmsAgree:
+    """HC, multi-round plans, broadcast and single-server all compute
+    the same answer as the reference join."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "S1(x,y), S2(y,z)",
+            "S1(x,y), S2(y,z), S3(z,x)",
+            "S1(x,y), S2(y,z), S3(z,w)",
+            "R1(z,x1), P1(x1,y1), R2(z,x2), P2(x2,y2)",
+        ],
+        ids=["L2", "C3", "L3", "SP2"],
+    )
+    def test_agreement(self, text):
+        query = parse_query(text)
+        database = matching_database(query, n=30, rng=44)
+        truth = evaluate_query(
+            query,
+            {name: database[name].tuples for name in database.relations},
+        )
+        assert run_hypercube(query, database, p=8, seed=1).answers == truth
+        assert run_broadcast_join(query, database, p=4).answers == truth
+        assert run_single_server(query, database).answers == truth
+        eps = space_exponent(query)
+        plan = build_plan(query, eps)
+        assert run_plan(plan, database, p=8, seed=1).answers == truth
+
+
+class TestFullPipeline:
+    def test_analyse_plan_execute_verify(self):
+        """The README workflow, asserted end to end."""
+        query = cycle_query(6)
+        assert covering_number(query) == 3
+        assert space_exponent(query) == Fraction(2, 3)
+
+        database = matching_database(query, n=24, rng=5)
+        assert database.is_matching_database()
+
+        plan = build_plan(query, Fraction(0))
+        assert plan.depth <= round_upper_bound(query, Fraction(0))
+
+        result = run_plan(plan, database, p=8, seed=5)
+        truth = evaluate_query(
+            query,
+            {name: database[name].tuples for name in database.relations},
+        )
+        assert result.answers == truth
+        assert result.rounds_used == plan.depth
+
+    def test_one_round_vs_multi_round_communication(self):
+        """Extra rounds buy lower per-round replication: the paper's
+        central tradeoff, measured."""
+        query = line_query(8)
+        database = matching_database(query, n=64, rng=6)
+
+        one_round = run_hypercube(query, database, p=16, seed=2)
+        plan = build_plan(query, Fraction(0))
+        multi_round = run_plan(plan, database, p=16, seed=2)
+
+        assert one_round.answers == multi_round.answers
+        assert one_round.report.num_rounds == 1
+        assert multi_round.rounds_used == 3
+        # One-round max load per round exceeds the multi-round's.
+        assert (
+            one_round.report.max_load_tuples
+            > multi_round.report.max_load_tuples
+        )
+
+
+class TestExamplesRun:
+    """Every example script executes cleanly (they self-verify)."""
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "quickstart",
+            "drug_interactions",
+            "triangle_counting",
+            "multiround_chains",
+            "connected_components",
+            "witness_hunt",
+        ],
+    )
+    def test_example(self, module_name, capsys):
+        import importlib.util
+        import pathlib
+
+        path = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "examples"
+            / f"{module_name}.py"
+        )
+        spec = importlib.util.spec_from_file_location(module_name, path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.main()
+        output = capsys.readouterr().out
+        assert output.strip()

@@ -1,0 +1,86 @@
+"""Unit tests for mechanical dualisation (Figure 1's LP pair)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.covers import edge_packing_program, vertex_cover_program
+from repro.core.families import cycle_query, line_query, star_query
+from repro.lp.duality import dual_of, verify_strong_duality
+from repro.lp.model import LinearProgram, LPError
+
+
+class TestDualConstruction:
+    def test_dual_of_min_cover_is_max_packing(self):
+        lp = LinearProgram(maximize=False)
+        lp.add_variable("x")
+        lp.add_variable("y")
+        lp.add_constraint({"x": 1, "y": 1}, ">=", 1)
+        lp.set_objective({"x": 1, "y": 1})
+        dual = dual_of(lp)
+        assert dual.maximize
+        assert dual.variables == ("y0",)
+        constraints = dual.constraints
+        # One dual constraint per primal variable.
+        assert len(constraints) == 2
+        for coeffs, sense, rhs in constraints:
+            assert sense == "<="
+            assert rhs == 1
+            assert coeffs == {"y0": Fraction(1)}
+
+    def test_double_dual_value_is_primal_value(self):
+        primal = vertex_cover_program(cycle_query(5))
+        double_dual = dual_of(dual_of(primal))
+        assert double_dual.solve().objective == primal.solve().objective
+
+    def test_mixed_senses_rejected(self):
+        lp = LinearProgram(maximize=False)
+        lp.add_variable("x")
+        lp.add_constraint({"x": 1}, ">=", 1)
+        lp.add_constraint({"x": 1}, "<=", 3)
+        lp.set_objective({"x": 1})
+        with pytest.raises(LPError, match="mixed"):
+            dual_of(lp)
+
+    def test_wrong_orientation_rejected(self):
+        lp = LinearProgram(maximize=True)
+        lp.add_variable("x")
+        lp.add_constraint({"x": 1}, ">=", 1)
+        lp.set_objective({"x": 1})
+        with pytest.raises(LPError, match="must use"):
+            dual_of(lp)
+
+    def test_no_constraints_rejected(self):
+        lp = LinearProgram(maximize=False)
+        lp.add_variable("x")
+        lp.set_objective({"x": 1})
+        with pytest.raises(LPError, match="no constraints"):
+            dual_of(lp)
+
+
+class TestStrongDuality:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            cycle_query(3),
+            cycle_query(4),
+            cycle_query(7),
+            line_query(2),
+            line_query(5),
+            star_query(4),
+        ],
+        ids=lambda q: q.name,
+    )
+    def test_cover_and_packing_agree(self, query):
+        value = verify_strong_duality(vertex_cover_program(query))
+        packing_value = edge_packing_program(query).solve().objective
+        assert value == packing_value
+
+    def test_mechanical_dual_matches_hand_written_packing(self):
+        """dual_of(cover LP) and the hand-written packing LP agree."""
+        query = cycle_query(5)
+        mechanical = dual_of(vertex_cover_program(query)).solve()
+        hand_written = edge_packing_program(query).solve()
+        assert mechanical.objective == hand_written.objective == Fraction(5, 2)

@@ -1,0 +1,106 @@
+"""Unit tests for the LinearProgram modelling layer."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lp.model import LinearProgram, LPError
+from repro.lp.simplex import SimplexStatus
+
+
+def build_cover_lp():
+    lp = LinearProgram(maximize=False)
+    for name in ("x", "y", "z"):
+        lp.add_variable(name)
+    lp.add_constraint({"x": 1, "y": 1}, ">=", 1)
+    lp.add_constraint({"y": 1, "z": 1}, ">=", 1)
+    lp.add_constraint({"z": 1, "x": 1}, ">=", 1)
+    lp.set_objective({"x": 1, "y": 1, "z": 1})
+    return lp
+
+
+class TestModelBuilding:
+    def test_variables_in_order(self):
+        lp = LinearProgram()
+        lp.add_variable("b")
+        lp.add_variable("a")
+        assert lp.variables == ("b", "a")
+
+    def test_duplicate_variable_rejected(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(LPError, match="duplicate"):
+            lp.add_variable("x")
+
+    def test_unknown_variable_in_constraint_rejected(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(LPError, match="unknown variable"):
+            lp.add_constraint({"y": 1}, "<=", 1)
+
+    def test_unknown_variable_in_objective_rejected(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(LPError, match="unknown variable"):
+            lp.set_objective({"y": 1})
+
+    def test_invalid_sense_rejected(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(LPError, match="invalid sense"):
+            lp.add_constraint({"x": 1}, "!=", 1)
+
+    def test_empty_lp_rejected(self):
+        with pytest.raises(LPError, match="no variables"):
+            LinearProgram().solve()
+
+    def test_constraints_accessor_round_trips(self):
+        lp = build_cover_lp()
+        constraints = lp.constraints
+        assert len(constraints) == 3
+        coeffs, sense, rhs = constraints[0]
+        assert coeffs == {"x": Fraction(1), "y": Fraction(1)}
+        assert sense == ">="
+        assert rhs == 1
+
+
+class TestSolving:
+    def test_cover_lp_solution(self):
+        solution = build_cover_lp().solve()
+        assert solution.is_optimal
+        assert solution.objective == Fraction(3, 2)
+        assert solution["x"] + solution["y"] >= 1
+        assert sum(solution.values.values()) == Fraction(3, 2)
+
+    def test_solution_getitem(self):
+        solution = build_cover_lp().solve()
+        for name in ("x", "y", "z"):
+            assert solution[name] == solution.values[name]
+
+    def test_duals_align_with_constraints(self):
+        solution = build_cover_lp().solve()
+        assert len(solution.duals) == 3
+        assert sum(solution.duals) == Fraction(3, 2)
+
+    def test_infeasible_status_propagates(self):
+        lp = LinearProgram(maximize=False)
+        lp.add_variable("x")
+        lp.add_constraint({"x": 1}, "<=", 1)
+        lp.add_constraint({"x": 1}, ">=", 2)
+        lp.set_objective({"x": 1})
+        solution = lp.solve()
+        assert solution.status is SimplexStatus.INFEASIBLE
+        assert not solution.is_optimal
+        assert solution.objective is None
+
+    def test_objective_defaults_to_zero_coefficients(self):
+        lp = LinearProgram(maximize=False)
+        lp.add_variable("x")
+        lp.add_variable("y")
+        lp.add_constraint({"x": 1, "y": 1}, ">=", 1)
+        lp.set_objective({"x": 1})  # y is free to absorb the constraint
+        solution = lp.solve()
+        assert solution.objective == 0
+        assert solution["y"] >= 0

@@ -1,0 +1,235 @@
+"""Unit tests for the exact two-phase simplex solver."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lp.simplex import ExactSimplex, SimplexStatus
+
+
+def solve(objective, constraints, maximize=True):
+    return ExactSimplex(objective, constraints, maximize=maximize).solve()
+
+
+class TestBasicSolves:
+    def test_one_variable_max(self):
+        result = solve([1], [([1], "<=", 5)])
+        assert result.is_optimal
+        assert result.objective == 5
+        assert result.solution == (Fraction(5),)
+
+    def test_one_variable_min_is_zero(self):
+        result = solve([1], [([1], "<=", 5)], maximize=False)
+        assert result.objective == 0
+
+    def test_two_variable_max(self):
+        # max x + y s.t. x + 2y <= 4, 3x + y <= 6.
+        result = solve([1, 1], [([1, 2], "<=", 4), ([3, 1], "<=", 6)])
+        assert result.objective == Fraction(14, 5)
+        assert result.solution == (Fraction(8, 5), Fraction(6, 5))
+
+    def test_triangle_cover_is_three_halves(self):
+        result = solve(
+            [1, 1, 1],
+            [
+                ([1, 1, 0], ">=", 1),
+                ([0, 1, 1], ">=", 1),
+                ([1, 0, 1], ">=", 1),
+            ],
+            maximize=False,
+        )
+        assert result.objective == Fraction(3, 2)
+
+    def test_line3_cover_is_two(self):
+        result = solve(
+            [1, 1, 1, 1],
+            [
+                ([1, 1, 0, 0], ">=", 1),
+                ([0, 1, 1, 0], ">=", 1),
+                ([0, 0, 1, 1], ">=", 1),
+            ],
+            maximize=False,
+        )
+        assert result.objective == 2
+
+    def test_equality_constraint(self):
+        result = solve([1, 1], [([1, 1], "==", 2), ([1, 0], "<=", 1)])
+        assert result.objective == 2
+
+    def test_equality_only(self):
+        result = solve([2, 3], [([1, 1], "==", 4)], maximize=False)
+        assert result.objective == 8
+        assert result.solution == (Fraction(4), Fraction(0))
+
+    def test_exactness_no_float_dust(self):
+        # tau*(C5) = 5/2: must be the exact fraction.
+        constraints = [
+            ([1, 1, 0, 0, 0], ">=", 1),
+            ([0, 1, 1, 0, 0], ">=", 1),
+            ([0, 0, 1, 1, 0], ">=", 1),
+            ([0, 0, 0, 1, 1], ">=", 1),
+            ([1, 0, 0, 0, 1], ">=", 1),
+        ]
+        result = solve([1] * 5, constraints, maximize=False)
+        assert result.objective == Fraction(5, 2)
+
+
+class TestStatuses:
+    def test_unbounded(self):
+        result = solve([1], [([0], "<=", 1)])
+        assert result.status is SimplexStatus.UNBOUNDED
+        assert result.objective is None
+
+    def test_unbounded_two_vars(self):
+        result = solve([1, 1], [([1, -1], "<=", 1)])
+        assert result.status is SimplexStatus.UNBOUNDED
+
+    def test_infeasible(self):
+        result = solve([1], [([1], "<=", 1), ([1], ">=", 2)])
+        assert result.status is SimplexStatus.INFEASIBLE
+
+    def test_infeasible_equalities(self):
+        result = solve([1, 1], [([1, 1], "==", 1), ([1, 1], "==", 2)])
+        assert result.status is SimplexStatus.INFEASIBLE
+
+    def test_min_unbounded_below_is_reported(self):
+        # min -x with x free upward is unbounded below.
+        result = solve([-1], [([0], "<=", 1)], maximize=False)
+        assert result.status is SimplexStatus.UNBOUNDED
+
+
+class TestNegativeRhs:
+    def test_negative_rhs_le_becomes_ge(self):
+        # x <= -1 with x >= 0 is infeasible... but -x <= -1 means x >= 1.
+        result = solve([1], [([-1], "<=", -1)], maximize=False)
+        assert result.is_optimal
+        assert result.objective == 1
+
+    def test_negative_rhs_infeasible(self):
+        result = solve([1], [([1], "<=", -1)])
+        assert result.status is SimplexStatus.INFEASIBLE
+
+    def test_negative_rhs_equality(self):
+        result = solve([1, 1], [([-1, -1], "==", -2)], maximize=False)
+        assert result.is_optimal
+        assert result.objective == 2
+
+
+class TestDuals:
+    def test_dual_value_matches_objective_max(self):
+        constraints = [([1, 2], "<=", 4), ([3, 1], "<=", 6)]
+        result = solve([1, 1], constraints)
+        dual_value = sum(d * b for d, (_, _, b) in zip(result.duals, constraints))
+        assert dual_value == result.objective
+
+    def test_dual_value_matches_objective_min(self):
+        constraints = [
+            ([1, 1, 0], ">=", 1),
+            ([0, 1, 1], ">=", 1),
+            ([1, 0, 1], ">=", 1),
+        ]
+        result = solve([1, 1, 1], constraints, maximize=False)
+        dual_value = sum(d * b for d, (_, _, b) in zip(result.duals, constraints))
+        assert dual_value == result.objective
+
+    def test_duals_are_feasible_for_dual_program(self):
+        # Packing duals of the covering LP must satisfy A^T y <= c.
+        constraints = [
+            ([1, 1, 0], ">=", 1),
+            ([0, 1, 1], ">=", 1),
+            ([1, 0, 1], ">=", 1),
+        ]
+        result = solve([1, 1, 1], constraints, maximize=False)
+        for column in range(3):
+            column_sum = sum(
+                result.duals[row]
+                for row, (coeffs, _, _) in enumerate(constraints)
+                if coeffs[column]
+            )
+            assert column_sum <= 1
+
+    def test_duals_nonnegative_for_standard_forms(self):
+        result = solve(
+            [1, 1],
+            [([1, 0], "<=", 3), ([0, 1], "<=", 2)],
+        )
+        assert all(d >= 0 for d in result.duals)
+
+
+class TestDegeneracy:
+    def test_bland_terminates_on_degenerate_lp(self):
+        # A classic cycling-prone LP (Beale's example structure).
+        result = solve(
+            [Fraction(3, 4), -150, Fraction(1, 50), -6],
+            [
+                ([Fraction(1, 4), -60, Fraction(-1, 25), 9], "<=", 0),
+                ([Fraction(1, 2), -90, Fraction(-1, 50), 3], "<=", 0),
+                ([0, 0, 1, 0], "<=", 1),
+            ],
+        )
+        assert result.is_optimal
+        assert result.objective == Fraction(1, 20)
+
+    def test_redundant_constraints(self):
+        result = solve(
+            [1, 1],
+            [
+                ([1, 1], "<=", 2),
+                ([1, 1], "<=", 2),
+                ([2, 2], "<=", 4),
+            ],
+        )
+        assert result.objective == 2
+
+    def test_redundant_equality_row_dropped(self):
+        result = solve(
+            [1, 1],
+            [([1, 1], "==", 2), ([2, 2], "==", 4)],
+        )
+        assert result.is_optimal
+        assert result.objective == 2
+
+
+class TestValidation:
+    def test_bad_sense_rejected(self):
+        with pytest.raises(ValueError, match="invalid constraint sense"):
+            ExactSimplex([1], [([1], "<", 1)])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="coefficients"):
+            ExactSimplex([1, 1], [([1], "<=", 1)])
+
+
+class TestAgainstScipy:
+    """Cross-check exact results against scipy's HiGHS on random LPs."""
+
+    def test_random_covering_lps_match_scipy(self):
+        import random
+
+        import numpy as np
+        from scipy.optimize import linprog
+
+        rng = random.Random(5)
+        for trial in range(25):
+            num_vars = rng.randint(2, 6)
+            num_cons = rng.randint(1, 6)
+            rows = []
+            for _ in range(num_cons):
+                support = rng.sample(
+                    range(num_vars), rng.randint(1, num_vars)
+                )
+                row = [1 if i in support else 0 for i in range(num_vars)]
+                rows.append((row, ">=", 1))
+            exact = solve([1] * num_vars, rows, maximize=False)
+            assert exact.is_optimal
+            scipy_result = linprog(
+                c=np.ones(num_vars),
+                A_ub=-np.array([row for row, _, _ in rows]),
+                b_ub=-np.ones(num_cons),
+                bounds=[(0, None)] * num_vars,
+                method="highs",
+            )
+            assert scipy_result.status == 0
+            assert abs(float(exact.objective) - scipy_result.fun) < 1e-9

@@ -1,0 +1,88 @@
+"""Unit tests for messages, mailboxes and round statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpc.message import Mailbox, Message, input_server
+from repro.mpc.stats import RoundStats, SimulationReport
+
+
+class TestMessage:
+    def test_size_accounting(self):
+        message = Message(0, 1, "R", ((1, 2), (3, 4)), bits_per_tuple=14)
+        assert message.num_tuples == 2
+        assert message.size_bits == 28
+
+    def test_rows_normalised_to_tuples(self):
+        message = Message(0, 1, "R", [[1, 2]], bits_per_tuple=4)
+        assert message.rows == ((1, 2),)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Message(0, 1, "R", ((1,),), bits_per_tuple=-1)
+
+    def test_input_server_label(self):
+        assert input_server("S1") == "input:S1"
+
+
+class TestMailbox:
+    def test_deliver_accumulates_by_relation(self):
+        mailbox = Mailbox()
+        mailbox.deliver(Message(0, 1, "R", ((1,),), 4))
+        mailbox.deliver(Message(0, 1, "R", ((2,),), 4))
+        mailbox.deliver(Message(0, 1, "S", ((3,),), 4))
+        assert mailbox.rows("R") == [(1,), (2,)]
+        assert mailbox.rows("S") == [(3,)]
+        assert set(mailbox.relations()) == {"R", "S"}
+
+    def test_missing_relation_is_empty(self):
+        assert Mailbox().rows("nope") == []
+
+    def test_clear(self):
+        mailbox = Mailbox()
+        mailbox.deliver(Message(0, 1, "R", ((1,),), 4))
+        mailbox.clear()
+        assert mailbox.rows("R") == []
+
+
+class TestRoundStats:
+    def make(self):
+        return RoundStats(
+            round_index=1,
+            received_bits=(10, 30, 0, 20),
+            received_tuples=(1, 3, 0, 2),
+            capacity_bits=100.0,
+        )
+
+    def test_aggregates(self):
+        stats = self.make()
+        assert stats.max_received_bits == 30
+        assert stats.max_received_tuples == 3
+        assert stats.total_bits == 60
+        assert stats.total_tuples == 6
+
+    def test_imbalance(self):
+        stats = self.make()
+        assert stats.load_imbalance == pytest.approx(30 / 15)
+
+    def test_imbalance_of_silence_is_one(self):
+        stats = RoundStats(1, (0, 0), (0, 0), 10.0)
+        assert stats.load_imbalance == 1.0
+
+
+class TestSimulationReport:
+    def test_aggregates_over_rounds(self):
+        report = SimulationReport(input_bits=100)
+        report.rounds.append(RoundStats(1, (50, 10), (5, 1), 60.0))
+        report.rounds.append(RoundStats(2, (20, 40), (2, 4), 60.0))
+        assert report.num_rounds == 2
+        assert report.max_load_bits == 50
+        assert report.max_load_tuples == 5
+        assert report.total_bits == 120
+        assert report.replication_rate == pytest.approx(1.2)
+
+    def test_empty_report(self):
+        report = SimulationReport(input_bits=0)
+        assert report.max_load_bits == 0
+        assert report.replication_rate == 0.0

@@ -1,0 +1,99 @@
+"""Unit tests for hash families and hypercube addressing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpc.routing import (
+    HashFamily,
+    grid_coordinates,
+    grid_rank,
+    grid_size,
+    splitmix64,
+)
+
+
+class TestSplitmix:
+    def test_deterministic(self):
+        assert splitmix64(42) == splitmix64(42)
+
+    def test_spreads_consecutive_inputs(self):
+        outputs = {splitmix64(i) % 64 for i in range(64)}
+        assert len(outputs) > 32  # no obvious clustering
+
+    def test_stays_in_64_bits(self):
+        for value in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= splitmix64(value) < 2**64
+
+
+class TestHashFamily:
+    def test_range(self):
+        family = HashFamily(seed=1)
+        for value in range(1, 200):
+            assert 0 <= family.hash_value("x", value, 7) < 7
+
+    def test_single_bucket_constant(self):
+        family = HashFamily(seed=1)
+        assert family.hash_value("x", 123, 1) == 0
+
+    def test_deterministic_across_instances(self):
+        a = HashFamily(seed=9)
+        b = HashFamily(seed=9)
+        assert all(
+            a.hash_value("x", v, 16) == b.hash_value("x", v, 16)
+            for v in range(50)
+        )
+
+    def test_dimensions_differ(self):
+        family = HashFamily(seed=3)
+        same = sum(
+            family.hash_value("x", v, 16) == family.hash_value("y", v, 16)
+            for v in range(200)
+        )
+        assert same < 50  # ~1/16 expected agreement
+
+    def test_seeds_differ(self):
+        a = HashFamily(seed=1)
+        b = HashFamily(seed=2)
+        same = sum(
+            a.hash_value("x", v, 16) == b.hash_value("x", v, 16)
+            for v in range(200)
+        )
+        assert same < 50
+
+    def test_roughly_uniform(self):
+        family = HashFamily(seed=4)
+        buckets = [0] * 8
+        for value in range(1, 801):
+            buckets[family.hash_value("x", value, 8)] += 1
+        assert max(buckets) < 2 * min(buckets)
+
+    def test_invalid_buckets(self):
+        with pytest.raises(ValueError):
+            HashFamily().hash_value("x", 1, 0)
+
+
+class TestGrid:
+    def test_rank_roundtrip(self):
+        dims = (3, 4, 2)
+        for rank in range(grid_size(dims)):
+            assert grid_rank(grid_coordinates(rank, dims), dims) == rank
+
+    def test_rank_row_major(self):
+        assert grid_rank((0, 0), (2, 3)) == 0
+        assert grid_rank((0, 1), (2, 3)) == 1
+        assert grid_rank((1, 0), (2, 3)) == 3
+
+    def test_rank_validates(self):
+        with pytest.raises(ValueError):
+            grid_rank((2,), (2,))
+        with pytest.raises(ValueError, match="mismatch"):
+            grid_rank((0, 0), (2,))
+
+    def test_coordinates_validates(self):
+        with pytest.raises(ValueError):
+            grid_coordinates(6, (2, 3))
+
+    def test_grid_size(self):
+        assert grid_size((2, 3, 4)) == 24
+        assert grid_size(()) == 1

@@ -1,0 +1,166 @@
+"""Unit tests for the MPC simulator: rounds, delivery, capacity."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.mpc.model import MPCConfig
+from repro.mpc.simulator import CapacityExceeded, MPCSimulator, ProtocolError
+
+
+def make_simulator(p=4, eps=Fraction(0), c=1.0, input_bits=400, enforce=True):
+    return MPCSimulator(
+        MPCConfig(p=p, eps=eps, c=c),
+        input_bits=input_bits,
+        enforce_capacity=enforce,
+    )
+
+
+class TestRoundLifecycle:
+    def test_round_indices_increment(self):
+        simulator = make_simulator()
+        assert simulator.begin_round() == 1
+        simulator.end_round()
+        assert simulator.begin_round() == 2
+
+    def test_double_begin_rejected(self):
+        simulator = make_simulator()
+        simulator.begin_round()
+        with pytest.raises(ProtocolError, match="still open"):
+            simulator.begin_round()
+
+    def test_end_without_begin_rejected(self):
+        with pytest.raises(ProtocolError, match="no round"):
+            make_simulator().end_round()
+
+    def test_send_outside_round_rejected(self):
+        simulator = make_simulator()
+        with pytest.raises(ProtocolError, match="outside"):
+            simulator.send(0, 1, "R", [(1,)], 8)
+
+
+class TestDelivery:
+    def test_messages_delivered_at_round_end(self):
+        simulator = make_simulator()
+        simulator.begin_round()
+        simulator.send(0, 1, "R", [(1, 2)], 8)
+        # Not yet delivered mid-round.
+        assert simulator.worker_rows(1, "R") == []
+        simulator.end_round()
+        assert simulator.worker_rows(1, "R") == [(1, 2)]
+
+    def test_storage_accumulates_across_rounds(self):
+        simulator = make_simulator()
+        simulator.begin_round()
+        simulator.send(0, 1, "R", [(1, 1)], 8)
+        simulator.end_round()
+        simulator.begin_round()
+        simulator.send(0, 1, "R", [(2, 2)], 8)
+        simulator.end_round()
+        assert simulator.worker_rows(1, "R") == [(1, 1), (2, 2)]
+
+    def test_empty_send_is_noop(self):
+        simulator = make_simulator()
+        simulator.begin_round()
+        simulator.send(0, 1, "R", [], 8)
+        stats = simulator.end_round()
+        assert stats.total_bits == 0
+
+    def test_broadcast_reaches_everyone(self):
+        simulator = make_simulator(p=3, eps=Fraction(1))
+        simulator.begin_round()
+        simulator.broadcast_from_input("R", [(1, 2)], 8)
+        simulator.end_round()
+        for worker in range(3):
+            assert simulator.worker_rows(worker, "R") == [(1, 2)]
+
+
+class TestEndpointValidation:
+    def test_receiver_range_checked(self):
+        simulator = make_simulator(p=2)
+        simulator.begin_round()
+        with pytest.raises(ProtocolError, match="receiver"):
+            simulator.send(0, 5, "R", [(1,)], 8)
+
+    def test_worker_sender_range_checked(self):
+        simulator = make_simulator(p=2)
+        simulator.begin_round()
+        with pytest.raises(ProtocolError, match="sender"):
+            simulator.send(7, 0, "R", [(1,)], 8)
+
+    def test_input_server_silent_after_round_one(self):
+        simulator = make_simulator()
+        simulator.begin_round()
+        simulator.send_from_input("R", 0, [(1,)], 8)
+        simulator.end_round()
+        simulator.begin_round()
+        with pytest.raises(ProtocolError, match="round 1"):
+            simulator.send_from_input("R", 0, [(1,)], 8)
+
+    def test_workers_may_send_any_round(self):
+        simulator = make_simulator()
+        simulator.begin_round()
+        simulator.end_round()
+        simulator.begin_round()
+        simulator.send(0, 1, "R", [(1,)], 8)
+        simulator.end_round()
+        assert simulator.worker_rows(1, "R") == [(1,)]
+
+
+class TestCapacity:
+    def test_overload_raises_with_details(self):
+        # capacity = 1 * 400 / 4 = 100 bits; send 104.
+        simulator = make_simulator()
+        simulator.begin_round()
+        simulator.send(0, 1, "R", [(i, i) for i in range(1, 14)], 8)
+        with pytest.raises(CapacityExceeded) as info:
+            simulator.end_round()
+        assert info.value.worker == 1
+        assert info.value.received_bits == 104
+        assert info.value.round_index == 1
+
+    def test_at_capacity_is_fine(self):
+        simulator = make_simulator()
+        simulator.begin_round()
+        simulator.send(0, 1, "R", [(i, i) for i in range(1, 13)], 8)
+        stats = simulator.end_round()
+        assert stats.max_received_bits == 96
+
+    def test_enforcement_can_be_disabled(self):
+        simulator = make_simulator(enforce=False)
+        simulator.begin_round()
+        simulator.send(0, 1, "R", [(i, i) for i in range(1, 100)], 8)
+        stats = simulator.end_round()
+        assert stats.max_received_bits > stats.capacity_bits
+
+    def test_load_splits_across_receivers(self):
+        simulator = make_simulator()
+        simulator.begin_round()
+        for worker in range(4):
+            simulator.send(0, worker, "R", [(1, 1)], 8)
+        stats = simulator.end_round()
+        assert stats.received_bits == (8, 8, 8, 8)
+        assert stats.load_imbalance == pytest.approx(1.0)
+
+
+class TestStatsPlumbing:
+    def test_report_aggregates_rounds(self):
+        simulator = make_simulator(enforce=False)
+        for _ in range(3):
+            simulator.begin_round()
+            simulator.send(0, 1, "R", [(1, 1)], 8)
+            simulator.end_round()
+        report = simulator.report
+        assert report.num_rounds == 3
+        assert report.total_bits == 24
+        assert report.max_load_bits == 8
+        assert "rounds=3" in report.summary()
+
+    def test_replication_rate(self):
+        simulator = make_simulator(p=2, eps=Fraction(1), input_bits=8)
+        simulator.begin_round()
+        simulator.broadcast_from_input("R", [(1, 1)], 8)
+        simulator.end_round()
+        assert simulator.report.replication_rate == pytest.approx(2.0)

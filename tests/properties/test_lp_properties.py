@@ -1,0 +1,131 @@
+"""Property-based tests for the exact LP solver (hypothesis)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from scipy.optimize import linprog
+
+from repro.lp.simplex import ExactSimplex, SimplexStatus
+
+
+@st.composite
+def covering_instances(draw):
+    """Random 0/1 covering LPs: min 1.x s.t. Ax >= 1, x >= 0."""
+    num_vars = draw(st.integers(min_value=1, max_value=6))
+    num_cons = draw(st.integers(min_value=1, max_value=6))
+    rows = []
+    for _ in range(num_cons):
+        support = draw(
+            st.sets(
+                st.integers(min_value=0, max_value=num_vars - 1),
+                min_size=1,
+                max_size=num_vars,
+            )
+        )
+        rows.append([1 if i in support else 0 for i in range(num_vars)])
+    return num_vars, rows
+
+
+@st.composite
+def packing_instances(draw):
+    """Random packing LPs: max c.x s.t. Ax <= b, x >= 0 with A, b >= 0."""
+    num_vars = draw(st.integers(min_value=1, max_value=5))
+    num_cons = draw(st.integers(min_value=1, max_value=5))
+    entries = st.integers(min_value=0, max_value=4)
+    matrix = [
+        [draw(entries) for _ in range(num_vars)] for _ in range(num_cons)
+    ]
+    b = [draw(st.integers(min_value=1, max_value=9)) for _ in range(num_cons)]
+    c = [draw(st.integers(min_value=0, max_value=5)) for _ in range(num_vars)]
+    return c, matrix, b
+
+
+class TestCoveringProperties:
+    @given(covering_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scipy_and_is_sane(self, instance):
+        num_vars, rows = instance
+        exact = ExactSimplex(
+            [1] * num_vars,
+            [(row, ">=", 1) for row in rows],
+            maximize=False,
+        ).solve()
+        assert exact.status is SimplexStatus.OPTIMAL
+        # Covering optimum lies in [1, #constraints].
+        assert 0 < exact.objective <= len(rows)
+        # Feasibility of the returned point.
+        for row in rows:
+            assert sum(
+                coeff * value
+                for coeff, value in zip(row, exact.solution)
+            ) >= 1
+        reference = linprog(
+            c=np.ones(num_vars),
+            A_ub=-np.array(rows),
+            b_ub=-np.ones(len(rows)),
+            bounds=[(0, None)] * num_vars,
+            method="highs",
+        )
+        assert reference.status == 0
+        assert abs(float(exact.objective) - reference.fun) < 1e-9
+
+    @given(covering_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_strong_duality(self, instance):
+        num_vars, rows = instance
+        exact = ExactSimplex(
+            [1] * num_vars,
+            [(row, ">=", 1) for row in rows],
+            maximize=False,
+        ).solve()
+        dual_value = sum(exact.duals)
+        assert dual_value == exact.objective
+        # Dual feasibility: column sums <= 1.
+        for column in range(num_vars):
+            assert sum(
+                exact.duals[i]
+                for i, row in enumerate(rows)
+                if row[column]
+            ) <= 1
+
+
+class TestPackingProperties:
+    @given(packing_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scipy(self, instance):
+        c, matrix, b = instance
+        exact = ExactSimplex(
+            c, [(row, "<=", rhs) for row, rhs in zip(matrix, b)]
+        ).solve()
+        reference = linprog(
+            c=-np.array(c, dtype=float),
+            A_ub=np.array(matrix, dtype=float),
+            b_ub=np.array(b, dtype=float),
+            bounds=[(0, None)] * len(c),
+            method="highs",
+        )
+        if exact.status is SimplexStatus.OPTIMAL:
+            assert reference.status == 0
+            assert abs(float(exact.objective) + reference.fun) < 1e-9
+        elif exact.status is SimplexStatus.UNBOUNDED:
+            assert reference.status == 3
+        else:  # packing with b >= 0 is always feasible at x = 0
+            raise AssertionError("packing LP reported infeasible")
+
+    @given(packing_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_solution_feasible(self, instance):
+        c, matrix, b = instance
+        exact = ExactSimplex(
+            c, [(row, "<=", rhs) for row, rhs in zip(matrix, b)]
+        ).solve()
+        if exact.status is not SimplexStatus.OPTIMAL:
+            return
+        for row, rhs in zip(matrix, b):
+            assert sum(
+                coeff * value for coeff, value in zip(row, exact.solution)
+            ) <= rhs
+        assert all(value >= 0 for value in exact.solution)

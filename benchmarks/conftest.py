@@ -25,3 +25,22 @@ def once(benchmark):
         )
 
     return runner
+
+
+def pytest_addoption(parser):
+    """Select the execution engine for backend-aware benchmarks."""
+    parser.addoption(
+        "--backend",
+        action="store",
+        default="pure",
+        choices=("pure", "numpy", "auto"),
+        help="repro compute backend to benchmark (default: pure)",
+    )
+
+
+@pytest.fixture
+def bench_backend(request):
+    """The resolved compute backend selected via ``--backend``."""
+    from repro.backend import resolve_backend
+
+    return resolve_backend(request.config.getoption("--backend"))

@@ -18,6 +18,19 @@ cover ``v`` of value ``tau``:
 On matching databases the maximum load is ``O(n / p^{1/tau})`` tuples
 per server w.h.p., matching Theorem 1.1's lower bound: HC is the
 optimal one-round algorithm.
+
+Two execution backends implement the identical protocol:
+
+* ``pure`` (reference): per-row :func:`hc_destinations` plus the
+  backtracking local join;
+* ``numpy`` (vectorized): each relation's destination ranks are
+  computed in one batched pass -- pinned dimensions hashed
+  column-wise, free dimensions expanded with a single repeat/tile
+  product -- shipped via :meth:`MPCSimulator.send_columns`, and
+  joined locally with the columnar hash join.
+
+The backends are cross-checked for exact equality of answers,
+per-round received bits/tuples and per-server answer counts.
 """
 
 from __future__ import annotations
@@ -27,13 +40,20 @@ from fractions import Fraction
 from itertools import product
 from typing import Mapping
 
-from repro.algorithms.localjoin import evaluate_query
+from repro.backend import NUMPY, require_numpy, resolve_backend
+from repro.algorithms.localjoin import evaluate_query, evaluate_query_columnar
 from repro.core.covers import fractional_vertex_cover
 from repro.core.query import Atom, ConjunctiveQuery
 from repro.core.shares import ShareAllocation, allocate_integer_shares, share_exponents
+from repro.data.columnar import ColumnarRelation
 from repro.data.database import Database, Relation
 from repro.mpc.model import MPCConfig
-from repro.mpc.routing import HashFamily, grid_rank
+from repro.mpc.routing import (
+    HashFamily,
+    grid_rank,
+    grid_rank_columns,
+    grid_weights,
+)
 from repro.mpc.simulator import MPCSimulator
 from repro.mpc.stats import SimulationReport
 
@@ -67,21 +87,20 @@ def hc_destinations(
     Dimensions owned by the atom's variables are pinned to the hashed
     coordinates; the remaining dimensions range over their full shares
     (this is the replication).  Rows violating repeated-variable
-    equality within the atom route nowhere (they can never join).
+    equality within the atom route nowhere (they can never join); the
+    equality check runs *before* any hashing so contradictory rows
+    short-circuit without wasted hash work.
     """
-    pinned: dict[str, int] = {}
+    first_position = atom.first_positions
     for position, variable in enumerate(atom.variables):
-        coordinate = hashes.hash_value(
+        if row[position] != row[first_position[variable]]:
+            return []
+    pinned = {
+        variable: hashes.hash_value(
             variable, row[position], shares[variable]
         )
-        if variable in pinned and pinned[variable] != coordinate:
-            return []
-        pinned[variable] = coordinate
-    # Repeated variables with unequal values can never satisfy the atom.
-    for position, variable in enumerate(atom.variables):
-        first = atom.variables.index(variable)
-        if row[position] != row[first]:
-            return []
+        for variable, position in first_position.items()
+    }
 
     axes = []
     for variable in variable_order:
@@ -96,6 +115,71 @@ def hc_destinations(
     ]
 
 
+def hc_route_columns(
+    atom: Atom,
+    relation: ColumnarRelation,
+    shares: Mapping[str, int],
+    variable_order: tuple[str, ...],
+    hashes: HashFamily,
+) -> tuple:
+    """Batched destination ranks for every row of a columnar relation.
+
+    The vectorized counterpart of mapping :func:`hc_destinations`
+    over the relation: one pass filters repeated-variable
+    contradictions, one :meth:`HashFamily.hash_column` call per
+    distinct atom variable pins its dimension, and the free-dimension
+    replication is expanded with a single repeat/tile product.
+
+    Returns:
+        ``(columns, destinations, row_indices)`` -- the surviving
+        source columns, a flat int64 array of grid ranks, and gather
+        indices into ``columns`` parallel to ``destinations`` (each
+        surviving row appears once per free-grid point, destinations
+        of one row contiguous and ascending, matching the scalar
+        path's ordering).
+    """
+    numpy = require_numpy()
+    columns = relation.columns
+    first_position = atom.first_positions
+    mask = None
+    for position, variable in enumerate(atom.variables):
+        first = first_position[variable]
+        if first != position:
+            equal = columns[position] == columns[first]
+            mask = equal if mask is None else (mask & equal)
+    if mask is not None:
+        columns = tuple(column[mask] for column in columns)
+    num_rows = len(columns[0]) if columns else 0
+
+    dimensions = tuple(shares[variable] for variable in variable_order)
+    weights = dict(zip(variable_order, grid_weights(dimensions)))
+
+    # Rank of each row's grid point with all free dimensions at the
+    # origin; the free sub-grid is then enumerated by rank offsets.
+    coordinate_columns = [
+        hashes.hash_column(
+            variable, columns[first_position[variable]], shares[variable]
+        )
+        if variable in first_position
+        else numpy.zeros(num_rows, dtype=numpy.int64)
+        for variable in variable_order
+    ]
+    base = grid_rank_columns(coordinate_columns, dimensions)
+
+    offsets = numpy.zeros(1, dtype=numpy.int64)
+    for variable in variable_order:
+        if variable not in first_position:
+            steps = numpy.arange(shares[variable]) * weights[variable]
+            offsets = (offsets[:, None] + steps[None, :]).reshape(-1)
+    replication = len(offsets)
+
+    destinations = (base[:, None] + offsets[None, :]).reshape(-1)
+    row_indices = numpy.repeat(
+        numpy.arange(num_rows, dtype=numpy.int64), replication
+    )
+    return columns, destinations, row_indices
+
+
 def run_hypercube(
     query: ConjunctiveQuery,
     database: Database,
@@ -105,6 +189,7 @@ def run_hypercube(
     seed: int = 0,
     capacity_c: float = 4.0,
     enforce_capacity: bool = False,
+    backend: str | None = None,
 ) -> HCResult:
     """Run one round of HC on the simulator and return all answers.
 
@@ -120,6 +205,9 @@ def run_hypercube(
         seed: hash-family seed (determinism / repetition).
         capacity_c: the constant in the capacity bound.
         enforce_capacity: raise on overload instead of just recording.
+        backend: ``"pure"`` (default, reference), ``"numpy"``
+            (vectorized) or ``"auto"``; both produce identical
+            answers, loads and statistics.
 
     Returns:
         An :class:`HCResult`; ``answers`` equals the true query answer
@@ -137,7 +225,11 @@ def run_hypercube(
     if eps is None:
         tau = sum((Fraction(v) for v in cover.values()), start=Fraction(0))
         eps = max(Fraction(0), 1 - 1 / tau)
-    config = MPCConfig(p=p, eps=Fraction(eps), c=capacity_c)
+    config = MPCConfig(
+        p=p, eps=Fraction(eps), c=capacity_c,
+        backend=resolve_backend(backend),
+    )
+    backend = config.backend  # MPCConfig is the source of truth
     simulator = MPCSimulator(
         config,
         input_bits=database.total_bits,
@@ -145,31 +237,50 @@ def run_hypercube(
     )
 
     simulator.begin_round()
-    for atom in query.atoms:
-        relation: Relation = database[atom.name]
-        batches: dict[int, list[tuple[int, ...]]] = {}
-        for row in relation:
-            for destination in hc_destinations(
-                atom, row, shares, variable_order, hashes
-            ):
-                batches.setdefault(destination, []).append(row)
-        for destination, rows in batches.items():
-            simulator.send_from_input(
-                atom.name,
-                destination,
-                rows,
-                bits_per_tuple=relation.tuple_bits,
+    if backend == NUMPY:
+        for atom in query.atoms:
+            relation = ColumnarRelation.from_relation(
+                database[atom.name], backend=NUMPY
             )
+            columns, destinations, row_indices = hc_route_columns(
+                atom, relation, shares, variable_order, hashes
+            )
+            simulator.send_columns_from_input(
+                atom.name,
+                destinations,
+                columns,
+                bits_per_tuple=relation.tuple_bits,
+                row_indices=row_indices,
+            )
+    else:
+        for atom in query.atoms:
+            relation: Relation = database[atom.name]
+            batches: dict[int, list[tuple[int, ...]]] = {}
+            for row in relation:
+                for destination in hc_destinations(
+                    atom, row, shares, variable_order, hashes
+                ):
+                    batches.setdefault(destination, []).append(row)
+            for destination, rows in batches.items():
+                simulator.send_from_input(
+                    atom.name,
+                    destination,
+                    rows,
+                    bits_per_tuple=relation.tuple_bits,
+                )
     simulator.end_round()
 
     answers: set[tuple[int, ...]] = set()
     per_server: list[int] = []
     for worker in range(allocation.used_servers):
-        local = {
-            atom.name: simulator.worker_rows(worker, atom.name)
-            for atom in query.atoms
-        }
-        found = evaluate_query(query, local)
+        if backend == NUMPY:
+            found = _local_join_columnar(query, simulator, worker)
+        else:
+            local = {
+                atom.name: simulator.worker_rows(worker, atom.name)
+                for atom in query.atoms
+            }
+            found = evaluate_query(query, local)
         per_server.append(len(found))
         answers.update(found)
     per_server.extend([0] * (p - allocation.used_servers))
@@ -180,3 +291,26 @@ def run_hypercube(
         report=simulator.report,
         per_server_answers=tuple(per_server),
     )
+
+
+def _local_join_columnar(
+    query: ConjunctiveQuery, simulator: MPCSimulator, worker: int
+) -> tuple[tuple[int, ...], ...]:
+    """Evaluate the query at one worker over its columnar fragments."""
+    numpy = require_numpy()
+    fragments: dict[str, tuple] = {}
+    for atom in query.atoms:
+        batches = simulator.worker_column_batches(worker, atom.name)
+        if not batches:
+            return ()
+        if len(batches) == 1:
+            fragments[atom.name] = batches[0]
+        else:
+            fragments[atom.name] = tuple(
+                numpy.concatenate([batch[i] for batch in batches])
+                for i in range(len(batches[0]))
+            )
+    # Routing delivers every row at most once per worker, so the
+    # fragments are duplicate-free and the dedup/sort passes can be
+    # skipped; run_hypercube sorts the final answer union itself.
+    return evaluate_query_columnar(query, fragments, assume_unique=True)

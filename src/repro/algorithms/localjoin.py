@@ -2,29 +2,34 @@
 
 Workers in the MPC model have unlimited local compute (Section 2.1);
 what they do locally after a communication round is evaluate the query
-on whatever tuples they received.  This module is that local engine: a
-straightforward index-backed backtracking join.
+on whatever tuples they received.  This module is that local engine,
+in two bit-identical flavours:
 
-The evaluator:
+* :func:`evaluate_query` -- the reference path: a straightforward
+  index-backed backtracking join over row tuples;
+* :func:`evaluate_query_columnar` -- the vectorized path: a sort/
+  searchsorted hash join over int64 column arrays (numpy backend),
+  used by the columnar HyperCube executor.
 
-* orders atoms greedily (smallest relation first, then always an atom
+Both evaluators:
+
+* order atoms greedily (smallest relation first, then always an atom
   sharing a bound variable, to keep intermediate bindings selective);
-* builds, per atom, a hash index keyed by the positions already bound
-  when the atom is reached;
-* handles repeated variables within an atom (they act as equality
+* handle repeated variables within an atom (they act as equality
   selections), which arise from contracted queries;
-* returns answers as sorted tuples in the query's head-variable order.
+* return answers as sorted tuples in the query's head-variable order.
 
 For the matching databases of the paper every relation has ``n``
 tuples and joins are key-key, so evaluation is near-linear; the
-evaluator is nevertheless fully general and is cross-checked against
-brute-force enumeration in the tests.
+evaluators are nevertheless fully general, cross-checked against
+brute-force enumeration and against each other in the tests.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
+from repro.backend import require_numpy
 from repro.core.query import Atom, ConjunctiveQuery
 
 Rows = Sequence[tuple[int, ...]]
@@ -85,6 +90,197 @@ def evaluate_query(
     return tuple(sorted(answers))
 
 
+def evaluate_query_columnar(
+    query: ConjunctiveQuery,
+    fragments: Mapping[str, Sequence[Any]],
+    assume_unique: bool = False,
+) -> tuple[tuple[int, ...], ...]:
+    """All answers of ``query`` over columnar relation fragments.
+
+    The vectorized counterpart of :func:`evaluate_query`: relations
+    arrive as parallel int64 column arrays and every join step is a
+    sort + ``searchsorted`` hash join, so per-answer Python work is
+    O(1) amortised.  Requires the numpy backend.
+
+    Args:
+        query: a full conjunctive query.
+        fragments: per relation name, a sequence of parallel value
+            columns (numpy int64 arrays); atoms whose relation is
+            missing or empty make the answer empty.
+        assume_unique: skip input deduplication and output sorting.
+            Safe when every fragment is duplicate-free (the HC
+            executor's case: routing never delivers a row twice),
+            where the full-query answer set is then duplicate-free by
+            construction; the returned order is unspecified.
+
+    Returns:
+        Duplicate-free answer tuples in head-variable order, sorted
+        unless ``assume_unique`` -- the same answer *set*
+        :func:`evaluate_query` produces on the same rows.
+    """
+    numpy = require_numpy()
+    tables: dict[str, Any] = {}
+    for atom in query.atoms:
+        columns = fragments.get(atom.name)
+        if columns is None or len(columns) == 0 or len(columns[0]) == 0:
+            return ()
+        table = numpy.column_stack(
+            [numpy.asarray(c, dtype=numpy.int64) for c in columns]
+        )
+        if not assume_unique:
+            # Mailboxes could in principle hold repeats.
+            table = numpy.unique(table, axis=0)
+        # Intra-atom repeated variables act as equality selections.
+        first_position = atom.first_positions
+        mask = None
+        for position, variable in enumerate(atom.variables):
+            first = first_position[variable]
+            if first != position:
+                equal = table[:, position] == table[:, first]
+                mask = equal if mask is None else (mask & equal)
+        if mask is not None:
+            table = table[mask]
+        if len(table) == 0:
+            return ()
+        tables[atom.name] = table
+
+    sizes = {name: len(table) for name, table in tables.items()}
+    order = _atom_order_by_size(query, sizes)
+
+    binding: dict[str, Any] = {}
+    first_atom = order[0]
+    for variable, position in first_atom.first_positions.items():
+        binding[variable] = tables[first_atom.name][:, position]
+
+    for atom in order[1:]:
+        table = tables[atom.name]
+        positions = atom.first_positions
+        shared = [v for v in positions if v in binding]
+        num_bound = len(next(iter(binding.values())))
+        if shared:
+            key_left, key_right = _factorize_keys(
+                numpy,
+                [binding[v] for v in shared],
+                [table[:, positions[v]] for v in shared],
+            )
+            left_index, right_index = _join_pairs(numpy, key_left, key_right)
+        else:
+            left_index = numpy.repeat(
+                numpy.arange(num_bound), len(table)
+            )
+            right_index = numpy.tile(numpy.arange(len(table)), num_bound)
+        if len(left_index) == 0:
+            return ()
+        binding = {
+            variable: column[left_index]
+            for variable, column in binding.items()
+        }
+        for variable, position in positions.items():
+            if variable not in binding:
+                binding[variable] = table[right_index, position]
+
+    head = numpy.column_stack([binding[v] for v in query.head])
+    if not assume_unique:
+        head = numpy.unique(head, axis=0)
+    return tuple(map(tuple, head.tolist()))
+
+
+def _atom_order_by_size(
+    query: ConjunctiveQuery, sizes: Mapping[str, int]
+) -> list[Atom]:
+    """Greedy join order over abstract sizes (shared with both paths)."""
+    remaining = list(query.atoms)
+    remaining.sort(key=lambda atom: sizes[atom.name])
+    order: list[Atom] = [remaining.pop(0)]
+    bound: set[str] = set(order[0].variable_set)
+    while remaining:
+        connected = [
+            atom for atom in remaining if atom.variable_set & bound
+        ]
+        pool = connected or remaining
+        chosen = min(pool, key=lambda atom: sizes[atom.name])
+        remaining.remove(chosen)
+        order.append(chosen)
+        bound |= chosen.variable_set
+    return order
+
+
+def _factorize_keys(
+    numpy: Any,
+    left_columns: Sequence[Any],
+    right_columns: Sequence[Any],
+) -> tuple[Any, Any]:
+    """Map multi-column join keys on both sides to shared int keys.
+
+    Single-column keys are used directly.  Wider keys are packed
+    mixed-radix into one int64 when the combined value span fits
+    (the common case: domain values are small positive ints);
+    otherwise they are factorized through one ``numpy.unique`` over
+    the stacked key rows of both sides, which never overflows.
+    """
+    if len(left_columns) == 1:
+        return left_columns[0], right_columns[0]
+    radices = []
+    span = 1
+    packable = True
+    for left, right in zip(left_columns, right_columns):
+        low = high = 0
+        if len(left):
+            low = min(low, int(left.min()))
+            high = max(high, int(left.max()))
+        if len(right):
+            low = min(low, int(right.min()))
+            high = max(high, int(right.max()))
+        span *= high + 1
+        if low < 0 or span >= (1 << 62):
+            packable = False
+            break
+        radices.append(high + 1)
+    if packable:
+        key_left = left_columns[0].copy()
+        key_right = right_columns[0].copy()
+        for left, right, radix in zip(
+            left_columns[1:], right_columns[1:], radices[1:]
+        ):
+            key_left = key_left * radix + left
+            key_right = key_right * radix + right
+        return key_left, key_right
+    num_left = len(left_columns[0])
+    stacked = numpy.column_stack(
+        [
+            numpy.concatenate([left, right])
+            for left, right in zip(left_columns, right_columns)
+        ]
+    )
+    _, inverse = numpy.unique(stacked, axis=0, return_inverse=True)
+    inverse = inverse.reshape(-1)  # pre-2.1 numpy returns shape (n, 1)
+    return inverse[:num_left], inverse[num_left:]
+
+
+def _join_pairs(numpy: Any, key_left: Any, key_right: Any) -> tuple[Any, Any]:
+    """Index pairs ``(i, j)`` with ``key_left[i] == key_right[j]``.
+
+    Sorts the right side once, locates each left key's run with two
+    ``searchsorted`` calls, and expands the runs arithmetic-only.
+    """
+    order = numpy.argsort(key_right, kind="stable")
+    sorted_keys = key_right[order]
+    starts = numpy.searchsorted(sorted_keys, key_left, side="left")
+    ends = numpy.searchsorted(sorted_keys, key_left, side="right")
+    counts = ends - starts
+    total = int(counts.sum())
+    left_index = numpy.repeat(numpy.arange(len(key_left)), counts)
+    run_starts = numpy.repeat(starts, counts)
+    offsets = numpy.arange(total) - numpy.repeat(
+        numpy.concatenate(
+            ([0], numpy.cumsum(counts)[:-1])
+        ) if len(counts) else numpy.zeros(0, dtype=numpy.int64),
+        counts,
+    )
+    right_index = order[run_starts + offsets]
+    return left_index, right_index
+
+
 def count_answers(
     query: ConjunctiveQuery,
     relations: Mapping[str, Iterable[Sequence[int]]],
@@ -98,20 +294,9 @@ def _atom_order(
     instances: Mapping[str, list[tuple[int, ...]]],
 ) -> list[Atom]:
     """Greedy join order: smallest first, then stay connected."""
-    remaining = list(query.atoms)
-    remaining.sort(key=lambda atom: len(instances[atom.name]))
-    order: list[Atom] = [remaining.pop(0)]
-    bound: set[str] = set(order[0].variable_set)
-    while remaining:
-        connected = [
-            atom for atom in remaining if atom.variable_set & bound
-        ]
-        pool = connected or remaining
-        chosen = min(pool, key=lambda atom: len(instances[atom.name]))
-        remaining.remove(chosen)
-        order.append(chosen)
-        bound |= chosen.variable_set
-    return order
+    return _atom_order_by_size(
+        query, {name: len(rows) for name, rows in instances.items()}
+    )
 
 
 def _build_indexes(
@@ -129,9 +314,7 @@ def _build_indexes(
     indexes = []
     bound: set[str] = set()
     for atom in order:
-        first_position: dict[str, int] = {}
-        for position, variable in enumerate(atom.variables):
-            first_position.setdefault(variable, position)
+        first_position = atom.first_positions
         bound_positions = tuple(
             first_position[variable]
             for variable in dict.fromkeys(atom.variables)

@@ -50,6 +50,7 @@ def sweep_hc_load(
     p_values: tuple[int, ...] = (4, 8, 16, 32, 64),
     trials: int = 3,
     seed: int = 0,
+    backend: str | None = None,
 ) -> list[dict[str, object]]:
     """E4: HC maximum load (tuples/server) versus ``p``.
 
@@ -57,7 +58,8 @@ def sweep_hc_load(
     ``l`` atoms contributes up to ``n / p^{1-eps}``); the measured
     column should track it within small constants, and the ratio
     column (measured / theory) should stay roughly flat in ``p`` --
-    that flatness is Proposition 3.2.
+    that flatness is Proposition 3.2.  ``backend`` selects the
+    execution engine (loads are backend-independent).
     """
     eps = space_exponent(query)
     rows = []
@@ -66,7 +68,7 @@ def sweep_hc_load(
         for trial in range(trials):
             database = matching_database(query, n, rng=seed + trial)
             result = run_hypercube(
-                query, database, p=p, seed=seed + trial
+                query, database, p=p, seed=seed + trial, backend=backend
             )
             loads.append(result.report.max_load_tuples)
         theory = (

@@ -1,0 +1,89 @@
+"""Compute-backend selection for the columnar execution engine.
+
+The engine has two interchangeable backends:
+
+* ``pure`` -- the reference implementation: plain Python loops over
+  row tuples, exactly the code paths the paper's pseudo-code maps to.
+* ``numpy`` -- vectorized column kernels (batched hashing, batched
+  grid ranking, hash joins over int64 arrays), bit-identical to
+  ``pure`` but 1-2 orders of magnitude faster at realistic sizes.
+
+Everything in :mod:`repro` that wants numpy must go through
+:func:`numpy_or_none` so a single switch controls availability: the
+environment variable ``REPRO_DISABLE_NUMPY`` (any non-empty value)
+makes the package behave as if numpy were not installed, which is how
+CI exercises the pure fallback on machines that do have numpy.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+PURE = "pure"
+NUMPY = "numpy"
+AUTO = "auto"
+
+_BACKENDS = (PURE, NUMPY)
+
+
+class BackendError(Exception):
+    """Raised when a requested compute backend is unavailable."""
+
+
+def numpy_or_none() -> Any:
+    """The ``numpy`` module, or None when absent or disabled."""
+    if os.environ.get("REPRO_DISABLE_NUMPY"):
+        return None
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - depends on environment
+        return None
+    return numpy
+
+
+def numpy_available() -> bool:
+    """True when the ``numpy`` backend can be used."""
+    return numpy_or_none() is not None
+
+
+def available_backends() -> tuple[str, ...]:
+    """The backends usable in this environment (``pure`` always is)."""
+    if numpy_available():
+        return _BACKENDS
+    return (PURE,)
+
+
+def resolve_backend(name: str | None) -> str:
+    """Normalise a backend request to a usable backend name.
+
+    Args:
+        name: ``"pure"``, ``"numpy"``, ``"auto"`` (numpy when
+            available, else pure), or None (defaults to ``pure``, the
+            reference implementation).
+
+    Raises:
+        BackendError: when ``numpy`` is requested but unavailable.
+    """
+    if name is None:
+        return PURE
+    if name == AUTO:
+        return NUMPY if numpy_available() else PURE
+    if name not in _BACKENDS:
+        raise BackendError(
+            f"unknown backend {name!r}; choose from {_BACKENDS + (AUTO,)}"
+        )
+    if name == NUMPY and not numpy_available():
+        raise BackendError(
+            "numpy backend requested but numpy is not available "
+            "(install the [numpy] extra or unset REPRO_DISABLE_NUMPY)"
+        )
+    return name
+
+
+def require_numpy() -> Any:
+    """The numpy module; raises :class:`BackendError` when missing."""
+    numpy = numpy_or_none()
+    if numpy is None:
+        raise BackendError("this code path requires the numpy backend")
+    return numpy

@@ -5,8 +5,11 @@ Commands:
 * ``analyze "S1(x,y), S2(y,z), S3(z,x)"`` -- print the full analysis
   of a query: tau*, space exponent, covers, shares, chi, radius,
   diameter, round bounds.
-* ``run "S1(x,y), S2(y,z)" --n 100 --p 16`` -- generate a random
-  matching database and run HyperCube on the simulator.
+* ``run "S1(x,y), S2(y,z)" --n 100 --p 16 --backend numpy`` --
+  generate a random matching database and run HyperCube on the
+  simulator, on the pure-Python reference engine or the vectorized
+  numpy one (``--backend {auto,pure,numpy}``; both give identical
+  answers and load accounting).
 * ``plan "S1(x,y), ..." --eps 1/2`` -- build and print a multi-round
   plan.
 * ``tables`` -- regenerate Table 1 and Table 2 of the paper.
@@ -66,9 +69,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     from repro.algorithms.localjoin import evaluate_query
     from repro.data.matching import matching_database
 
+    from repro.backend import resolve_backend
+
     query = parse_query(args.query)
     database = matching_database(query, n=args.n, rng=args.seed)
-    result = run_hypercube(query, database, p=args.p, seed=args.seed)
+    backend = resolve_backend(args.backend)
+    result = run_hypercube(
+        query, database, p=args.p, seed=args.seed, backend=backend
+    )
     truth = evaluate_query(
         query, {name: database[name].tuples for name in database.relations}
     )
@@ -79,6 +87,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             ["query", str(query)],
             ["n (domain)", args.n],
             ["p (servers)", args.p],
+            ["backend", backend],
             ["shares", result.allocation.shares],
             ["answers", len(result.answers)],
             ["verified vs exact join", verified],
@@ -172,6 +181,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--n", type=int, default=100, help="domain size")
     run.add_argument("--p", type=int, default=16, help="number of servers")
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--backend",
+        choices=["auto", "pure", "numpy"],
+        default="pure",
+        help="execution engine: pure-Python reference or vectorized "
+        "numpy (auto picks numpy when available)",
+    )
     run.set_defaults(handler=cmd_run)
 
     plan = commands.add_parser("plan", help="build a multi-round plan")
@@ -194,11 +210,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.backend import BackendError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except QueryError as error:
+    except (BackendError, QueryError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

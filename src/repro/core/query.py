@@ -62,6 +62,19 @@ class Atom:
         """Number of attribute positions (counting repeats)."""
         return len(self.variables)
 
+    @cached_property
+    def first_positions(self) -> dict[str, int]:
+        """First column position of each distinct variable.
+
+        Repeated variables act as equality selections: a row satisfies
+        the atom iff every position agrees with its variable's first
+        position.  Both execution engines share this mapping.
+        """
+        positions: dict[str, int] = {}
+        for position, variable in enumerate(self.variables):
+            positions.setdefault(variable, position)
+        return positions
+
     @property
     def variable_set(self) -> frozenset[str]:
         """Distinct variables of the atom."""

@@ -17,6 +17,7 @@ This package provides:
   dense graphs of the CONNECTED-COMPONENTS experiment (Theorem 4.10).
 """
 
+from repro.data.columnar import ColumnarRelation, columnar_database
 from repro.data.database import Database, Relation
 from repro.data.matching import (
     identity_matching,
@@ -31,6 +32,8 @@ from repro.data.generators import (
 )
 
 __all__ = [
+    "ColumnarRelation",
+    "columnar_database",
     "Database",
     "Relation",
     "identity_matching",

@@ -1,0 +1,244 @@
+"""Columnar relation storage for the vectorized execution engine.
+
+A :class:`ColumnarRelation` stores a relation as ``arity`` parallel
+value columns instead of a tuple of row tuples.  Under the ``numpy``
+backend the columns are int64 arrays and deduplication, sorting and
+domain validation are single vectorized passes; under ``pure`` they
+are plain Python lists and the same operations fall back to the
+row-at-a-time reference code.
+
+The row-oriented :class:`repro.data.database.Relation` remains the
+canonical public type; the two are convertible both ways and agree on
+contents, ordering (lexicographic) and bit accounting::
+
+    columnar = ColumnarRelation.from_relation(relation)
+    assert columnar.to_relation() == relation
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.backend import NUMPY, PURE, numpy_or_none, resolve_backend
+from repro.data.database import DataError, Relation, bits_per_value
+
+Columns = tuple[Any, ...]
+
+
+def _dedup_sort_pure(
+    rows: Iterable[tuple[int, ...]],
+) -> list[tuple[int, ...]]:
+    return sorted(set(rows))
+
+
+def _columns_from_rows_pure(
+    rows: Sequence[tuple[int, ...]], arity: int
+) -> Columns:
+    return tuple(
+        [row[position] for row in rows] for position in range(arity)
+    )
+
+
+@dataclass(frozen=True)
+class ColumnarRelation:
+    """An immutable relation stored column-wise.
+
+    Attributes:
+        name: relation symbol.
+        arity: number of columns.
+        columns: one value sequence per attribute position -- int64
+            numpy arrays (``numpy`` backend) or lists of int
+            (``pure``).  Rows are deduplicated and lexicographically
+            sorted, mirroring :class:`Relation`.
+        domain_size: the ``n`` such that values lie in ``[1, n]``.
+        backend: which backend owns the column storage.
+    """
+
+    name: str
+    arity: int
+    columns: Columns
+    domain_size: int
+    backend: str = PURE
+
+    def __post_init__(self) -> None:
+        if self.arity < 1:
+            raise DataError(f"{self.name}: arity must be >= 1")
+        if len(self.columns) != self.arity:
+            raise DataError(
+                f"{self.name}: {len(self.columns)} columns for arity "
+                f"{self.arity}"
+            )
+        lengths = {len(column) for column in self.columns}
+        if len(lengths) > 1:
+            raise DataError(
+                f"{self.name}: ragged columns with lengths "
+                f"{sorted(lengths)}"
+            )
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        rows: Iterable[Sequence[int]],
+        domain_size: int,
+        arity: int | None = None,
+        backend: str | None = None,
+    ) -> "ColumnarRelation":
+        """Build from row tuples: dedup, sort, validate, columnarise."""
+        backend = resolve_backend(backend)
+        materialised = [tuple(row) for row in rows]
+        if arity is None:
+            if not materialised:
+                raise DataError(
+                    f"{name}: cannot infer arity of an empty relation"
+                )
+            arity = len(materialised[0])
+        for row in materialised:
+            if len(row) != arity:
+                raise DataError(
+                    f"{name}: tuple {row} has arity {len(row)}, "
+                    f"expected {arity}"
+                )
+        if backend == NUMPY:
+            numpy = numpy_or_none()
+            table = numpy.asarray(
+                materialised, dtype=numpy.int64
+            ).reshape(len(materialised), arity)
+            columns = _finalise_numpy(name, table, domain_size, numpy)
+        else:
+            columns = _finalise_pure(name, materialised, arity, domain_size)
+        return cls(
+            name=name,
+            arity=arity,
+            columns=columns,
+            domain_size=domain_size,
+            backend=backend,
+        )
+
+    @classmethod
+    def from_relation(
+        cls, relation: Relation, backend: str | None = None
+    ) -> "ColumnarRelation":
+        """Columnarise an already-validated row relation (no re-checks)."""
+        backend = resolve_backend(backend)
+        if backend == NUMPY:
+            numpy = numpy_or_none()
+            table = numpy.asarray(
+                relation.tuples, dtype=numpy.int64
+            ).reshape(len(relation.tuples), relation.arity)
+            columns = tuple(
+                numpy.ascontiguousarray(table[:, position])
+                for position in range(relation.arity)
+            )
+        else:
+            columns = _columns_from_rows_pure(
+                relation.tuples, relation.arity
+            )
+        return cls(
+            name=relation.name,
+            arity=relation.arity,
+            columns=columns,
+            domain_size=relation.domain_size,
+            backend=backend,
+        )
+
+    # -- conversion ---------------------------------------------------------
+
+    def to_relation(self) -> Relation:
+        """Materialise back to the row-oriented :class:`Relation`."""
+        return Relation(
+            name=self.name,
+            arity=self.arity,
+            tuples=tuple(self.rows()),
+            domain_size=self.domain_size,
+        )
+
+    def rows(self) -> Iterator[tuple[int, ...]]:
+        """Iterate rows as int tuples (materialising from columns)."""
+        if self.backend == NUMPY:
+            lists = [column.tolist() for column in self.columns]
+        else:
+            lists = list(self.columns)
+        return iter(zip(*lists)) if lists and len(lists[0]) else iter(())
+
+    def with_backend(self, backend: str | None) -> "ColumnarRelation":
+        """The same relation under another backend (no-op if equal)."""
+        backend = resolve_backend(backend)
+        if backend == self.backend:
+            return self
+        return ColumnarRelation.from_rows(
+            self.name,
+            list(self.rows()),
+            self.domain_size,
+            arity=self.arity,
+            backend=backend,
+        )
+
+    # -- accessors ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.columns[0])
+
+    def column(self, position: int) -> Any:
+        """The value column at a 0-based attribute position."""
+        return self.columns[position]
+
+    @property
+    def tuple_bits(self) -> int:
+        """Bits per tuple: ``arity * ceil(log2 n)`` (as row relations)."""
+        return self.arity * bits_per_value(self.domain_size)
+
+    @property
+    def size_bits(self) -> int:
+        """Encoding size of the whole relation in bits."""
+        return len(self) * self.tuple_bits
+
+
+def _finalise_numpy(
+    name: str, table: Any, domain_size: int, numpy: Any
+) -> Columns:
+    """Vectorized validate + dedup + lexicographic sort."""
+    if table.size:
+        low = int(table.min())
+        high = int(table.max())
+        if low < 1 or high > domain_size:
+            offender = low if low < 1 else high
+            raise DataError(
+                f"{name}: value {offender} outside domain "
+                f"[1, {domain_size}]"
+            )
+        table = numpy.unique(table, axis=0)
+    return tuple(
+        numpy.ascontiguousarray(table[:, position])
+        for position in range(table.shape[1])
+    )
+
+
+def _finalise_pure(
+    name: str,
+    rows: Sequence[tuple[int, ...]],
+    arity: int,
+    domain_size: int,
+) -> Columns:
+    for row in rows:
+        for value in row:
+            if not 1 <= value <= domain_size:
+                raise DataError(
+                    f"{name}: value {value} outside domain "
+                    f"[1, {domain_size}]"
+                )
+    return _columns_from_rows_pure(_dedup_sort_pure(rows), arity)
+
+
+def columnar_database(
+    database: "Any", backend: str | None = None
+) -> dict[str, ColumnarRelation]:
+    """Columnarise every relation of a :class:`Database`."""
+    backend = resolve_backend(backend)
+    return {
+        relation.name: ColumnarRelation.from_relation(relation, backend)
+        for relation in database
+    }

@@ -134,6 +134,12 @@ class Relation:
             tuple(row[i] for i in selected) for row in self.tuples
         )
 
+    def to_columnar(self, backend: str | None = None):
+        """This relation as a :class:`repro.data.columnar.ColumnarRelation`."""
+        from repro.data.columnar import ColumnarRelation
+
+        return ColumnarRelation.from_relation(self, backend)
+
 
 @dataclass(frozen=True)
 class Database:
@@ -220,6 +226,12 @@ class Database:
             },
             domain_size=self.domain_size,
         )
+
+    def to_columnar(self, backend: str | None = None):
+        """All relations columnarised: ``name -> ColumnarRelation``."""
+        from repro.data.columnar import columnar_database
+
+        return columnar_database(self, backend)
 
     def with_relation(self, relation: Relation) -> "Database":
         """A copy with one relation added or replaced."""

@@ -27,7 +27,12 @@ from repro.mpc.simulator import (
     ProtocolError,
 )
 from repro.mpc.stats import RoundStats, SimulationReport
-from repro.mpc.routing import HashFamily, grid_coordinates, grid_rank
+from repro.mpc.routing import (
+    HashFamily,
+    grid_coordinates,
+    grid_rank,
+    grid_rank_columns,
+)
 
 __all__ = [
     "MPCConfig",
@@ -40,4 +45,5 @@ __all__ = [
     "HashFamily",
     "grid_coordinates",
     "grid_rank",
+    "grid_rank_columns",
 ]

@@ -64,26 +64,71 @@ class Message:
 class Mailbox:
     """Per-worker accumulation of received data, by relation.
 
+    Data arrives either row-wise (tuples, the reference path) or as
+    column batches (the vectorized path).  Column batches stay
+    columnar until someone asks for :meth:`rows`, at which point they
+    are materialised once; :meth:`column_batches` hands them out
+    as-is for the vectorized local join.
+
     Attributes:
         storage: relation name -> list of received rows (kept across
             rounds: the model lets workers remember everything they
             have ever received).
+        column_storage: relation name -> list of column batches, each
+            a tuple of parallel value columns.
     """
 
     storage: dict[str, list[tuple[int, ...]]] = field(default_factory=dict)
+    column_storage: dict[str, list[tuple]] = field(default_factory=dict)
+    _materialised: dict[str, int] = field(default_factory=dict)
 
     def deliver(self, message: Message) -> None:
         """Append a message's rows to the receiver's storage."""
         self.storage.setdefault(message.relation, []).extend(message.rows)
 
+    def deliver_rows(
+        self, relation: str, rows: Iterable[tuple[int, ...]]
+    ) -> None:
+        """Append already-materialised rows for ``relation``."""
+        self.storage.setdefault(relation, []).extend(rows)
+
+    def deliver_columns(self, relation: str, columns: tuple) -> None:
+        """Append one column batch (parallel value columns)."""
+        self.column_storage.setdefault(relation, []).append(columns)
+
     def rows(self, relation: str) -> list[tuple[int, ...]]:
-        """Rows received so far for ``relation`` (possibly empty)."""
+        """Rows received so far for ``relation`` (possibly empty).
+
+        Column batches received for the relation are materialised to
+        tuples (each batch once) and appended after the row-wise
+        deliveries.  The batches themselves stay available through
+        :meth:`column_batches`, so the row view and the columnar view
+        can be read in any order without losing data.
+        """
+        batches = self.column_storage.get(relation, ())
+        done = self._materialised.get(relation, 0)
+        if len(batches) > done:
+            target = self.storage.setdefault(relation, [])
+            for columns in batches[done:]:
+                lists = [
+                    column.tolist() if hasattr(column, "tolist")
+                    else list(column)
+                    for column in columns
+                ]
+                target.extend(zip(*lists))
+            self._materialised[relation] = len(batches)
         return self.storage.get(relation, [])
+
+    def column_batches(self, relation: str) -> list[tuple]:
+        """Unmaterialised column batches for ``relation`` (may be [])."""
+        return self.column_storage.get(relation, [])
 
     def relations(self) -> Iterable[str]:
         """Names of relations with at least one received row."""
-        return self.storage.keys()
+        return self.storage.keys() | self.column_storage.keys()
 
     def clear(self) -> None:
         """Drop all stored rows (used between independent runs)."""
         self.storage.clear()
+        self.column_storage.clear()
+        self._materialised.clear()

@@ -3,30 +3,62 @@
 The HC algorithm needs ``k`` independent hash functions
 ``h_i : [n] -> [p_i]``, one per query variable.  We derive them from a
 single 64-bit seed with a splitmix64-style mixer: deterministic across
-runs (reproducible experiments) while behaving like independent
-uniform hashing, which is what the Chernoff load argument of
-Proposition 3.2 needs on matching inputs.
+runs and processes (reproducible experiments) while behaving like
+independent uniform hashing, which is what the Chernoff load argument
+of Proposition 3.2 needs on matching inputs.  Per-dimension keys come
+from blake2b rather than Python's salted ``hash()`` so that two
+processes with the same seed route identically.
+
+Hashing comes in two bit-identical flavours: the scalar
+:meth:`HashFamily.hash_value` (the reference path) and the columnar
+:meth:`HashFamily.hash_column`, which mixes a whole value column in
+one vectorized splitmix64 pass under the numpy backend.
 
 The grid helpers convert between a worker's flat index in ``[0, P)``
 and its coordinates in the ``[p_1] x ... x [p_k]`` hypercube
-(mixed-radix encoding).
+(mixed-radix encoding); :func:`grid_rank_columns` ranks a batch of
+coordinate columns at once.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Sequence
+from functools import lru_cache
+from typing import Any, Sequence
+
+from repro.backend import numpy_or_none
 
 _MASK64 = (1 << 64) - 1
 _GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
 
 
 def splitmix64(value: int) -> int:
     """The splitmix64 finaliser: a high-quality 64-bit mixer."""
     value = (value + _GOLDEN) & _MASK64
-    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
-    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    value = ((value ^ (value >> 30)) * _MIX1) & _MASK64
+    value = ((value ^ (value >> 27)) * _MIX2) & _MASK64
     return value ^ (value >> 31)
+
+
+@lru_cache(maxsize=None)
+def _dimension_key(dimension: str) -> int:
+    """A stable 64-bit key per dimension name (process-independent)."""
+    digest = hashlib.blake2b(
+        dimension.encode("utf-8"), digest_size=8
+    ).digest()
+    return splitmix64(int.from_bytes(digest, "big"))
+
+
+def _splitmix64_array(values: Any, numpy: Any) -> Any:
+    """Vectorized splitmix64 over a uint64 array (wrapping mod 2^64)."""
+    u64 = numpy.uint64
+    values = (values + u64(_GOLDEN))
+    values = (values ^ (values >> u64(30))) * u64(_MIX1)
+    values = (values ^ (values >> u64(27))) * u64(_MIX2)
+    return values ^ (values >> u64(31))
 
 
 @dataclass(frozen=True)
@@ -51,9 +83,49 @@ class HashFamily:
             raise ValueError(f"need >= 1 bucket, got {buckets}")
         if buckets == 1:
             return 0
-        dimension_key = splitmix64(hash(dimension) & _MASK64)
-        mixed = splitmix64((self.seed ^ dimension_key) + value * _GOLDEN)
+        mixed = splitmix64(
+            (self.seed ^ _dimension_key(dimension)) + value * _GOLDEN
+        )
         return mixed % buckets
+
+    def hash_column(
+        self, dimension: str, values: Any, buckets: int
+    ) -> Any:
+        """Hash a whole value column into ``[0, buckets)`` at once.
+
+        Bit-identical to mapping :meth:`hash_value` over ``values``.
+        When ``values`` is a numpy array (and numpy is enabled) the
+        mix runs as one vectorized uint64 pass and an int64 array is
+        returned; otherwise a plain list of ints comes back.
+
+        Args:
+            dimension: the variable name owning this hash function.
+            values: the domain values to hash (sequence or ndarray).
+            buckets: the share ``p_i`` of the dimension (>= 1).
+        """
+        if buckets < 1:
+            raise ValueError(f"need >= 1 bucket, got {buckets}")
+        numpy = numpy_or_none()
+        vectorized = numpy is not None and isinstance(
+            values, numpy.ndarray
+        )
+        if vectorized:
+            if buckets == 1:
+                return numpy.zeros(len(values), dtype=numpy.int64)
+            base = (self.seed ^ _dimension_key(dimension)) & _MASK64
+            mixed = _splitmix64_array(
+                numpy.uint64(base)
+                + values.astype(numpy.uint64) * numpy.uint64(_GOLDEN),
+                numpy,
+            )
+            return (mixed % numpy.uint64(buckets)).astype(numpy.int64)
+        if buckets == 1:
+            return [0] * len(values)
+        base = self.seed ^ _dimension_key(dimension)
+        return [
+            splitmix64(base + value * _GOLDEN) % buckets
+            for value in values
+        ]
 
 
 def grid_rank(coordinates: Sequence[int], dimensions: Sequence[int]) -> int:
@@ -73,6 +145,52 @@ def grid_rank(coordinates: Sequence[int], dimensions: Sequence[int]) -> int:
             )
         rank = rank * size + coordinate
     return rank
+
+
+def grid_weights(dimensions: Sequence[int]) -> tuple[int, ...]:
+    """Mixed-radix weight of each dimension: ``w_i = prod_{j>i} p_j``.
+
+    ``grid_rank(c, dims) == sum_i c_i * w_i`` -- the weights let a
+    batch of coordinate columns be ranked with one multiply-add per
+    dimension instead of a per-row loop.
+    """
+    weights = [1] * len(dimensions)
+    for index in range(len(dimensions) - 2, -1, -1):
+        weights[index] = weights[index + 1] * dimensions[index + 1]
+    return tuple(weights)
+
+
+def grid_rank_columns(
+    coordinate_columns: Sequence[Any], dimensions: Sequence[int]
+) -> Any:
+    """Batched :func:`grid_rank` over parallel coordinate columns.
+
+    Args:
+        coordinate_columns: one column per dimension; all the same
+            length (numpy int arrays or Python sequences).
+        dimensions: the shares ``(p_1, ..., p_k)``.
+
+    Returns:
+        The flat rank per row -- an int64 array when the columns are
+        numpy arrays, else a list of ints.
+    """
+    if len(coordinate_columns) != len(dimensions):
+        raise ValueError("coordinate/dimension length mismatch")
+    weights = grid_weights(dimensions)
+    numpy = numpy_or_none()
+    if numpy is not None and coordinate_columns and isinstance(
+        coordinate_columns[0], numpy.ndarray
+    ):
+        ranks = numpy.zeros(len(coordinate_columns[0]), dtype=numpy.int64)
+        for column, weight in zip(coordinate_columns, weights):
+            ranks += column * weight
+        return ranks
+    if not coordinate_columns:
+        return []
+    return [
+        sum(coordinate * weight for coordinate, weight in zip(row, weights))
+        for row in zip(*coordinate_columns)
+    ]
 
 
 def grid_coordinates(rank: int, dimensions: Sequence[int]) -> tuple[int, ...]:

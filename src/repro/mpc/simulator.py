@@ -12,6 +12,14 @@ Usage pattern (one HyperCube round)::
     stats = simulator.end_round()
     rows_at_3 = simulator.mailbox(3).rows("S1")
 
+Staging is columnar-first: row sends accumulate into per-(receiver,
+relation) batch buffers and per-worker bit/tuple totals are kept as
+running aggregates (no per-message object allocation), while the
+vectorized path ships a whole relation's routing decision in one
+:meth:`MPCSimulator.send_columns` call -- an array of destination
+workers plus the source columns -- and the simulator bin-counts the
+load and slices per-receiver fragments at delivery time.
+
 The simulator enforces the model's ground rules:
 
 * messages are staged during a round and delivered only at
@@ -30,9 +38,11 @@ The simulator enforces the model's ground rules:
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
 
-from repro.mpc.message import Endpoint, Mailbox, Message, input_server
+from repro.backend import require_numpy
+from repro.mpc.message import Endpoint, Mailbox, input_server
 from repro.mpc.model import MPCConfig
 from repro.mpc.stats import RoundStats, SimulationReport
 
@@ -68,6 +78,23 @@ class CapacityExceeded(Exception):
         self.round_index = round_index
 
 
+@dataclass
+class _ColumnStage:
+    """One vectorized send: destination per row plus source columns.
+
+    ``row_indices`` (optional) indexes into ``columns``; when present
+    the stage represents ``columns[row_indices[i]] -> receivers[i]``
+    without materialising the replicated rows, which is what keeps
+    HC's ``p^{1-1/tau}``-fold replication cheap to stage.
+    """
+
+    relation: str
+    receivers: Any
+    columns: tuple
+    bits_per_tuple: int
+    row_indices: Any | None = None
+
+
 class MPCSimulator:
     """A synchronous network of ``p`` workers plus input servers.
 
@@ -90,9 +117,16 @@ class MPCSimulator:
         self.enforce_capacity = enforce_capacity
         self.report = SimulationReport(input_bits=input_bits)
         self._mailboxes = [Mailbox() for _ in range(config.p)]
-        self._pending: list[Message] = []
         self._round_index = 0
         self._in_round = False
+        self._reset_staging()
+
+    def _reset_staging(self) -> None:
+        p = self.config.p
+        self._staged_rows: dict[tuple[int, str], list[tuple[int, ...]]] = {}
+        self._staged_columns: list[_ColumnStage] = []
+        self._received_bits = [0] * p
+        self._received_tuples = [0] * p
 
     # -- round lifecycle ----------------------------------------------------
 
@@ -112,7 +146,7 @@ class MPCSimulator:
             raise ProtocolError("previous round still open")
         self._round_index += 1
         self._in_round = True
-        self._pending = []
+        self._reset_staging()
         return self._round_index
 
     def end_round(self) -> RoundStats:
@@ -124,32 +158,77 @@ class MPCSimulator:
         """
         if not self._in_round:
             raise ProtocolError("no round in progress")
-        received_bits = [0] * self.config.p
-        received_tuples = [0] * self.config.p
-        for message in self._pending:
-            received_bits[message.receiver] += message.size_bits
-            received_tuples[message.receiver] += message.num_tuples
         capacity = self.config.capacity_bits(self.input_bits)
         if self.enforce_capacity:
-            for worker, bits in enumerate(received_bits):
+            for worker, bits in enumerate(self._received_bits):
                 if bits > capacity:
                     raise CapacityExceeded(
                         worker, bits, capacity, self._round_index
                     )
-        for message in self._pending:
-            self._mailboxes[message.receiver].deliver(message)
+        for (receiver, relation), rows in self._staged_rows.items():
+            self._mailboxes[receiver].deliver_rows(relation, rows)
+        for stage in self._staged_columns:
+            self._deliver_column_stage(stage)
         stats = RoundStats(
             round_index=self._round_index,
-            received_bits=tuple(received_bits),
-            received_tuples=tuple(received_tuples),
+            received_bits=tuple(self._received_bits),
+            received_tuples=tuple(self._received_tuples),
             capacity_bits=capacity,
         )
         self.report.rounds.append(stats)
-        self._pending = []
+        self._reset_staging()
         self._in_round = False
         return stats
 
+    def _deliver_column_stage(self, stage: _ColumnStage) -> None:
+        """Group one vectorized stage by receiver and hand out slices."""
+        numpy = require_numpy()
+        order = numpy.argsort(stage.receivers, kind="stable")
+        sorted_receivers = stage.receivers[order]
+        present, starts = numpy.unique(sorted_receivers, return_index=True)
+        boundaries = numpy.append(starts, len(sorted_receivers))
+        for index, receiver in enumerate(present.tolist()):
+            selected = order[boundaries[index]:boundaries[index + 1]]
+            if stage.row_indices is not None:
+                selected = stage.row_indices[selected]
+            fragment = tuple(
+                column[selected] for column in stage.columns
+            )
+            self._mailboxes[receiver].deliver_columns(
+                stage.relation, fragment
+            )
+
     # -- sending --------------------------------------------------------------
+
+    def _validate_send(
+        self,
+        sender: Endpoint,
+        receiver: int | None,
+        bits_per_tuple: int,
+    ) -> None:
+        if not self._in_round:
+            raise ProtocolError("send outside of a round")
+        if bits_per_tuple < 0:
+            raise ValueError(
+                f"bits_per_tuple must be >= 0, got {bits_per_tuple}"
+            )
+        if receiver is not None and not 0 <= receiver < self.config.p:
+            raise ProtocolError(
+                f"receiver {receiver} outside [0, {self.config.p})"
+            )
+        if isinstance(sender, int) and not 0 <= sender < self.config.p:
+            raise ProtocolError(
+                f"worker sender {sender} outside [0, {self.config.p})"
+            )
+        if (
+            isinstance(sender, str)
+            and sender.startswith("input:")
+            and self._round_index > 1
+        ):
+            raise ProtocolError(
+                "input servers may send only during round 1 "
+                f"(round {self._round_index})"
+            )
 
     def send(
         self,
@@ -168,35 +247,85 @@ class MPCSimulator:
             rows: the tuples.
             bits_per_tuple: exact per-tuple cost in bits.
         """
-        if not self._in_round:
-            raise ProtocolError("send outside of a round")
-        if not 0 <= receiver < self.config.p:
-            raise ProtocolError(
-                f"receiver {receiver} outside [0, {self.config.p})"
-            )
-        if isinstance(sender, int) and not 0 <= sender < self.config.p:
-            raise ProtocolError(
-                f"worker sender {sender} outside [0, {self.config.p})"
-            )
-        if (
-            isinstance(sender, str)
-            and sender.startswith("input:")
-            and self._round_index > 1
-        ):
-            raise ProtocolError(
-                "input servers may send only during round 1 "
-                f"(round {self._round_index})"
-            )
-        materialised = tuple(tuple(row) for row in rows)
+        self._validate_send(sender, receiver, bits_per_tuple)
+        materialised = [tuple(row) for row in rows]
         if not materialised:
             return
-        self._pending.append(
-            Message(
-                sender=sender,
-                receiver=receiver,
+        self._staged_rows.setdefault((receiver, relation), []).extend(
+            materialised
+        )
+        self._received_bits[receiver] += len(materialised) * bits_per_tuple
+        self._received_tuples[receiver] += len(materialised)
+
+    def send_columns(
+        self,
+        sender: Endpoint,
+        receivers: Any,
+        relation: str,
+        columns: tuple,
+        bits_per_tuple: int,
+        row_indices: Any | None = None,
+    ) -> None:
+        """Stage a whole routing decision in one vectorized call.
+
+        Row ``i`` of the batch goes to worker ``receivers[i]``; its
+        values are ``columns[:][i]`` directly, or
+        ``columns[:][row_indices[i]]`` when ``row_indices`` is given
+        (replication without materialising the copies).  Load is
+        accounted immediately via a bincount; per-receiver fragments
+        are sliced out at delivery time.
+
+        Args:
+            sender: worker index, or an input-server label.
+            receivers: int array of destination workers, one per row.
+            relation: relation/view name the rows belong to.
+            columns: parallel value columns (numpy int64 arrays).
+            bits_per_tuple: exact per-tuple cost in bits.
+            row_indices: optional gather indices into ``columns``.
+        """
+        numpy = require_numpy()
+        self._validate_send(sender, None, bits_per_tuple)
+        receivers = numpy.asarray(receivers, dtype=numpy.int64)
+        if row_indices is not None:
+            row_indices = numpy.asarray(row_indices, dtype=numpy.int64)
+        num_source_rows = len(columns[0]) if columns else 0
+        staged_rows = (
+            len(row_indices) if row_indices is not None else num_source_rows
+        )
+        if len(receivers) != staged_rows:
+            raise ProtocolError(
+                f"{len(receivers)} receivers for {staged_rows} staged "
+                "rows (one destination per row required)"
+            )
+        if len(receivers) == 0:
+            return
+        if row_indices is not None and len(row_indices):
+            if (
+                int(row_indices.min()) < 0
+                or int(row_indices.max()) >= num_source_rows
+            ):
+                raise ProtocolError(
+                    f"row_indices outside [0, {num_source_rows})"
+                )
+        low = int(receivers.min())
+        high = int(receivers.max())
+        if low < 0 or high >= self.config.p:
+            offender = low if low < 0 else high
+            raise ProtocolError(
+                f"receiver {offender} outside [0, {self.config.p})"
+            )
+        counts = numpy.bincount(receivers, minlength=self.config.p)
+        for worker, count in enumerate(counts.tolist()):
+            if count:
+                self._received_bits[worker] += count * bits_per_tuple
+                self._received_tuples[worker] += count
+        self._staged_columns.append(
+            _ColumnStage(
                 relation=relation,
-                rows=materialised,
+                receivers=receivers,
+                columns=columns,
                 bits_per_tuple=bits_per_tuple,
+                row_indices=row_indices,
             )
         )
 
@@ -210,6 +339,24 @@ class MPCSimulator:
         """Convenience: send from the input server of ``relation``."""
         self.send(
             input_server(relation), receiver, relation, rows, bits_per_tuple
+        )
+
+    def send_columns_from_input(
+        self,
+        relation: str,
+        receivers: Any,
+        columns: tuple,
+        bits_per_tuple: int,
+        row_indices: Any | None = None,
+    ) -> None:
+        """Vectorized :meth:`send_columns` from a relation's input server."""
+        self.send_columns(
+            input_server(relation),
+            receivers,
+            relation,
+            columns,
+            bits_per_tuple,
+            row_indices=row_indices,
         )
 
     def broadcast_from_input(
@@ -234,3 +381,7 @@ class MPCSimulator:
     def worker_rows(self, worker: int, relation: str) -> list[tuple[int, ...]]:
         """Rows of ``relation`` held by ``worker`` (ever received)."""
         return self._mailboxes[worker].rows(relation)
+
+    def worker_column_batches(self, worker: int, relation: str) -> list[tuple]:
+        """Columnar fragments of ``relation`` held by ``worker``."""
+        return self._mailboxes[worker].column_batches(relation)

@@ -186,3 +186,64 @@ class TestAllocationPlumbing:
         result = run_hypercube(chain4, chain4_db, p=8, seed=0)
         assert len(result.per_server_answers) == 8
         assert sum(result.per_server_answers) >= len(result.answers)
+
+
+class _CountingHashFamily(HashFamily):
+    """Spy: counts scalar hash evaluations (shared mutable counter)."""
+
+    calls: list[int] = []
+
+    def hash_value(self, dimension, value, buckets):
+        self.calls.append(value)
+        return super().hash_value(dimension, value, buckets)
+
+
+class TestRepeatedVariableAtoms:
+    """Regression tests: repeated variables are equality selections
+    and contradictory rows must short-circuit before any hashing."""
+
+    def test_contradictory_row_hashes_nothing(self):
+        atom = Atom("S", ("x", "x"))
+        spy = _CountingHashFamily(seed=0)
+        _CountingHashFamily.calls = []
+        assert hc_destinations(atom, (1, 2), {"x": 4}, ("x",), spy) == []
+        assert _CountingHashFamily.calls == []
+
+    def test_consistent_row_hashes_once_per_distinct_variable(self):
+        atom = Atom("S", ("x", "x", "y"))
+        spy = _CountingHashFamily(seed=0)
+        _CountingHashFamily.calls = []
+        destinations = hc_destinations(
+            atom, (3, 3, 5), {"x": 4, "y": 2}, ("x", "y"), spy
+        )
+        assert len(destinations) == 1
+        assert len(_CountingHashFamily.calls) == 2  # x once, y once
+
+    def test_triple_repeat_contradiction_detected_late_position(self):
+        atom = Atom("S", ("x", "x", "x"))
+        spy = _CountingHashFamily(seed=1)
+        _CountingHashFamily.calls = []
+        assert (
+            hc_destinations(atom, (2, 2, 7), {"x": 8}, ("x",), spy) == []
+        )
+        assert _CountingHashFamily.calls == []
+
+    @pytest.mark.parametrize("backend", ["pure", "numpy"])
+    def test_run_hypercube_with_repeated_variable_atom(self, backend):
+        if backend == "numpy":
+            from repro.backend import numpy_available
+
+            if not numpy_available():
+                pytest.skip("numpy backend unavailable")
+        query = parse_query("q(x,y) = S(x, x), T(x, y)")
+        rows_s = [(i, i) for i in range(1, 8)] + [(i, i + 1) for i in range(1, 8)]
+        rows_t = [(i, 9 - i) for i in range(1, 9)]
+        database = Database.from_relations(
+            [
+                Relation.from_tuples("S", rows_s, 9),
+                Relation.from_tuples("T", rows_t, 9),
+            ]
+        )
+        result = run_hypercube(query, database, p=8, seed=2, backend=backend)
+        assert result.answers == truth_of(query, database)
+        assert result.answers  # equality-satisfying rows do join

@@ -1,0 +1,97 @@
+"""Unit tests for columnar relation storage and conversions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend import PURE, numpy_available
+from repro.data.columnar import ColumnarRelation, columnar_database
+from repro.data.database import Database, DataError, Relation
+
+BACKENDS = ["pure"] + (["numpy"] if numpy_available() else [])
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy backend unavailable"
+)
+
+
+@pytest.fixture
+def relation():
+    return Relation.from_tuples(
+        "R", [(3, 1), (1, 2), (2, 3), (1, 2)], domain_size=3
+    )
+
+
+class TestConversion:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_round_trip(self, relation, backend):
+        columnar = ColumnarRelation.from_relation(relation, backend)
+        assert columnar.to_relation() == relation
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_relation_to_columnar_method(self, relation, backend):
+        assert relation.to_columnar(backend).to_relation() == relation
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_rows_sorted_and_deduped(self, backend):
+        columnar = ColumnarRelation.from_rows(
+            "R", [(2, 2), (1, 1), (2, 2)], domain_size=2, backend=backend
+        )
+        assert list(columnar.rows()) == [(1, 1), (2, 2)]
+        assert len(columnar) == 2
+
+    @needs_numpy
+    def test_backends_agree_on_contents(self, relation):
+        pure = ColumnarRelation.from_relation(relation, "pure")
+        vectorized = ColumnarRelation.from_relation(relation, "numpy")
+        assert list(pure.rows()) == list(vectorized.rows())
+
+    @needs_numpy
+    def test_with_backend_switches(self, relation):
+        pure = ColumnarRelation.from_relation(relation, "pure")
+        vectorized = pure.with_backend("numpy")
+        assert vectorized.backend == "numpy"
+        assert vectorized.to_relation() == relation
+        assert pure.with_backend("pure") is pure
+
+    def test_database_to_columnar(self, relation):
+        database = Database.from_relations([relation])
+        columnar = database.to_columnar(PURE)
+        assert set(columnar) == {"R"}
+        assert columnar["R"].to_relation() == database["R"]
+        assert columnar == columnar_database(database, PURE)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_domain_checked(self, backend):
+        with pytest.raises(DataError, match="outside domain"):
+            ColumnarRelation.from_rows(
+                "R", [(1, 9)], domain_size=3, backend=backend
+            )
+        with pytest.raises(DataError, match="outside domain"):
+            ColumnarRelation.from_rows(
+                "R", [(0, 1)], domain_size=3, backend=backend
+            )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_ragged_rows_rejected(self, backend):
+        with pytest.raises(DataError, match="arity"):
+            ColumnarRelation.from_rows(
+                "R", [(1, 2), (1,)], domain_size=3, backend=backend
+            )
+
+    def test_empty_needs_explicit_arity(self):
+        with pytest.raises(DataError, match="infer arity"):
+            ColumnarRelation.from_rows("R", [], domain_size=3)
+        empty = ColumnarRelation.from_rows("R", [], domain_size=3, arity=2)
+        assert len(empty) == 0
+        assert list(empty.rows()) == []
+
+
+class TestAccounting:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_bit_accounting_matches_row_relation(self, relation, backend):
+        columnar = ColumnarRelation.from_relation(relation, backend)
+        assert columnar.tuple_bits == relation.tuple_bits
+        assert columnar.size_bits == relation.size_bits

@@ -97,3 +97,96 @@ class TestGrid:
     def test_grid_size(self):
         assert grid_size((2, 3, 4)) == 24
         assert grid_size(()) == 1
+
+
+class TestHashColumn:
+    """The batched hash path must be bit-identical to the scalar one."""
+
+    @staticmethod
+    def _require_numpy():
+        from repro.backend import numpy_or_none
+
+        numpy = numpy_or_none()
+        if numpy is None:
+            pytest.skip("numpy backend unavailable")
+        return numpy
+
+    def test_pure_sequence_matches_scalar(self):
+        family = HashFamily(seed=11)
+        values = list(range(1, 300))
+        batched = family.hash_column("x", values, 7)
+        assert batched == [
+            family.hash_value("x", value, 7) for value in values
+        ]
+
+    def test_numpy_matches_scalar(self):
+        numpy = self._require_numpy()
+        family = HashFamily(seed=0xDECAF)
+        values = numpy.arange(1, 5000, dtype=numpy.int64)
+        batched = family.hash_column("y", values, 13)
+        assert batched.dtype == numpy.int64
+        assert batched.tolist() == [
+            family.hash_value("y", int(value), 13) for value in values
+        ]
+
+    def test_single_bucket_all_zero(self):
+        family = HashFamily(seed=5)
+        assert family.hash_column("x", [4, 5, 6], 1) == [0, 0, 0]
+
+    def test_invalid_buckets(self):
+        with pytest.raises(ValueError):
+            HashFamily().hash_column("x", [1], 0)
+
+    def test_dimension_key_is_process_independent(self):
+        import subprocess
+        import sys
+
+        probe = (
+            "from repro.mpc.routing import HashFamily;"
+            "print(HashFamily(seed=3).hash_value('x', 12345, 1000))"
+        )
+        runs = {
+            subprocess.run(
+                [sys.executable, "-c", probe],
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+            for _ in range(2)
+        }
+        assert len(runs) == 1
+        assert int(runs.pop()) == HashFamily(seed=3).hash_value(
+            "x", 12345, 1000
+        )
+
+
+class TestGridRankColumns:
+    def test_matches_scalar_pure(self):
+        from repro.mpc.routing import grid_rank_columns
+
+        dims = (3, 4, 2)
+        coords = [(i % 3, (i * 7) % 4, i % 2) for i in range(24)]
+        columns = [list(column) for column in zip(*coords)]
+        assert grid_rank_columns(columns, dims) == [
+            grid_rank(row, dims) for row in coords
+        ]
+
+    def test_matches_scalar_numpy(self):
+        numpy = TestHashColumn._require_numpy()
+        from repro.mpc.routing import grid_rank_columns
+
+        dims = (5, 3, 7)
+        rng = numpy.random.default_rng(0)
+        columns = [
+            rng.integers(0, size, 100, dtype=numpy.int64) for size in dims
+        ]
+        expected = [
+            grid_rank(row, dims) for row in zip(*[c.tolist() for c in columns])
+        ]
+        assert grid_rank_columns(columns, dims).tolist() == expected
+
+    def test_length_mismatch_rejected(self):
+        from repro.mpc.routing import grid_rank_columns
+
+        with pytest.raises(ValueError, match="mismatch"):
+            grid_rank_columns([[0]], (2, 2))

@@ -164,3 +164,186 @@ class TestStatsPlumbing:
         simulator.broadcast_from_input("R", [(1, 1)], 8)
         simulator.end_round()
         assert simulator.report.replication_rate == pytest.approx(2.0)
+
+
+class TestColumnarSends:
+    """The vectorized staging path: accounting, delivery, ground rules."""
+
+    @staticmethod
+    def _numpy():
+        from repro.backend import numpy_or_none
+
+        numpy = numpy_or_none()
+        if numpy is None:
+            pytest.skip("numpy backend unavailable")
+        return numpy
+
+    def _columns(self, numpy, rows):
+        return tuple(
+            numpy.asarray(column, dtype=numpy.int64)
+            for column in zip(*rows)
+        )
+
+    def test_delivery_and_accounting(self):
+        numpy = self._numpy()
+        simulator = make_simulator(p=4, enforce=False)
+        simulator.begin_round()
+        receivers = numpy.asarray([1, 1, 2], dtype=numpy.int64)
+        columns = self._columns(numpy, [(1, 2), (3, 4), (5, 6)])
+        simulator.send_columns(0, receivers, "R", columns, bits_per_tuple=8)
+        # Not delivered mid-round.
+        assert simulator.worker_rows(1, "R") == []
+        stats = simulator.end_round()
+        assert stats.received_bits == (0, 16, 8, 0)
+        assert stats.received_tuples == (0, 2, 1, 0)
+        assert simulator.worker_rows(1, "R") == [(1, 2), (3, 4)]
+        assert simulator.worker_rows(2, "R") == [(5, 6)]
+
+    def test_row_indices_gather(self):
+        numpy = self._numpy()
+        simulator = make_simulator(p=3, enforce=False)
+        simulator.begin_round()
+        columns = self._columns(numpy, [(7, 8), (9, 10)])
+        # Row 0 replicated to workers 0 and 2; row 1 to worker 1.
+        receivers = numpy.asarray([0, 2, 1], dtype=numpy.int64)
+        row_indices = numpy.asarray([0, 0, 1], dtype=numpy.int64)
+        simulator.send_columns(
+            0, receivers, "R", columns, bits_per_tuple=4,
+            row_indices=row_indices,
+        )
+        stats = simulator.end_round()
+        assert stats.received_tuples == (1, 1, 1)
+        assert simulator.worker_rows(0, "R") == [(7, 8)]
+        assert simulator.worker_rows(1, "R") == [(9, 10)]
+        assert simulator.worker_rows(2, "R") == [(7, 8)]
+
+    def test_capacity_exceeded_identical_to_row_path(self):
+        numpy = self._numpy()
+        rows = [(i, i) for i in range(1, 14)]  # 104 bits > 100 capacity
+        row_sim = make_simulator()
+        row_sim.begin_round()
+        row_sim.send(0, 1, "R", rows, 8)
+        with pytest.raises(CapacityExceeded) as row_info:
+            row_sim.end_round()
+        col_sim = make_simulator()
+        col_sim.begin_round()
+        col_sim.send_columns(
+            0,
+            numpy.full(len(rows), 1, dtype=numpy.int64),
+            "R",
+            self._columns(numpy, rows),
+            bits_per_tuple=8,
+        )
+        with pytest.raises(CapacityExceeded) as col_info:
+            col_sim.end_round()
+        assert col_info.value.worker == row_info.value.worker == 1
+        assert (
+            col_info.value.received_bits
+            == row_info.value.received_bits
+            == 104
+        )
+        assert col_info.value.round_index == row_info.value.round_index
+
+    def test_receiver_bounds_checked(self):
+        numpy = self._numpy()
+        simulator = make_simulator(p=2)
+        simulator.begin_round()
+        with pytest.raises(ProtocolError, match="receiver"):
+            simulator.send_columns(
+                0,
+                numpy.asarray([5], dtype=numpy.int64),
+                "R",
+                self._columns(numpy, [(1,)]),
+                bits_per_tuple=8,
+            )
+
+    def test_input_server_silent_after_round_one(self):
+        numpy = self._numpy()
+        simulator = make_simulator(eps=Fraction(1))
+        simulator.begin_round()
+        simulator.end_round()
+        simulator.begin_round()
+        with pytest.raises(ProtocolError, match="round 1"):
+            simulator.send_columns_from_input(
+                "R",
+                numpy.asarray([0], dtype=numpy.int64),
+                self._columns(numpy, [(1,)]),
+                bits_per_tuple=8,
+            )
+
+    def test_empty_send_is_noop(self):
+        numpy = self._numpy()
+        simulator = make_simulator()
+        simulator.begin_round()
+        simulator.send_columns(
+            0,
+            numpy.asarray([], dtype=numpy.int64),
+            "R",
+            (numpy.asarray([], dtype=numpy.int64),),
+            bits_per_tuple=8,
+        )
+        assert simulator.end_round().total_bits == 0
+
+    def test_column_batches_stay_columnar_until_read(self):
+        numpy = self._numpy()
+        simulator = make_simulator(p=2, enforce=False)
+        simulator.begin_round()
+        simulator.send_columns(
+            0,
+            numpy.asarray([1, 1], dtype=numpy.int64),
+            "R",
+            self._columns(numpy, [(1, 2), (3, 4)]),
+            bits_per_tuple=8,
+        )
+        simulator.end_round()
+        batches = simulator.worker_column_batches(1, "R")
+        assert len(batches) == 1
+        assert batches[0][0].tolist() == [1, 3]
+        # The row view materialises the batches (once), and the
+        # columnar view survives: both stay readable in any order.
+        assert simulator.worker_rows(1, "R") == [(1, 2), (3, 4)]
+        assert simulator.worker_rows(1, "R") == [(1, 2), (3, 4)]
+        assert len(simulator.worker_column_batches(1, "R")) == 1
+
+    def test_receiver_row_count_mismatch_rejected(self):
+        numpy = self._numpy()
+        simulator = make_simulator(p=4, enforce=False)
+        simulator.begin_round()
+        columns = self._columns(numpy, [(1, 2), (3, 4), (5, 6)])
+        with pytest.raises(ProtocolError, match="one destination per row"):
+            simulator.send_columns(
+                0,
+                numpy.asarray([1], dtype=numpy.int64),
+                "R",
+                columns,
+                bits_per_tuple=8,
+            )
+        with pytest.raises(ProtocolError, match="one destination per row"):
+            simulator.send_columns(
+                0,
+                numpy.asarray([1, 2], dtype=numpy.int64),
+                "R",
+                columns,
+                bits_per_tuple=8,
+                row_indices=numpy.asarray([0], dtype=numpy.int64),
+            )
+
+    def test_row_indices_bounds_checked(self):
+        numpy = self._numpy()
+        simulator = make_simulator(p=4, enforce=False)
+        simulator.begin_round()
+        with pytest.raises(ProtocolError, match="row_indices"):
+            simulator.send_columns(
+                0,
+                numpy.asarray([1], dtype=numpy.int64),
+                "R",
+                self._columns(numpy, [(1, 2)]),
+                bits_per_tuple=8,
+                row_indices=numpy.asarray([7], dtype=numpy.int64),
+            )
+
+    def test_negative_bits_per_tuple_rejected(self):
+        simulator = make_simulator()
+        simulator.begin_round()
+        with pytest.raises(ValueError, match="bits_per_tuple"):
+            simulator.send(0, 1, "R", [(1,)], -8)

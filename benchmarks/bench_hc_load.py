@@ -15,11 +15,9 @@ query at the largest configured ``n``.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
-from conftest import emit
+from conftest import best_of, emit, record_bench
 
 from repro.algorithms.hypercube import run_hypercube
 from repro.analysis.experiments import sweep_hc_load
@@ -73,16 +71,6 @@ def test_hc_load_scaling(once, bench_backend):
         assert loads[0] > loads[-1]
 
 
-def _best_of(runs, func):
-    best = float("inf")
-    result = None
-    for _ in range(runs):
-        start = time.perf_counter()
-        result = func()
-        best = min(best, time.perf_counter() - start)
-    return best, result
-
-
 @pytest.mark.skipif(not numpy_available(), reason="numpy backend unavailable")
 def test_hc_backend_speedup(once):
     """The columnar numpy engine is >= 5x faster than pure at n=4000."""
@@ -90,13 +78,13 @@ def test_hc_backend_speedup(once):
     database = matching_database(query, n=SPEEDUP_N, rng=0)
 
     def timed():
-        pure_seconds, pure = _best_of(
+        pure_seconds, pure = best_of(
             3,
             lambda: run_hypercube(
                 query, database, p=SPEEDUP_P, seed=0, backend="pure"
             ),
         )
-        numpy_seconds, vectorized = _best_of(
+        numpy_seconds, vectorized = best_of(
             3,
             lambda: run_hypercube(
                 query, database, p=SPEEDUP_P, seed=0, backend="numpy"
@@ -116,6 +104,18 @@ def test_hc_backend_speedup(once):
             title=f"HC triangle n={SPEEDUP_N} p={SPEEDUP_P}: "
             "pure vs numpy engine",
         )
+    )
+    record_bench(
+        "hc_speedup",
+        {
+            "query": query.name,
+            "n": SPEEDUP_N,
+            "p": SPEEDUP_P,
+            "pure_seconds": pure_seconds,
+            "numpy_seconds": numpy_seconds,
+            "speedup": speedup,
+            "answers": len(pure.answers),
+        },
     )
     # The engines implement the identical protocol.
     assert pure.answers == vectorized.answers

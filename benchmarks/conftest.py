@@ -7,12 +7,43 @@ tables; without ``-s`` the rows are still checked by assertions).
 
 from __future__ import annotations
 
+import json
+import os
+import time
+
 import pytest
 
 
 def emit(text: str) -> None:
     """Print a regenerated table, surviving pytest capture settings."""
     print("\n" + text)
+
+
+def best_of(runs, func):
+    """Best-of-N wall-clock timing: ``(seconds, last_result)``."""
+    best = float("inf")
+    result = None
+    for _ in range(runs):
+        start = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def record_bench(name: str, payload: dict) -> str:
+    """Write one benchmark's results to ``BENCH_<name>.json``.
+
+    The target directory is ``$BENCH_DIR`` (default: the current
+    working directory); CI uploads these files as workflow artifacts
+    so the perf trajectory of the engine is preserved run over run.
+    """
+    directory = os.environ.get("BENCH_DIR", ".")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 @pytest.fixture

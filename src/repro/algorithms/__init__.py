@@ -19,7 +19,11 @@
   example, and the single-attribute hash join of Koutris-Suciu [17].
 """
 
-from repro.algorithms.localjoin import evaluate_query, evaluate_query_columnar
+from repro.algorithms.localjoin import (
+    evaluate_query,
+    evaluate_query_columnar,
+    evaluate_query_table,
+)
 from repro.algorithms.hypercube import HCResult, run_hypercube
 from repro.algorithms.partial import PartialResult, run_partial_hypercube
 from repro.algorithms.multiround import MultiRoundResult, run_plan
@@ -45,6 +49,7 @@ from repro.algorithms.baselines import (
 __all__ = [
     "evaluate_query",
     "evaluate_query_columnar",
+    "evaluate_query_table",
     "HCResult",
     "run_hypercube",
     "PartialResult",

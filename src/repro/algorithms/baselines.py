@@ -11,6 +11,13 @@
   tradeoff: compute a cartesian product ``A x B`` with a ``g x g``
   grid of reducers; replication rate ``g``, reducer input ``2n/g``,
   optimal at ``g = sqrt(p)``.
+
+All four compile to the shared round engine --
+:class:`~repro.engine.steps.Broadcast`,
+:class:`~repro.engine.steps.ToServer`, a one-dimensional
+:class:`~repro.engine.steps.HashRoute` grid, and
+:class:`~repro.engine.steps.RoundRobinGrid` respectively -- and honour
+``backend=`` like every other executor in the package.
 """
 
 from __future__ import annotations
@@ -18,9 +25,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from fractions import Fraction
 
-from repro.algorithms.localjoin import evaluate_query
+from repro.backend import resolve_backend
 from repro.core.query import ConjunctiveQuery, QueryError
+from repro.data.columnar import ColumnarRelation, columnar_database
 from repro.data.database import Database, Relation, bits_per_value
+from repro.engine import (
+    Broadcast,
+    GridSpec,
+    HashRoute,
+    RoundEngine,
+    RoundRobinGrid,
+    ToServer,
+    collect_answers,
+    fragment_tuple_count,
+)
 from repro.mpc.model import MPCConfig
 from repro.mpc.routing import HashFamily
 from repro.mpc.simulator import MPCSimulator
@@ -36,55 +54,53 @@ class BaselineResult:
 
 
 def run_broadcast_join(
-    query: ConjunctiveQuery, database: Database, p: int
+    query: ConjunctiveQuery,
+    database: Database,
+    p: int,
+    backend: str | None = None,
 ) -> BaselineResult:
     """Every relation broadcast to every worker; one round.
 
     Always correct; replication rate is exactly ``p`` -- the
     degenerate end of the space-exponent scale (``eps = 1``).
     """
-    config = MPCConfig(p=p, eps=Fraction(1))
+    config = MPCConfig(
+        p=p, eps=Fraction(1), backend=resolve_backend(backend)
+    )
+    backend = config.backend
     simulator = MPCSimulator(
         config, input_bits=database.total_bits, enforce_capacity=True
     )
-    simulator.begin_round()
-    for atom in query.atoms:
-        relation = database[atom.name]
-        simulator.broadcast_from_input(
-            atom.name, relation.tuples, relation.tuple_bits
-        )
-    simulator.end_round()
-    local = {
-        atom.name: simulator.worker_rows(0, atom.name)
-        for atom in query.atoms
-    }
-    return BaselineResult(
-        answers=evaluate_query(query, local), report=simulator.report
-    )
+    engine = RoundEngine(simulator)
+    steps = [Broadcast(relation=atom.name) for atom in query.atoms]
+    engine.run_round(steps, columnar_database(database, backend))
+    # Every worker holds the whole input; evaluating at worker 0
+    # suffices and already yields the sorted full answer.
+    answers, _ = collect_answers(query, simulator, (0,), backend)
+    return BaselineResult(answers=answers, report=simulator.report)
 
 
 def run_single_server(
-    query: ConjunctiveQuery, database: Database, p: int = 1
+    query: ConjunctiveQuery,
+    database: Database,
+    p: int = 1,
+    backend: str | None = None,
 ) -> BaselineResult:
     """Everything to worker 0; the sequential strawman."""
-    config = MPCConfig(p=max(1, p), eps=Fraction(1))
+    config = MPCConfig(
+        p=max(1, p), eps=Fraction(1), backend=resolve_backend(backend)
+    )
+    backend = config.backend
     simulator = MPCSimulator(
         config, input_bits=database.total_bits, enforce_capacity=False
     )
-    simulator.begin_round()
-    for atom in query.atoms:
-        relation = database[atom.name]
-        simulator.send_from_input(
-            atom.name, 0, relation.tuples, relation.tuple_bits
-        )
-    simulator.end_round()
-    local = {
-        atom.name: simulator.worker_rows(0, atom.name)
-        for atom in query.atoms
-    }
-    return BaselineResult(
-        answers=evaluate_query(query, local), report=simulator.report
-    )
+    engine = RoundEngine(simulator)
+    steps = [
+        ToServer(relation=atom.name, worker=0) for atom in query.atoms
+    ]
+    engine.run_round(steps, columnar_database(database, backend))
+    answers, _ = collect_answers(query, simulator, (0,), backend)
+    return BaselineResult(answers=answers, report=simulator.report)
 
 
 def run_single_attribute_join(
@@ -92,12 +108,15 @@ def run_single_attribute_join(
     database: Database,
     p: int,
     seed: int = 0,
+    backend: str | None = None,
 ) -> BaselineResult:
     """Hash-partition every relation on one variable shared by all atoms.
 
     This is the classical parallel hash join ([17]'s one-round class):
     it requires a variable occurring in *every* atom -- exactly the
     queries with ``tau* = 1`` (Corollary 3.10).  Replication rate 1.
+    On the engine it is simply HyperCube routing over a
+    one-dimensional grid owned by the shared variable.
 
     Raises:
         QueryError: if no variable is shared by all atoms.
@@ -114,34 +133,33 @@ def run_single_attribute_join(
             "single-attribute hash join needs a variable in every atom "
             f"(tau* = 1); {query.name} has none"
         )
-    hashes = HashFamily(seed)
-    config = MPCConfig(p=p, eps=Fraction(0))
+    config = MPCConfig(
+        p=p, eps=Fraction(0), backend=resolve_backend(backend)
+    )
+    backend = config.backend
     simulator = MPCSimulator(
         config, input_bits=database.total_bits, enforce_capacity=False
     )
-    simulator.begin_round()
-    for atom in query.atoms:
-        relation = database[atom.name]
-        position = atom.variables.index(shared)
-        batches: dict[int, list[tuple[int, ...]]] = {}
-        for row in relation:
-            worker = hashes.hash_value(shared, row[position], p)
-            batches.setdefault(worker, []).append(row)
-        for worker, rows in batches.items():
-            simulator.send_from_input(
-                atom.name, worker, rows, relation.tuple_bits
-            )
-    simulator.end_round()
-    answers: set[tuple[int, ...]] = set()
-    for worker in range(p):
-        local = {
-            atom.name: simulator.worker_rows(worker, atom.name)
-            for atom in query.atoms
-        }
-        answers.update(evaluate_query(query, local))
-    return BaselineResult(
-        answers=tuple(sorted(answers)), report=simulator.report
+    engine = RoundEngine(simulator)
+    grid = GridSpec(
+        variables=(shared,), dimensions=(p,), hashes=HashFamily(seed)
     )
+    steps = [
+        # The classical hash join routes *every* tuple by its hash --
+        # it never inspects the other columns -- so keep the
+        # repeated-variable short-circuit off to preserve the
+        # baseline's exact shipping statistics.
+        HashRoute(
+            relation=atom.name,
+            atom=atom,
+            grid=grid,
+            filter_contradictions=False,
+        )
+        for atom in query.atoms
+    ]
+    engine.run_round(steps, columnar_database(database, backend))
+    answers, _ = collect_answers(query, simulator, range(p), backend)
+    return BaselineResult(answers=answers, report=simulator.report)
 
 
 @dataclass(frozen=True)
@@ -166,6 +184,7 @@ def run_cartesian_grid(
     right: Relation,
     p: int,
     groups: int | None = None,
+    backend: str | None = None,
 ) -> CartesianResult:
     """Compute ``left x right`` with a ``g x g`` reducer grid.
 
@@ -173,12 +192,15 @@ def run_cartesian_grid(
     group ``i`` of ``left`` and group ``j`` of ``right`` -- Ullman's
     drug-interaction example from the introduction.  With ``g**2 <= p``
     each reducer is a worker; the tradeoff is replication ``g`` versus
-    reducer input ``|left|/g + |right|/g``.
+    reducer input ``|left|/g + |right|/g``.  On the engine each side
+    is one :class:`~repro.engine.steps.RoundRobinGrid` step pinning
+    its own axis of the grid.
 
     Args:
         left, right: unary or wider relations (rows are items).
         p: number of workers; reducers use the first ``g*g``.
         groups: ``g``; defaults to ``floor(sqrt(p))`` (the optimum).
+        backend: ``"pure"``, ``"numpy"`` or ``"auto"``.
     """
     import math
 
@@ -187,39 +209,31 @@ def run_cartesian_grid(
         raise ValueError(f"grid {g}x{g} needs {g * g} workers, have {p}")
     n_bits = bits_per_value(max(left.domain_size, right.domain_size))
     input_bits = (len(left) + len(right)) * n_bits
-    config = MPCConfig(p=p, eps=Fraction(1, 2), c=4.0)
+    config = MPCConfig(
+        p=p, eps=Fraction(1, 2), c=4.0, backend=resolve_backend(backend)
+    )
+    backend = config.backend
     simulator = MPCSimulator(config, input_bits, enforce_capacity=False)
+    engine = RoundEngine(simulator)
 
-    def group_of(index: int) -> int:
-        return index % g
-
-    simulator.begin_round()
-    left_groups: dict[int, list[tuple[int, ...]]] = {}
-    for index, row in enumerate(left.tuples):
-        left_groups.setdefault(group_of(index), []).append(row)
-    right_groups: dict[int, list[tuple[int, ...]]] = {}
-    for index, row in enumerate(right.tuples):
-        right_groups.setdefault(group_of(index), []).append(row)
-    for i in range(g):
-        for j in range(g):
-            reducer = i * g + j
-            simulator.send_from_input(
-                left.name, reducer, left_groups.get(i, []), left.tuple_bits
-            )
-            simulator.send_from_input(
-                right.name, reducer, right_groups.get(j, []), right.tuple_bits
-            )
-    simulator.end_round()
+    grid = GridSpec(variables=("left", "right"), dimensions=(g, g))
+    steps = [
+        RoundRobinGrid(relation=left.name, grid=grid, axis=0),
+        RoundRobinGrid(relation=right.name, grid=grid, axis=1),
+    ]
+    sources = {
+        relation.name: ColumnarRelation.from_relation(relation, backend)
+        for relation in (left, right)
+    }
+    engine.run_round(steps, sources)
 
     pairs = 0
     max_reducer = 0
-    for i in range(g):
-        for j in range(g):
-            reducer = i * g + j
-            a = simulator.worker_rows(reducer, left.name)
-            b = simulator.worker_rows(reducer, right.name)
-            pairs += len(a) * len(b)
-            max_reducer = max(max_reducer, len(a) + len(b))
+    for reducer in range(g * g):
+        a = fragment_tuple_count(simulator, reducer, left.name, backend)
+        b = fragment_tuple_count(simulator, reducer, right.name, backend)
+        pairs += a * b
+        max_reducer = max(max_reducer, a + b)
     replication = (
         simulator.report.rounds[0].total_tuples / (len(left) + len(right))
         if (len(left) + len(right))

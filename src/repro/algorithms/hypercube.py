@@ -19,41 +19,29 @@ On matching databases the maximum load is ``O(n / p^{1/tau})`` tuples
 per server w.h.p., matching Theorem 1.1's lower bound: HC is the
 optimal one-round algorithm.
 
-Two execution backends implement the identical protocol:
-
-* ``pure`` (reference): per-row :func:`hc_destinations` plus the
-  backtracking local join;
-* ``numpy`` (vectorized): each relation's destination ranks are
-  computed in one batched pass -- pinned dimensions hashed
-  column-wise, free dimensions expanded with a single repeat/tile
-  product -- shipped via :meth:`MPCSimulator.send_columns`, and
-  joined locally with the columnar hash join.
-
-The backends are cross-checked for exact equality of answers,
-per-round received bits/tuples and per-server answer counts.
+Execution compiles to the shared round engine: one
+:class:`~repro.engine.steps.HashRoute` per atom on the share grid,
+executed tuple-at-a-time (``pure``, the reference) or column-wise
+(``numpy``) by :class:`~repro.engine.executor.RoundEngine`.  The
+backends are cross-checked for exact equality of answers, per-round
+received bits/tuples and per-server answer counts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from itertools import product
 from typing import Mapping
 
-from repro.backend import NUMPY, require_numpy, resolve_backend
-from repro.algorithms.localjoin import evaluate_query, evaluate_query_columnar
+from repro.backend import resolve_backend
 from repro.core.covers import fractional_vertex_cover
 from repro.core.query import Atom, ConjunctiveQuery
 from repro.core.shares import ShareAllocation, allocate_integer_shares, share_exponents
-from repro.data.columnar import ColumnarRelation
-from repro.data.database import Database, Relation
+from repro.data.columnar import columnar_database
+from repro.data.database import Database
+from repro.engine import GridSpec, HashRoute, RoundEngine, collect_answers
 from repro.mpc.model import MPCConfig
-from repro.mpc.routing import (
-    HashFamily,
-    grid_rank,
-    grid_rank_columns,
-    grid_weights,
-)
+from repro.mpc.routing import HashFamily
 from repro.mpc.simulator import MPCSimulator
 from repro.mpc.stats import SimulationReport
 
@@ -90,94 +78,17 @@ def hc_destinations(
     equality within the atom route nowhere (they can never join); the
     equality check runs *before* any hashing so contradictory rows
     short-circuit without wasted hash work.
+
+    Thin wrapper over :meth:`repro.engine.steps.HashRoute.destinations`
+    (kept as the public per-row routing oracle; the partial-coverage
+    algorithm and the routing tests use it directly).
     """
-    first_position = atom.first_positions
-    for position, variable in enumerate(atom.variables):
-        if row[position] != row[first_position[variable]]:
-            return []
-    pinned = {
-        variable: hashes.hash_value(
-            variable, row[position], shares[variable]
-        )
-        for variable, position in first_position.items()
-    }
-
-    axes = []
-    for variable in variable_order:
-        if variable in pinned:
-            axes.append((pinned[variable],))
-        else:
-            axes.append(tuple(range(shares[variable])))
-    dimensions = tuple(shares[variable] for variable in variable_order)
-    return [
-        grid_rank(coordinates, dimensions)
-        for coordinates in product(*axes)
-    ]
-
-
-def hc_route_columns(
-    atom: Atom,
-    relation: ColumnarRelation,
-    shares: Mapping[str, int],
-    variable_order: tuple[str, ...],
-    hashes: HashFamily,
-) -> tuple:
-    """Batched destination ranks for every row of a columnar relation.
-
-    The vectorized counterpart of mapping :func:`hc_destinations`
-    over the relation: one pass filters repeated-variable
-    contradictions, one :meth:`HashFamily.hash_column` call per
-    distinct atom variable pins its dimension, and the free-dimension
-    replication is expanded with a single repeat/tile product.
-
-    Returns:
-        ``(columns, destinations, row_indices)`` -- the surviving
-        source columns, a flat int64 array of grid ranks, and gather
-        indices into ``columns`` parallel to ``destinations`` (each
-        surviving row appears once per free-grid point, destinations
-        of one row contiguous and ascending, matching the scalar
-        path's ordering).
-    """
-    numpy = require_numpy()
-    columns = relation.columns
-    first_position = atom.first_positions
-    mask = None
-    for position, variable in enumerate(atom.variables):
-        first = first_position[variable]
-        if first != position:
-            equal = columns[position] == columns[first]
-            mask = equal if mask is None else (mask & equal)
-    if mask is not None:
-        columns = tuple(column[mask] for column in columns)
-    num_rows = len(columns[0]) if columns else 0
-
-    dimensions = tuple(shares[variable] for variable in variable_order)
-    weights = dict(zip(variable_order, grid_weights(dimensions)))
-
-    # Rank of each row's grid point with all free dimensions at the
-    # origin; the free sub-grid is then enumerated by rank offsets.
-    coordinate_columns = [
-        hashes.hash_column(
-            variable, columns[first_position[variable]], shares[variable]
-        )
-        if variable in first_position
-        else numpy.zeros(num_rows, dtype=numpy.int64)
-        for variable in variable_order
-    ]
-    base = grid_rank_columns(coordinate_columns, dimensions)
-
-    offsets = numpy.zeros(1, dtype=numpy.int64)
-    for variable in variable_order:
-        if variable not in first_position:
-            steps = numpy.arange(shares[variable]) * weights[variable]
-            offsets = (offsets[:, None] + steps[None, :]).reshape(-1)
-    replication = len(offsets)
-
-    destinations = (base[:, None] + offsets[None, :]).reshape(-1)
-    row_indices = numpy.repeat(
-        numpy.arange(num_rows, dtype=numpy.int64), replication
+    step = HashRoute(
+        relation=atom.name,
+        atom=atom,
+        grid=GridSpec.from_shares(variable_order, shares, hashes),
     )
-    return columns, destinations, row_indices
+    return step.destinations(row, 0, 0)
 
 
 def run_hypercube(
@@ -218,9 +129,9 @@ def run_hypercube(
         cover = fractional_vertex_cover(query)
     exponents = share_exponents(query, cover)
     allocation = allocate_integer_shares(exponents, p)
-    shares = allocation.shares
-    variable_order = query.variables
-    hashes = HashFamily(seed)
+    grid = GridSpec.from_shares(
+        query.variables, allocation.shares, HashFamily(seed)
+    )
 
     if eps is None:
         tau = sum((Fraction(v) for v in cover.values()), start=Fraction(0))
@@ -235,82 +146,22 @@ def run_hypercube(
         input_bits=database.total_bits,
         enforce_capacity=enforce_capacity,
     )
+    engine = RoundEngine(simulator)
 
-    simulator.begin_round()
-    if backend == NUMPY:
-        for atom in query.atoms:
-            relation = ColumnarRelation.from_relation(
-                database[atom.name], backend=NUMPY
-            )
-            columns, destinations, row_indices = hc_route_columns(
-                atom, relation, shares, variable_order, hashes
-            )
-            simulator.send_columns_from_input(
-                atom.name,
-                destinations,
-                columns,
-                bits_per_tuple=relation.tuple_bits,
-                row_indices=row_indices,
-            )
-    else:
-        for atom in query.atoms:
-            relation: Relation = database[atom.name]
-            batches: dict[int, list[tuple[int, ...]]] = {}
-            for row in relation:
-                for destination in hc_destinations(
-                    atom, row, shares, variable_order, hashes
-                ):
-                    batches.setdefault(destination, []).append(row)
-            for destination, rows in batches.items():
-                simulator.send_from_input(
-                    atom.name,
-                    destination,
-                    rows,
-                    bits_per_tuple=relation.tuple_bits,
-                )
-    simulator.end_round()
+    steps = [
+        HashRoute(relation=atom.name, atom=atom, grid=grid)
+        for atom in query.atoms
+    ]
+    engine.run_round(steps, columnar_database(database, backend))
 
-    answers: set[tuple[int, ...]] = set()
-    per_server: list[int] = []
-    for worker in range(allocation.used_servers):
-        if backend == NUMPY:
-            found = _local_join_columnar(query, simulator, worker)
-        else:
-            local = {
-                atom.name: simulator.worker_rows(worker, atom.name)
-                for atom in query.atoms
-            }
-            found = evaluate_query(query, local)
-        per_server.append(len(found))
-        answers.update(found)
+    answers, per_server = collect_answers(
+        query, simulator, range(allocation.used_servers), backend
+    )
     per_server.extend([0] * (p - allocation.used_servers))
 
     return HCResult(
-        answers=tuple(sorted(answers)),
+        answers=answers,
         allocation=allocation,
         report=simulator.report,
         per_server_answers=tuple(per_server),
     )
-
-
-def _local_join_columnar(
-    query: ConjunctiveQuery, simulator: MPCSimulator, worker: int
-) -> tuple[tuple[int, ...], ...]:
-    """Evaluate the query at one worker over its columnar fragments."""
-    numpy = require_numpy()
-    fragments: dict[str, tuple] = {}
-    for atom in query.atoms:
-        batches = simulator.worker_column_batches(worker, atom.name)
-        if not batches:
-            return ()
-        if len(batches) == 1:
-            fragments[atom.name] = batches[0]
-        else:
-            fragments[atom.name] = tuple(
-                numpy.concatenate([batch[i] for batch in batches])
-                for i in range(len(batches[0]))
-            )
-    # Routing delivers every row at most once per worker, so the
-    # fragments are duplicate-free and the dedup/sort passes can be
-    # skipped; run_hypercube sorts the final answer union itself.
-    return evaluate_query_columnar(query, fragments, assume_unique=True)

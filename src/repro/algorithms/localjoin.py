@@ -118,12 +118,29 @@ def evaluate_query_columnar(
         unless ``assume_unique`` -- the same answer *set*
         :func:`evaluate_query` produces on the same rows.
     """
+    table = evaluate_query_table(query, fragments, assume_unique)
+    return tuple(map(tuple, table.tolist()))
+
+
+def evaluate_query_table(
+    query: ConjunctiveQuery,
+    fragments: Mapping[str, Sequence[Any]],
+    assume_unique: bool = False,
+) -> Any:
+    """Like :func:`evaluate_query_columnar` but stays columnar.
+
+    Returns the answers as one int64 array of shape
+    ``(num_answers, len(head))`` instead of materialising Python
+    tuples -- the form the round engine's view materialisation and
+    answer collection consume directly.
+    """
     numpy = require_numpy()
+    empty = numpy.zeros((0, len(query.head)), dtype=numpy.int64)
     tables: dict[str, Any] = {}
     for atom in query.atoms:
         columns = fragments.get(atom.name)
         if columns is None or len(columns) == 0 or len(columns[0]) == 0:
-            return ()
+            return empty
         table = numpy.column_stack(
             [numpy.asarray(c, dtype=numpy.int64) for c in columns]
         )
@@ -141,7 +158,7 @@ def evaluate_query_columnar(
         if mask is not None:
             table = table[mask]
         if len(table) == 0:
-            return ()
+            return empty
         tables[atom.name] = table
 
     sizes = {name: len(table) for name, table in tables.items()}
@@ -170,7 +187,7 @@ def evaluate_query_columnar(
             )
             right_index = numpy.tile(numpy.arange(len(table)), num_bound)
         if len(left_index) == 0:
-            return ()
+            return empty
         binding = {
             variable: column[left_index]
             for variable, column in binding.items()
@@ -182,7 +199,7 @@ def evaluate_query_columnar(
     head = numpy.column_stack([binding[v] for v in query.head])
     if not assume_unique:
         head = numpy.unique(head, axis=0)
-    return tuple(map(tuple, head.tolist()))
+    return head
 
 
 def _atom_order_by_size(

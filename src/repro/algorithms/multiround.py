@@ -13,6 +13,13 @@ relations; between rounds they are re-routed purely by content -- the
 executor hashes each view tuple exactly like a base tuple, so the
 whole execution is a legal tuple-based MPC(eps) algorithm.
 
+Execution compiles to the shared round engine: each plan round becomes
+one list of :class:`~repro.engine.steps.HashRoute` steps (one per
+operator atom, on the operator's own share grid, namespaced per
+operator so concurrent operators sharing a relation do not mix
+fragments), and views are materialised columnar so the ``numpy``
+backend never leaves column space between rounds.
+
 The executor returns both the final answer (asserted in tests to equal
 the single-site join) and the per-round communication statistics, so
 benchmarks can confirm that plan depth equals the number of simulator
@@ -21,15 +28,15 @@ rounds and that loads respect the ``eps`` budget.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from fractions import Fraction
+from dataclasses import dataclass, field, replace
 
-from repro.algorithms.hypercube import hc_destinations
-from repro.algorithms.localjoin import evaluate_query
+from repro.backend import resolve_backend
 from repro.core.covers import fractional_vertex_cover
-from repro.core.plans import QueryPlan, validate_plan
+from repro.core.plans import PlanStep, QueryPlan, validate_plan
 from repro.core.shares import allocate_integer_shares, share_exponents
-from repro.data.database import Database, bits_per_value
+from repro.data.columnar import ColumnarRelation
+from repro.data.database import Database
+from repro.engine import GridSpec, HashRoute, RoundEngine, materialise_view
 from repro.mpc.model import MPCConfig
 from repro.mpc.routing import HashFamily
 from repro.mpc.simulator import MPCSimulator
@@ -46,12 +53,22 @@ class MultiRoundResult:
         rounds_used: communication rounds executed (== plan depth).
         report: communication statistics per round.
         view_sizes: materialised size of every intermediate view.
+        per_server_answers: per view, the answer count each worker
+            contributed before deduplication (diagnostics / parity).
     """
 
     answers: tuple[tuple[int, ...], ...]
     rounds_used: int
     report: SimulationReport
     view_sizes: dict[str, int]
+    per_server_answers: dict[str, tuple[int, ...]] = field(
+        default_factory=dict
+    )
+
+
+def _step_key(step: PlanStep, atom_name: str) -> str:
+    """Mailbox namespace: operator output x input relation."""
+    return f"{step.output}:{atom_name}"
 
 
 def run_plan(
@@ -61,6 +78,7 @@ def run_plan(
     seed: int = 0,
     capacity_c: float = 8.0,
     enforce_capacity: bool = False,
+    backend: str | None = None,
 ) -> MultiRoundResult:
     """Execute a query plan round by round on the simulator.
 
@@ -72,6 +90,9 @@ def run_plan(
         seed: hash seed; each (round, step) derives its own sub-seed.
         capacity_c: capacity constant for the accounting.
         enforce_capacity: raise on overload when True.
+        backend: ``"pure"`` (default, reference), ``"numpy"``
+            (vectorized) or ``"auto"``; identical answers, per-round
+            loads and view sizes either way.
 
     Returns:
         A :class:`MultiRoundResult`; ``answers`` is exactly
@@ -79,97 +100,100 @@ def run_plan(
     """
     validate_plan(plan)
     n = database.domain_size
-    value_bits = bits_per_value(n)
-    config = MPCConfig(p=p, eps=plan.eps, c=capacity_c)
+    config = MPCConfig(
+        p=p, eps=plan.eps, c=capacity_c, backend=resolve_backend(backend)
+    )
+    backend = config.backend
     simulator = MPCSimulator(
         config,
         input_bits=database.total_bits,
         enforce_capacity=enforce_capacity,
     )
+    engine = RoundEngine(simulator)
 
-    # Environment: relation/view name -> (schema, rows).  Base
-    # relations enter with their atom's variable schema.
-    environment: dict[str, tuple[tuple[str, ...], tuple[tuple[int, ...], ...]]] = {}
+    # Environment: relation/view name -> (schema, columnar tuples).
+    # Base relations enter with their atom's variable schema; bits are
+    # charged uniformly at the database's domain width, as for views.
+    environment: dict[str, tuple[tuple[str, ...], ColumnarRelation]] = {}
     for atom in plan.query.atoms:
+        source = ColumnarRelation.from_relation(
+            database[atom.name], backend=backend
+        )
         environment[atom.name] = (
             atom.variables,
-            database[atom.name].tuples,
+            replace(source, domain_size=n),
         )
 
     view_sizes: dict[str, int] = {}
+    per_server_answers: dict[str, tuple[int, ...]] = {}
     for round_number, plan_round in enumerate(plan.rounds, start=1):
-        simulator.begin_round()
-        for step_index, step in enumerate(plan_round.steps):
-            step_query = step.query
+        steps: list[HashRoute] = []
+        sources: dict[str, ColumnarRelation] = {}
+        for step_index, plan_step in enumerate(plan_round.steps):
+            step_query = plan_step.query
             cover = fractional_vertex_cover(step_query)
             exponents = share_exponents(step_query, cover)
             allocation = allocate_integer_shares(exponents, p)
-            hashes = HashFamily(
-                seed ^ (round_number << 20) ^ (step_index << 10)
+            grid = GridSpec.from_shares(
+                step_query.variables,
+                allocation.shares,
+                HashFamily(seed ^ (round_number << 20) ^ (step_index << 10)),
             )
-            order = step_query.variables
             for atom in step_query.atoms:
-                schema, rows = environment[atom.name]
+                schema, source = environment[atom.name]
                 if schema != atom.variables:
                     raise ValueError(
                         f"schema mismatch for {atom.name}: "
                         f"{schema} vs {atom.variables}"
                     )
-                tuple_bits = len(schema) * value_bits
-                batches: dict[int, list[tuple[int, ...]]] = {}
-                for row in rows:
-                    for destination in hc_destinations(
-                        atom, row, allocation.shares, order, hashes
-                    ):
-                        batches.setdefault(destination, []).append(row)
-                # Storage is namespaced per step so concurrent
-                # operators sharing a relation do not mix fragments.
-                key = f"{step.output}:{atom.name}"
-                for destination, batch in batches.items():
-                    if round_number == 1:
+                sources[atom.name] = source
+                steps.append(
+                    HashRoute(
+                        relation=atom.name,
+                        destination=_step_key(plan_step, atom.name),
+                        atom=atom,
+                        grid=grid,
                         # Round 1: the input server for the relation
                         # routes its tuples (arbitrary round-1
-                        # messages are allowed by the model).
-                        simulator.send(
-                            f"input:{atom.name}",
-                            destination,
-                            key,
-                            batch,
-                            tuple_bits,
-                        )
-                    else:
-                        # Tuple-based rounds >= 2: a worker holding
-                        # the join tuple forwards it by content.  We
-                        # charge the receiver the same bits either
-                        # way; sender 0 stands in for "some holder".
-                        simulator.send(0, destination, key, batch, tuple_bits)
-        simulator.end_round()
-
-        # Local evaluation of every step at every worker.
-        for step in plan_round.steps:
-            step_query = step.query
-            output_rows: set[tuple[int, ...]] = set()
-            for worker in range(p):
-                local = {
-                    atom.name: simulator.worker_rows(
-                        worker, f"{step.output}:{atom.name}"
+                        # messages are allowed by the model).  Rounds
+                        # >= 2 are tuple-based: a worker holding the
+                        # join tuple forwards it by content; worker 0
+                        # stands in for "some holder" and the receiver
+                        # is charged the same bits either way.
+                        sender=None if round_number == 1 else 0,
                     )
-                    for atom in step_query.atoms
-                }
-                output_rows.update(evaluate_query(step_query, local))
-            schema = step_query.head
-            environment[step.output] = (schema, tuple(sorted(output_rows)))
-            view_sizes[step.output] = len(output_rows)
+                )
+        engine.run_round(steps, sources)
 
-    final_schema, final_rows = environment[plan.output]
+        # Local evaluation of every step at every worker, then
+        # materialise each output view (sorted, duplicate-free) for
+        # content-based re-routing in later rounds.
+        for plan_step in plan_round.steps:
+            view, counts = materialise_view(
+                plan_step.output,
+                plan_step.query,
+                simulator,
+                range(p),
+                backend,
+                domain_size=n,
+                key_of=lambda name, s=plan_step: _step_key(s, name),
+            )
+            environment[plan_step.output] = (plan_step.query.head, view)
+            view_sizes[plan_step.output] = len(view)
+            per_server_answers[plan_step.output] = tuple(counts)
+
+    final_schema, final_view = environment[plan.output]
     # Re-order columns into the original query's head order.
     positions = [final_schema.index(v) for v in plan.query.head]
     answers = tuple(
-        sorted(tuple(row[i] for i in positions) for row in final_rows)
+        sorted(
+            tuple(row[i] for i in positions) for row in final_view.rows()
+        )
     )
     return MultiRoundResult(
         answers=answers,
         rounds_used=simulator.report.num_rounds,
         report=simulator.report,
         view_sizes=view_sizes,
+        per_server_answers=per_server_answers,
     )

@@ -29,12 +29,21 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Mapping
 
+from repro.backend import resolve_backend
 from repro.algorithms.localjoin import evaluate_query
 from repro.core.covers import covering_number, fractional_vertex_cover
 from repro.core.query import ConjunctiveQuery
+from repro.data.columnar import columnar_database
 from repro.data.database import Database
+from repro.engine import (
+    GridSpec,
+    HashRoute,
+    RemapRanks,
+    RoundEngine,
+    collect_answers,
+)
 from repro.mpc.model import MPCConfig
-from repro.mpc.routing import HashFamily, grid_rank, grid_size
+from repro.mpc.routing import HashFamily, grid_size
 from repro.mpc.simulator import MPCSimulator
 from repro.mpc.stats import SimulationReport
 
@@ -68,8 +77,13 @@ def run_partial_hypercube(
     seed: int = 0,
     cover: Mapping[str, Fraction] | None = None,
     capacity_c: float = 4.0,
+    backend: str | None = None,
 ) -> PartialResult:
     """Run the Proposition 3.11 algorithm with budget ``eps``.
+
+    On the round engine this is HC routing over the *virtual* grid
+    wrapped in a :class:`~repro.engine.steps.RemapRanks` step that
+    keeps only the sampled grid points.
 
     Args:
         query: a connected query with ``eps < 1 - 1/tau*(q)`` (running
@@ -81,6 +95,7 @@ def run_partial_hypercube(
         seed: drives both the hash family and the grid-point sample.
         cover: optional vertex cover (defaults to optimal).
         capacity_c: capacity constant for accounting.
+        backend: ``"pure"`` (default), ``"numpy"`` or ``"auto"``.
     """
     eps = Fraction(eps)
     if cover is None:
@@ -103,38 +118,31 @@ def run_partial_hypercube(
         chosen = rng.sample(range(virtual_points), p)
     point_to_server = {point: index for index, point in enumerate(chosen)}
 
-    hashes = HashFamily(seed)
-    config = MPCConfig(p=p, eps=eps, c=capacity_c)
+    grid = GridSpec.from_shares(variable_order, shares, HashFamily(seed))
+    config = MPCConfig(
+        p=p, eps=eps, c=capacity_c, backend=resolve_backend(backend)
+    )
+    backend = config.backend
     simulator = MPCSimulator(
         config, input_bits=database.total_bits, enforce_capacity=False
     )
+    engine = RoundEngine(simulator)
 
-    simulator.begin_round()
-    from repro.algorithms.hypercube import hc_destinations
+    steps = [
+        RemapRanks(
+            relation=atom.name,
+            inner=HashRoute(relation=atom.name, atom=atom, grid=grid),
+            mapping=point_to_server,
+            virtual_size=virtual_points,
+        )
+        for atom in query.atoms
+    ]
+    engine.run_round(steps, columnar_database(database, backend))
 
-    for atom in query.atoms:
-        relation = database[atom.name]
-        batches: dict[int, list[tuple[int, ...]]] = {}
-        for row in relation:
-            for virtual in hc_destinations(
-                atom, row, shares, variable_order, hashes
-            ):
-                server = point_to_server.get(virtual)
-                if server is not None:
-                    batches.setdefault(server, []).append(row)
-        for server, rows in batches.items():
-            simulator.send_from_input(
-                atom.name, server, rows, bits_per_tuple=relation.tuple_bits
-            )
-    simulator.end_round()
-
-    reported: set[tuple[int, ...]] = set()
-    for server in range(min(p, len(chosen))):
-        local = {
-            atom.name: simulator.worker_rows(server, atom.name)
-            for atom in query.atoms
-        }
-        reported.update(evaluate_query(query, local))
+    answers, _ = collect_answers(
+        query, simulator, range(min(p, len(chosen))), backend
+    )
+    reported = set(answers)
 
     truth = evaluate_query(
         query,

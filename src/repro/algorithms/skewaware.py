@@ -20,6 +20,13 @@ remedy practical HyperCube deployments use:
    heavy value.  (With three or more atoms on the dimension we fall
    back to full spreading.)
 
+Execution compiles to the shared round engine: one
+:class:`~repro.engine.steps.HeavyGridRoute` per atom, so the whole
+light/heavy split runs either tuple-at-a-time (``pure``) or as a
+handful of vectorized signature groups (``numpy``); heavy-hitter
+detection itself is one ``unique``/``counts`` pass per (atom,
+position) under numpy.
+
 On skew-free inputs no value is heavy and the algorithm degenerates to
 exactly `run_hypercube`; on skewed inputs the maximum load drops from
 ``Theta(n)`` back toward ``O(n / sqrt(p_v))`` per heavy value at the
@@ -29,18 +36,19 @@ result stats.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
-from itertools import product
 from typing import Mapping
 
-from repro.algorithms.localjoin import evaluate_query
+from repro.backend import NUMPY, require_numpy, resolve_backend
+from repro.core.query import ConjunctiveQuery
 from repro.core.covers import fractional_vertex_cover
-from repro.core.query import Atom, ConjunctiveQuery
 from repro.core.shares import ShareAllocation, allocate_integer_shares, share_exponents
+from repro.data.columnar import ColumnarRelation, columnar_database
 from repro.data.database import Database
+from repro.engine import GridSpec, HeavyGridRoute, RoundEngine, collect_answers
 from repro.mpc.model import MPCConfig
-from repro.mpc.routing import HashFamily, grid_rank
+from repro.mpc.routing import HashFamily
 from repro.mpc.simulator import MPCSimulator
 from repro.mpc.stats import SimulationReport
 
@@ -54,37 +62,70 @@ class SkewAwareResult:
         heavy_hitters: per variable, the values declared heavy.
         allocation: the integer share grid used.
         report: communication statistics.
+        per_server_answers: answer count per server (diagnostics).
     """
 
     answers: tuple[tuple[int, ...], ...]
     heavy_hitters: dict[str, frozenset[int]]
     allocation: ShareAllocation
     report: SimulationReport
+    per_server_answers: tuple[int, ...] = field(default=())
 
 
 def detect_heavy_hitters(
     query: ConjunctiveQuery,
     database: Database,
     shares: Mapping[str, int],
+    backend: str | None = None,
+    columnar: Mapping[str, ColumnarRelation] | None = None,
 ) -> dict[str, frozenset[int]]:
     """Values occurring more than ``|S_j| / p_i`` times on a dimension.
 
     Computed per (atom, variable position) and unioned per variable:
     input servers know their own relations, so this is legal round-1
-    work in the model of Section 2.4.
+    work in the model of Section 2.4.  Under the ``numpy`` backend
+    each (atom, position) scan is one ``unique``/``counts`` pass; the
+    ``pure`` reference counts per-value in a dict.  Identical output
+    either way.
+
+    Args:
+        columnar: optional pre-columnarised relations (the executor
+            passes its routing sources so detection re-uses the same
+            arrays instead of converting the database twice).
     """
+    backend = resolve_backend(backend)
+    numpy = require_numpy() if backend == NUMPY else None
     heavy: dict[str, set[int]] = {v: set() for v in query.variables}
     for atom in query.atoms:
         relation = database[atom.name]
+        if numpy is not None and len(relation):
+            if columnar is not None and atom.name in columnar:
+                columns = columnar[atom.name].columns
+            else:
+                columns = ColumnarRelation.from_relation(
+                    relation, backend=NUMPY
+                ).columns
+        else:
+            columns = None
         for position, variable in enumerate(atom.variables):
             share = shares.get(variable, 1)
             if share <= 1:
                 continue
             threshold = max(1, len(relation) // share)
-            counts: dict[int, int] = {}
+            if columns is not None:
+                values, counts = numpy.unique(
+                    columns[position], return_counts=True
+                )
+                heavy[variable].update(
+                    values[counts > threshold].tolist()
+                )
+                continue
+            counts_by_value: dict[int, int] = {}
             for row in relation:
-                counts[row[position]] = counts.get(row[position], 0) + 1
-            for value, count in counts.items():
+                counts_by_value[row[position]] = (
+                    counts_by_value.get(row[position], 0) + 1
+                )
+            for value, count in counts_by_value.items():
                 if count > threshold:
                     heavy[variable].add(value)
     return {v: frozenset(values) for v, values in heavy.items()}
@@ -108,75 +149,6 @@ def _heavy_roles(query: ConjunctiveQuery) -> dict[str, dict[str, int] | None]:
     return roles
 
 
-def _grid_factors(share: int) -> tuple[int, int]:
-    """Factor a share into ``g1 x g2`` with ``g1 = isqrt(share)``."""
-    import math
-
-    g1 = max(1, math.isqrt(share))
-    g2 = max(1, share // g1)
-    return g1, g2
-
-
-def _destinations_skew_aware(
-    atom: Atom,
-    row: tuple[int, ...],
-    shares: Mapping[str, int],
-    variable_order: tuple[str, ...],
-    hashes: HashFamily,
-    heavy: Mapping[str, frozenset[int]],
-    roles: Mapping[str, dict[str, int] | None],
-) -> list[int]:
-    """HC destinations with cartesian-grid handling of heavy values."""
-    axes_by_variable: dict[str, tuple[int, ...]] = {}
-    for position, variable in enumerate(atom.variables):
-        first = atom.variables.index(variable)
-        if row[position] != row[first]:
-            return []
-        value = row[position]
-        share = shares[variable]
-        if value not in heavy.get(variable, frozenset()):
-            axes_by_variable[variable] = (
-                hashes.hash_value(variable, value, share),
-            )
-            continue
-        variable_roles = roles.get(variable)
-        if variable_roles is None or atom.name not in variable_roles:
-            # Fallback: spread across the whole dimension.
-            axes_by_variable[variable] = tuple(range(share))
-            continue
-        g1, g2 = _grid_factors(share)
-        residual = tuple(
-            row[i]
-            for i, other in enumerate(atom.variables)
-            if other != variable
-        )
-        residual_hash = hashes.hash_value(
-            f"{variable}/residual", hash(residual) & ((1 << 31) - 1),
-            g1 if variable_roles[atom.name] == 0 else g2,
-        )
-        if variable_roles[atom.name] == 0:
-            coordinates = tuple(
-                residual_hash * g2 + column for column in range(g2)
-            )
-        else:
-            coordinates = tuple(
-                row_index * g2 + residual_hash for row_index in range(g1)
-            )
-        axes_by_variable[variable] = coordinates
-
-    axes = []
-    for variable in variable_order:
-        if variable in axes_by_variable:
-            axes.append(axes_by_variable[variable])
-        else:
-            axes.append(tuple(range(shares[variable])))
-    dimensions = tuple(shares[variable] for variable in variable_order)
-    return [
-        grid_rank(coordinates, dimensions)
-        for coordinates in product(*axes)
-    ]
-
-
 def run_hypercube_skew_aware(
     query: ConjunctiveQuery,
     database: Database,
@@ -184,6 +156,8 @@ def run_hypercube_skew_aware(
     eps: Fraction | float | None = None,
     seed: int = 0,
     capacity_c: float = 4.0,
+    enforce_capacity: bool = False,
+    backend: str | None = None,
 ) -> SkewAwareResult:
     """One-round HC with heavy-hitter spreading.
 
@@ -194,45 +168,51 @@ def run_hypercube_skew_aware(
     exponents = share_exponents(query, cover)
     allocation = allocate_integer_shares(exponents, p)
     shares = allocation.shares
-    heavy = detect_heavy_hitters(query, database, shares)
-    roles = _heavy_roles(query)
-    hashes = HashFamily(seed)
-    variable_order = query.variables
 
     if eps is None:
         tau = sum((Fraction(v) for v in cover.values()), start=Fraction(0))
         eps = max(Fraction(0), 1 - 1 / tau)
-    config = MPCConfig(p=p, eps=Fraction(eps), c=capacity_c)
-    simulator = MPCSimulator(
-        config, input_bits=database.total_bits, enforce_capacity=False
+    config = MPCConfig(
+        p=p, eps=Fraction(eps), c=capacity_c,
+        backend=resolve_backend(backend),
     )
+    backend = config.backend
 
-    simulator.begin_round()
-    for atom in query.atoms:
-        relation = database[atom.name]
-        batches: dict[int, list[tuple[int, ...]]] = {}
-        for row in relation:
-            for destination in _destinations_skew_aware(
-                atom, row, shares, variable_order, hashes, heavy, roles
-            ):
-                batches.setdefault(destination, []).append(row)
-        for destination, rows in batches.items():
-            simulator.send_from_input(
-                atom.name, destination, rows, relation.tuple_bits
-            )
-    simulator.end_round()
+    sources = columnar_database(database, backend)
+    heavy = detect_heavy_hitters(
+        query, database, shares, backend=backend, columnar=sources
+    )
+    roles = _heavy_roles(query)
+    grid = GridSpec.from_shares(query.variables, shares, HashFamily(seed))
 
-    answers: set[tuple[int, ...]] = set()
-    for worker in range(allocation.used_servers):
-        local = {
-            atom.name: simulator.worker_rows(worker, atom.name)
-            for atom in query.atoms
-        }
-        answers.update(evaluate_query(query, local))
+    simulator = MPCSimulator(
+        config,
+        input_bits=database.total_bits,
+        enforce_capacity=enforce_capacity,
+    )
+    engine = RoundEngine(simulator)
+
+    steps = [
+        HeavyGridRoute(
+            relation=atom.name,
+            atom=atom,
+            grid=grid,
+            heavy=heavy,
+            roles=roles,
+        )
+        for atom in query.atoms
+    ]
+    engine.run_round(steps, sources)
+
+    answers, per_server = collect_answers(
+        query, simulator, range(allocation.used_servers), backend
+    )
+    per_server.extend([0] * (p - allocation.used_servers))
 
     return SkewAwareResult(
-        answers=tuple(sorted(answers)),
+        answers=answers,
         heavy_hitters=heavy,
         allocation=allocation,
         report=simulator.report,
+        per_server_answers=tuple(per_server),
     )

@@ -12,6 +12,14 @@ Commands:
   answers and load accounting).
 * ``plan "S1(x,y), ..." --eps 1/2`` -- build and print a multi-round
   plan.
+* ``run-plan "S1(a,b), S2(b,c), S3(c,d)" --eps 0 --n 100 --p 16`` --
+  build the plan AND execute it on the simulator round by round (the
+  Proposition 4.1 executor), verifying the final view against the
+  exact join; honours ``--backend`` like ``run``.
+* ``skew "S1(x,y), S2(y,z)" --n 200 --p 16 --heavy-fraction 0.5`` --
+  generate a skewed database (heavy hitter on every first attribute)
+  and race plain HC against the skew-aware executor, printing heavy
+  hitters, max loads and imbalance; honours ``--backend``.
 * ``tables`` -- regenerate Table 1 and Table 2 of the paper.
 """
 
@@ -108,6 +116,97 @@ def cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_run_plan(args: argparse.Namespace) -> int:
+    from repro.algorithms.localjoin import evaluate_query
+    from repro.algorithms.multiround import run_plan
+    from repro.backend import resolve_backend
+    from repro.data.matching import matching_database
+
+    query = parse_query(args.query)
+    plan = build_plan(query, args.eps)
+    database = matching_database(query, n=args.n, rng=args.seed)
+    backend = resolve_backend(args.backend)
+    result = run_plan(
+        plan, database, p=args.p, seed=args.seed, backend=backend
+    )
+    truth = evaluate_query(
+        query, {name: database[name].tuples for name in database.relations}
+    )
+    verified = result.answers == truth
+    rows = [
+        ["query", str(query)],
+        ["eps (space exponent)", args.eps],
+        ["n (domain)", args.n],
+        ["p (servers)", args.p],
+        ["backend", backend],
+        ["plan depth", plan.depth],
+        ["rounds used", result.rounds_used],
+        ["answers", len(result.answers)],
+        ["verified vs exact join", verified],
+        ["max load (tuples)", result.report.max_load_tuples],
+        ["replication rate", f"{result.report.replication_rate:.3f}"],
+    ]
+    rows.extend(
+        [f"view |{view}|", size]
+        for view, size in sorted(result.view_sizes.items())
+    )
+    print(format_table(["property", "value"], rows))
+    return 0 if verified else 1
+
+
+def cmd_skew(args: argparse.Namespace) -> int:
+    from repro.algorithms.hypercube import run_hypercube
+    from repro.algorithms.localjoin import evaluate_query
+    from repro.algorithms.skewaware import run_hypercube_skew_aware
+    from repro.backend import resolve_backend
+    from repro.data.generators import skewed_database
+
+    query = parse_query(args.query)
+    database = skewed_database(
+        query, n=args.n, rng=args.seed, heavy_fraction=args.heavy_fraction
+    )
+    backend = resolve_backend(args.backend)
+    plain = run_hypercube(
+        query, database, p=args.p, seed=args.seed, backend=backend
+    )
+    aware = run_hypercube_skew_aware(
+        query, database, p=args.p, seed=args.seed, backend=backend
+    )
+    truth = evaluate_query(
+        query, {name: database[name].tuples for name in database.relations}
+    )
+    verified = aware.answers == truth and plain.answers == truth
+    heavy = {
+        variable: sorted(values)
+        for variable, values in aware.heavy_hitters.items()
+        if values
+    }
+    print(format_table(
+        ["property", "value"],
+        [
+            ["query", str(query)],
+            ["n (domain)", args.n],
+            ["p (servers)", args.p],
+            ["backend", backend],
+            ["heavy fraction", args.heavy_fraction],
+            ["heavy hitters", heavy or "none"],
+            ["answers", len(aware.answers)],
+            ["verified vs exact join", verified],
+            ["plain HC max load", plain.report.max_load_tuples],
+            ["skew-aware max load", aware.report.max_load_tuples],
+            [
+                "plain imbalance",
+                f"{plain.report.rounds[0].load_imbalance:.2f}",
+            ],
+            [
+                "aware imbalance",
+                f"{aware.report.rounds[0].load_imbalance:.2f}",
+            ],
+        ],
+    ))
+    return 0 if verified else 1
+
+
 def cmd_shares(args: argparse.Namespace) -> int:
     query = parse_query(args.query)
     exponents = share_exponents(query)
@@ -176,18 +275,21 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("query", help='e.g. "S1(x,y), S2(y,z), S3(z,x)"')
     analyze.set_defaults(handler=cmd_analyze)
 
+    def add_execution_options(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument("--n", type=int, default=100, help="domain size")
+        subparser.add_argument("--p", type=int, default=16, help="number of servers")
+        subparser.add_argument("--seed", type=int, default=0)
+        subparser.add_argument(
+            "--backend",
+            choices=["auto", "pure", "numpy"],
+            default="pure",
+            help="execution engine: pure-Python reference or vectorized "
+            "numpy (auto picks numpy when available)",
+        )
+
     run = commands.add_parser("run", help="run HyperCube on a random matching DB")
     run.add_argument("query")
-    run.add_argument("--n", type=int, default=100, help="domain size")
-    run.add_argument("--p", type=int, default=16, help="number of servers")
-    run.add_argument("--seed", type=int, default=0)
-    run.add_argument(
-        "--backend",
-        choices=["auto", "pure", "numpy"],
-        default="pure",
-        help="execution engine: pure-Python reference or vectorized "
-        "numpy (auto picks numpy when available)",
-    )
+    add_execution_options(run)
     run.set_defaults(handler=cmd_run)
 
     plan = commands.add_parser("plan", help="build a multi-round plan")
@@ -195,6 +297,30 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--eps", type=_parse_eps, default=Fraction(0),
                       help="space exponent, e.g. 1/2")
     plan.set_defaults(handler=cmd_plan)
+
+    run_plan = commands.add_parser(
+        "run-plan",
+        help="build a multi-round plan and execute it on the simulator",
+    )
+    run_plan.add_argument("query")
+    run_plan.add_argument("--eps", type=_parse_eps, default=Fraction(0),
+                          help="space exponent, e.g. 1/2")
+    add_execution_options(run_plan)
+    run_plan.set_defaults(handler=cmd_run_plan)
+
+    skew = commands.add_parser(
+        "skew",
+        help="race plain vs skew-aware HC on a skewed database",
+    )
+    skew.add_argument("query")
+    skew.add_argument(
+        "--heavy-fraction",
+        type=float,
+        default=0.5,
+        help="share of each relation funnelled into one heavy value",
+    )
+    add_execution_options(skew)
+    skew.set_defaults(handler=cmd_skew)
 
     shares = commands.add_parser("shares", help="integer share allocation")
     shares.add_argument("query")

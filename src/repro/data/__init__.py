@@ -27,6 +27,7 @@ from repro.data.matching import (
 from repro.data.generators import (
     dense_graph,
     layered_path_graph,
+    skewed_database,
     skewed_relation,
     witness_database,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "random_matching",
     "dense_graph",
     "layered_path_graph",
+    "skewed_database",
     "skewed_relation",
     "witness_database",
 ]

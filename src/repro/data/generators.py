@@ -4,6 +4,9 @@
   matching-database assumption (the paper defers skew to [17], we keep
   a generator so tests can show where HC's load guarantee needs the
   skew-free assumption).
+* :func:`skewed_database` -- one skewed relation per query atom (heavy
+  hitter on the first attribute), the input family of the
+  ``repro skew`` command and the skew-aware parity/speedup suites.
 * :func:`witness_database` -- the Proposition 3.12 instances:
   ``R(w), S1(w,x), S2(x,y), S3(y,z), T(z)`` with ``S_i`` matchings and
   ``R, T`` uniform subsets of size ``ceil(sqrt(n))``.
@@ -21,6 +24,7 @@ import math
 import random
 from dataclasses import dataclass
 
+from repro.core.query import ConjunctiveQuery
 from repro.data.database import Database, DataError, Relation
 from repro.data.matching import random_matching, random_permutation
 
@@ -44,6 +48,45 @@ def skewed_relation(
         left = 1 if i <= heavy_count else rng.randint(1, n)
         rows.append((left, rng.randint(1, n)))
     return Relation.from_tuples(name, rows, domain_size=n, arity=2)
+
+
+def skewed_database(
+    query: ConjunctiveQuery,
+    n: int,
+    rng: random.Random | int | None = None,
+    heavy_fraction: float = 0.5,
+) -> Database:
+    """A skewed instance for every relation of a query.
+
+    Each relation gets ``n`` rows whose *first* attribute funnels a
+    ``heavy_fraction`` share of rows into the value ``1`` (the heavy
+    hitter); every other position is uniform in ``[1, n]``.  The
+    result violates the matching assumption on every join attribute in
+    first position -- the adversarial regime the skew-aware executor
+    (and the ``repro skew`` CLI command) is built for.
+    """
+    if not 0 <= heavy_fraction <= 1:
+        raise DataError(
+            f"heavy_fraction must be in [0,1], got {heavy_fraction}"
+        )
+    if isinstance(rng, int) or rng is None:
+        rng = random.Random(rng or 0)
+    heavy_count = int(n * heavy_fraction)
+    relations = []
+    for atom in query.atoms:
+        rows = []
+        for i in range(1, n + 1):
+            first = 1 if i <= heavy_count else rng.randint(1, n)
+            rows.append(
+                (first,)
+                + tuple(rng.randint(1, n) for _ in range(atom.arity - 1))
+            )
+        relations.append(
+            Relation.from_tuples(
+                atom.name, rows, domain_size=n, arity=atom.arity
+            )
+        )
+    return Database.from_relations(relations)
 
 
 def witness_database(n: int, rng: random.Random | int | None = None) -> Database:

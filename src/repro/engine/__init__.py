@@ -1,0 +1,69 @@
+"""The shared columnar round engine.
+
+Every algorithm in :mod:`repro.algorithms` compiles its communication
+rounds to the same small IR -- a list of
+:class:`~repro.engine.steps.RoutingStep`s -- executed by one
+:class:`~repro.engine.executor.RoundEngine` over the MPC simulator,
+either tuple-at-a-time (``pure``) or column-wise (``numpy``):
+
+====================  =================================================
+algorithm             routing steps per round
+====================  =================================================
+HyperCube             one :class:`HashRoute` per atom on the share grid
+multi-round plans     per operator, one :class:`HashRoute` per atom on
+                      the operator's own grid (views re-hashed by
+                      content between rounds)
+skew-aware HC         one :class:`HeavyGridRoute` per atom (light
+                      values hash, heavy values split over a
+                      ``g1 x g2`` cartesian sub-grid)
+below-threshold HC    one :class:`RemapRanks`-wrapped
+                      :class:`HashRoute` per atom (virtual grid,
+                      sampled points)
+broadcast join        one :class:`Broadcast` per atom
+single-server         one :class:`ToServer` per atom
+single-attribute join one :class:`HashRoute` per atom on a 1-D grid
+cartesian grid        one :class:`RoundRobinGrid` per operand
+====================  =================================================
+
+New execution scenarios (new operators, sharding, asynchronous
+shipping) are new step types or new step parameters -- not new copies
+of the route/ship/join loop.
+"""
+
+from repro.engine.executor import RoundEngine
+from repro.engine.local import (
+    collect_answers,
+    fragment_tuple_count,
+    materialise_view,
+    worker_answer_rows,
+    worker_answer_table,
+)
+from repro.engine.steps import (
+    Broadcast,
+    GridSpec,
+    HashRoute,
+    HeavyGridRoute,
+    RemapRanks,
+    RoundRobinGrid,
+    RoutingStep,
+    ToServer,
+    grid_factors,
+)
+
+__all__ = [
+    "RoundEngine",
+    "collect_answers",
+    "fragment_tuple_count",
+    "materialise_view",
+    "worker_answer_rows",
+    "worker_answer_table",
+    "Broadcast",
+    "GridSpec",
+    "HashRoute",
+    "HeavyGridRoute",
+    "RemapRanks",
+    "RoundRobinGrid",
+    "RoutingStep",
+    "ToServer",
+    "grid_factors",
+]

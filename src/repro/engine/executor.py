@@ -1,0 +1,107 @@
+"""The round engine: execute a list of routing steps on the simulator.
+
+This is the single route/ship loop every algorithm in the repository
+compiles to.  A :class:`RoundEngine` wraps one :class:`MPCSimulator`
+and a resolved compute backend; :meth:`RoundEngine.run_round` opens a
+round, executes each :class:`~repro.engine.steps.RoutingStep` against
+its source relation, and closes the round (which delivers messages and
+enforces the capacity bound).
+
+Under the ``pure`` backend each step is routed row by row through
+:meth:`RoutingStep.destinations` and shipped with per-(receiver,
+relation) batching; under ``numpy`` the step's whole routing decision
+is computed in one :meth:`RoutingStep.route_columns` pass and shipped
+with a single :meth:`MPCSimulator.send_columns` call.  Both paths
+produce the same multiset of (row, destination) pairs, so answers,
+per-round received bits/tuples and capacity failures are bit-identical
+across backends by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.backend import NUMPY, resolve_backend
+from repro.data.columnar import ColumnarRelation
+from repro.engine.steps import RoutingStep
+from repro.mpc.message import input_server
+from repro.mpc.simulator import MPCSimulator
+from repro.mpc.stats import RoundStats
+
+
+class RoundEngine:
+    """Executes routing-step rounds on one simulator.
+
+    Args:
+        simulator: the MPC network to route over.
+        backend: ``"pure"``, ``"numpy"`` or ``"auto"``; defaults to
+            the simulator config's backend.
+    """
+
+    def __init__(
+        self, simulator: MPCSimulator, backend: str | None = None
+    ) -> None:
+        self.simulator = simulator
+        self.backend = (
+            simulator.config.backend
+            if backend is None
+            else resolve_backend(backend)
+        )
+
+    def run_round(
+        self,
+        steps: Sequence[RoutingStep],
+        sources: Mapping[str, ColumnarRelation],
+    ) -> RoundStats:
+        """Execute one communication round: route, ship, deliver.
+
+        Args:
+            steps: the routing steps of the round.
+            sources: source relation/view per step ``relation`` name;
+                column storage must match the engine's backend.
+
+        Returns:
+            The closed round's statistics.
+
+        Raises:
+            CapacityExceeded: via :meth:`MPCSimulator.end_round` when
+                enforcement is on and a worker's budget is blown.
+        """
+        self.simulator.begin_round()
+        for step in steps:
+            self.execute_step(step, sources[step.relation])
+        return self.simulator.end_round()
+
+    def execute_step(
+        self, step: RoutingStep, source: ColumnarRelation
+    ) -> None:
+        """Route and stage one step (inside an open round)."""
+        simulator = self.simulator
+        p = simulator.num_workers
+        sender = (
+            step.sender
+            if step.sender is not None
+            else input_server(step.relation)
+        )
+        key = step.mailbox_key
+        if self.backend == NUMPY:
+            columns, destinations, row_indices = step.route_columns(
+                source.columns, p
+            )
+            simulator.send_columns(
+                sender,
+                destinations,
+                key,
+                columns,
+                bits_per_tuple=source.tuple_bits,
+                row_indices=row_indices,
+            )
+            return
+        batches: dict[int, list[tuple[int, ...]]] = {}
+        for index, row in enumerate(source.rows()):
+            for destination in step.destinations(row, index, p):
+                batches.setdefault(destination, []).append(row)
+        for destination, rows in batches.items():
+            simulator.send(
+                sender, destination, key, rows, source.tuple_bits
+            )

@@ -1,0 +1,202 @@
+"""Post-round local evaluation shared by every algorithm.
+
+After the engine delivers a round, each worker evaluates a conjunctive
+query over the fragments it received.  This module is the single
+join-and-collect loop: the ``pure`` backend runs the reference
+backtracking join over mailbox rows, the ``numpy`` backend runs the
+columnar hash join over mailbox column batches, and either way the
+callers get back identical answer sets, per-server answer counts and
+(for the multi-round executor) materialised views.
+
+Routing never delivers the same source row twice to one worker under
+any :class:`~repro.engine.steps.RoutingStep` (a step's destination set
+per row is duplicate-free, and engine sources are deduplicated), so
+the columnar path can skip the dedup passes (``assume_unique``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.backend import NUMPY, require_numpy
+from repro.algorithms.localjoin import evaluate_query, evaluate_query_table
+from repro.core.query import ConjunctiveQuery
+from repro.data.columnar import ColumnarRelation
+from repro.mpc.simulator import MPCSimulator
+
+KeyOf = Callable[[str], str]
+
+
+def _identity_key(name: str) -> str:
+    return name
+
+
+def _worker_fragments_columnar(
+    query: ConjunctiveQuery,
+    simulator: MPCSimulator,
+    worker: int,
+    key_of: KeyOf,
+) -> dict[str, tuple] | None:
+    """Concatenate a worker's column batches per atom; None if any empty."""
+    numpy = require_numpy()
+    fragments: dict[str, tuple] = {}
+    for atom in query.atoms:
+        batches = simulator.worker_column_batches(worker, key_of(atom.name))
+        if not batches:
+            return None
+        if len(batches) == 1:
+            fragments[atom.name] = batches[0]
+        else:
+            fragments[atom.name] = tuple(
+                numpy.concatenate([batch[i] for batch in batches])
+                for i in range(len(batches[0]))
+            )
+    return fragments
+
+
+def worker_answer_table(
+    query: ConjunctiveQuery,
+    simulator: MPCSimulator,
+    worker: int,
+    key_of: KeyOf = _identity_key,
+):
+    """One worker's answers as an int64 table (numpy backend)."""
+    numpy = require_numpy()
+    fragments = _worker_fragments_columnar(query, simulator, worker, key_of)
+    if fragments is None:
+        return numpy.zeros((0, len(query.head)), dtype=numpy.int64)
+    return evaluate_query_table(query, fragments, assume_unique=True)
+
+
+def worker_answer_rows(
+    query: ConjunctiveQuery,
+    simulator: MPCSimulator,
+    worker: int,
+    key_of: KeyOf = _identity_key,
+) -> tuple[tuple[int, ...], ...]:
+    """One worker's answers as sorted row tuples (pure backend)."""
+    local = {
+        atom.name: simulator.worker_rows(worker, key_of(atom.name))
+        for atom in query.atoms
+    }
+    return evaluate_query(query, local)
+
+
+def _merged_answer_table(
+    query: ConjunctiveQuery,
+    simulator: MPCSimulator,
+    workers: Iterable[int],
+    key_of: KeyOf,
+):
+    """All workers' answers merged into one sorted unique int64 table.
+
+    Returns:
+        ``(merged, per_server)`` -- the deduplicated union (sorted
+        lexicographically, i.e. exactly the order Python tuple sorting
+        gives) and the per-worker answer counts in iteration order.
+    """
+    numpy = require_numpy()
+    per_server: list[int] = []
+    tables = []
+    for worker in workers:
+        table = worker_answer_table(query, simulator, worker, key_of)
+        per_server.append(len(table))
+        if len(table):
+            tables.append(table)
+    if tables:
+        merged = numpy.unique(numpy.concatenate(tables), axis=0)
+    else:
+        merged = numpy.zeros((0, len(query.head)), dtype=numpy.int64)
+    return merged, per_server
+
+
+def collect_answers(
+    query: ConjunctiveQuery,
+    simulator: MPCSimulator,
+    workers: Iterable[int],
+    backend: str,
+    key_of: KeyOf = _identity_key,
+) -> tuple[tuple[tuple[int, ...], ...], list[int]]:
+    """Evaluate ``query`` at every worker and union the results.
+
+    Returns:
+        ``(answers, per_server)`` -- the sorted duplicate-free union
+        of all workers' answers, and the per-worker answer counts in
+        iteration order.  Both are backend-independent.
+    """
+    if backend == NUMPY:
+        merged, per_server = _merged_answer_table(
+            query, simulator, workers, key_of
+        )
+        return tuple(map(tuple, merged.tolist())), per_server
+    per_server: list[int] = []
+    answers: set[tuple[int, ...]] = set()
+    for worker in workers:
+        found = worker_answer_rows(query, simulator, worker, key_of)
+        per_server.append(len(found))
+        answers.update(found)
+    return tuple(sorted(answers)), per_server
+
+
+def materialise_view(
+    name: str,
+    query: ConjunctiveQuery,
+    simulator: MPCSimulator,
+    workers: Iterable[int],
+    backend: str,
+    domain_size: int,
+    key_of: KeyOf = _identity_key,
+) -> tuple[ColumnarRelation, list[int]]:
+    """Materialise an operator's output view from all workers' answers.
+
+    The view's schema is ``query.head``; its tuples are the sorted
+    duplicate-free union of the per-worker evaluations, stored
+    columnar under ``backend`` so the next round can re-route the view
+    by content exactly like a base relation (the tuple-based MPC
+    discipline of Section 4.2.1).
+
+    Returns:
+        ``(view, per_server_counts)``.
+    """
+    arity = len(query.head)
+    if backend == NUMPY:
+        numpy = require_numpy()
+        merged, per_server = _merged_answer_table(
+            query, simulator, workers, key_of
+        )
+        view = ColumnarRelation(
+            name=name,
+            arity=arity,
+            columns=tuple(
+                numpy.ascontiguousarray(merged[:, position])
+                for position in range(arity)
+            ),
+            domain_size=domain_size,
+            backend=NUMPY,
+        )
+        return view, per_server
+    answers, per_server = collect_answers(
+        query, simulator, workers, backend, key_of
+    )
+    view = ColumnarRelation(
+        name=name,
+        arity=arity,
+        columns=tuple(
+            [row[position] for row in answers] for position in range(arity)
+        ),
+        domain_size=domain_size,
+        backend=backend,
+    )
+    return view, per_server
+
+
+def fragment_tuple_count(
+    simulator: MPCSimulator, worker: int, relation: str, backend: str
+) -> int:
+    """Tuples of ``relation`` held by ``worker`` (backend-aware)."""
+    if backend == NUMPY:
+        return sum(
+            len(batch[0]) if batch else 0
+            for batch in simulator.worker_column_batches(worker, relation)
+        )
+    return len(simulator.worker_rows(worker, relation))

@@ -128,6 +128,41 @@ class HashFamily:
         ]
 
 
+def residual_key(values: Sequence[int]) -> int:
+    """Fold a residual tuple into one 64-bit key (order-sensitive).
+
+    The skew-aware heavy-grid split hashes the *residual* attributes
+    of a tuple (everything except the heavy dimension) to pick its row
+    or column in the ``g1 x g2`` sub-grid.  The fold is a splitmix64
+    chain so :func:`residual_key_columns` can reproduce it exactly
+    with wrapping uint64 array arithmetic.
+    """
+    key = 0
+    for value in values:
+        key = splitmix64((key ^ (value * _GOLDEN)) & _MASK64)
+    return key
+
+
+def residual_key_columns(columns: Sequence[Any], num_rows: int) -> Any:
+    """Vectorized :func:`residual_key` over parallel value columns.
+
+    Bit-identical to mapping :func:`residual_key` over the rows formed
+    by zipping ``columns``; returns a uint64 array (numpy backend
+    required).  ``num_rows`` disambiguates the zero-column case (a
+    heavy dimension on a unary atom has an empty residual).
+    """
+    numpy = numpy_or_none()
+    if numpy is None:
+        raise RuntimeError("residual_key_columns requires numpy")
+    keys = numpy.zeros(num_rows, dtype=numpy.uint64)
+    for column in columns:
+        keys = _splitmix64_array(
+            keys ^ (column.astype(numpy.uint64) * numpy.uint64(_GOLDEN)),
+            numpy,
+        )
+    return keys
+
+
 def grid_rank(coordinates: Sequence[int], dimensions: Sequence[int]) -> int:
     """Flatten hypercube coordinates to a worker index (mixed radix).
 

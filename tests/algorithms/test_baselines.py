@@ -113,3 +113,83 @@ class TestCartesianGrid:
         left, right = self.make_sets(8)
         with pytest.raises(ValueError, match="workers"):
             run_cartesian_grid(left, right, p=4, groups=3)
+
+
+class TestBackendParity:
+    """Every baseline honours ``backend=`` with identical results."""
+
+    @staticmethod
+    def assert_reports_match(pure, vectorized):
+        assert vectorized.answers == pure.answers
+        for round_pure, round_vec in zip(
+            pure.report.rounds, vectorized.report.rounds
+        ):
+            assert round_vec.received_bits == round_pure.received_bits
+            assert round_vec.received_tuples == round_pure.received_tuples
+
+    @pytest.fixture(autouse=True)
+    def _needs_numpy(self):
+        from repro.backend import numpy_available
+
+        if not numpy_available():
+            pytest.skip("numpy backend unavailable")
+
+    def test_broadcast_parity(self, chain4, chain4_db):
+        self.assert_reports_match(
+            run_broadcast_join(chain4, chain4_db, p=4, backend="pure"),
+            run_broadcast_join(chain4, chain4_db, p=4, backend="numpy"),
+        )
+
+    def test_single_server_parity(self, chain4, chain4_db):
+        self.assert_reports_match(
+            run_single_server(chain4, chain4_db, p=4, backend="pure"),
+            run_single_server(chain4, chain4_db, p=4, backend="numpy"),
+        )
+
+    def test_single_attribute_parity(self, star3):
+        database = matching_database(star3, n=40, rng=3)
+        self.assert_reports_match(
+            run_single_attribute_join(star3, database, p=8, backend="pure"),
+            run_single_attribute_join(star3, database, p=8, backend="numpy"),
+        )
+
+    def test_single_attribute_ships_every_tuple(self):
+        """The classical hash join routes every tuple by its hash --
+        even rows a repeated-variable atom can never join."""
+        query = parse_query("q(x,y) = S(x, x), T(x, y)")
+        from repro.data.database import Database
+
+        database = Database.from_relations(
+            [
+                Relation.from_tuples(
+                    "S", [(1, 1), (1, 2), (3, 3)], domain_size=4
+                ),
+                Relation.from_tuples("T", [(1, 2), (3, 4)], domain_size=4),
+            ]
+        )
+        pure = run_single_attribute_join(query, database, p=4, backend="pure")
+        vectorized = run_single_attribute_join(
+            query, database, p=4, backend="numpy"
+        )
+        self.assert_reports_match(pure, vectorized)
+        # All 5 tuples shipped; replication rate exactly 1.
+        assert sum(pure.report.rounds[0].received_tuples) == 5
+
+    def test_cartesian_parity(self):
+        left = Relation.from_tuples(
+            "A", [(i,) for i in range(1, 65)], domain_size=64
+        )
+        right = Relation.from_tuples(
+            "B", [(i,) for i in range(1, 65)], domain_size=64
+        )
+        pure = run_cartesian_grid(left, right, p=16, backend="pure")
+        vectorized = run_cartesian_grid(left, right, p=16, backend="numpy")
+        assert pure.num_pairs == vectorized.num_pairs == 64 * 64
+        assert pure.max_reducer_tuples == vectorized.max_reducer_tuples
+        assert pure.replication_rate == pytest.approx(
+            vectorized.replication_rate
+        )
+        assert (
+            pure.report.rounds[0].received_bits
+            == vectorized.report.rounds[0].received_bits
+        )

@@ -100,3 +100,33 @@ class TestTheoremThreeThree:
             query, database, p=16, eps=Fraction(1, 2), seed=3
         )
         assert result.reported_fraction == 1.0
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_pure_equals_numpy(self, seed):
+        from repro.backend import numpy_available
+
+        if not numpy_available():
+            pytest.skip("numpy backend unavailable")
+        query = cycle_query(3)
+        database = matching_database(query, n=90, rng=50 + seed)
+        pure = run_partial_hypercube(
+            query, database, p=16, eps=Fraction(0), seed=seed,
+            backend="pure",
+        )
+        vectorized = run_partial_hypercube(
+            query, database, p=16, eps=Fraction(0), seed=seed,
+            backend="numpy",
+        )
+        assert vectorized.answers == pure.answers
+        assert vectorized.reported_fraction == pure.reported_fraction
+        assert vectorized.virtual_grid_points == pure.virtual_grid_points
+        assert (
+            vectorized.report.rounds[0].received_bits
+            == pure.report.rounds[0].received_bits
+        )
+        assert (
+            vectorized.report.rounds[0].received_tuples
+            == pure.report.rounds[0].received_tuples
+        )

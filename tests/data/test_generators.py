@@ -11,9 +11,34 @@ from repro.data.database import DataError
 from repro.data.generators import (
     dense_graph,
     layered_path_graph,
+    skewed_database,
     skewed_relation,
     witness_database,
 )
+
+
+class TestSkewedDatabase:
+    def test_every_relation_skewed_on_first_position(self):
+        from repro.core.query import parse_query
+
+        query = parse_query("q(x,y,z) = S1(x,y), S2(y,z)")
+        database = skewed_database(query, n=100, rng=1, heavy_fraction=0.5)
+        for name in ("S1", "S2"):
+            relation = database[name]
+            heavy = sum(1 for row in relation.tuples if row[0] == 1)
+            assert heavy >= 30  # dedup may eat a few
+            assert heavy >= 3 * max(
+                sum(1 for row in relation.tuples if row[0] == value)
+                for value in range(2, 101)
+            )
+            assert relation.domain_size == 100
+
+    def test_fraction_validated(self):
+        from repro.core.query import parse_query
+
+        query = parse_query("q(x,y) = S(x, y)")
+        with pytest.raises(DataError):
+            skewed_database(query, n=10, heavy_fraction=-0.1)
 
 
 class TestSkewedRelation:

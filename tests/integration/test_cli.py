@@ -61,6 +61,80 @@ class TestPlan:
             main(["plan", "S1(a,b)", "--eps", "nope"])
 
 
+class TestRunPlan:
+    def test_executes_and_verifies(self, capsys):
+        code = main(
+            [
+                "run-plan",
+                "S1(a,b), S2(b,c), S3(c,d), S4(d,e)",
+                "--eps", "0", "--n", "40", "--p", "8",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "plan depth" in output
+        assert "rounds used" in output
+        assert "True" in output
+        assert "view |" in output
+
+    @pytest.mark.parametrize("backend", ["pure", "numpy", "auto"])
+    def test_backend_flag(self, capsys, backend):
+        from repro.backend import numpy_available
+
+        if backend == "numpy" and not numpy_available():
+            pytest.skip("numpy backend unavailable")
+        code = main(
+            [
+                "run-plan",
+                "S1(a,b), S2(b,c), S3(c,d)",
+                "--eps", "1/2", "--n", "30", "--p", "4",
+                "--backend", backend,
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "verified vs exact join" in output
+
+    def test_disconnected_query_errors(self, capsys):
+        code = main(["run-plan", "R(x,y), S(u,v)"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestSkew:
+    def test_detects_heavy_hitter_and_verifies(self, capsys):
+        code = main(
+            [
+                "skew",
+                "S1(x,y), S2(y,z)",
+                "--n", "120", "--p", "16",
+                "--heavy-fraction", "0.5",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "heavy hitters" in output
+        assert "True" in output
+        assert "skew-aware max load" in output
+
+    @pytest.mark.parametrize("backend", ["pure", "numpy"])
+    def test_backend_flag(self, capsys, backend):
+        from repro.backend import numpy_available
+
+        if backend == "numpy" and not numpy_available():
+            pytest.skip("numpy backend unavailable")
+        code = main(
+            [
+                "skew",
+                "S1(x,y), S2(y,z)",
+                "--n", "80", "--p", "8",
+                "--backend", backend,
+            ]
+        )
+        assert code == 0
+        assert backend in capsys.readouterr().out
+
+
 class TestShares:
     def test_cube_allocation(self, capsys):
         code = main(

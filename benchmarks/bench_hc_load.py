@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import best_of, emit, record_bench
+from conftest import best_of, emit, measure_peak, record_bench
 
 from repro.algorithms.hypercube import run_hypercube
 from repro.analysis.experiments import sweep_hc_load
@@ -29,6 +29,12 @@ from repro.data.matching import matching_database
 # Largest n of the speedup benchmark; vectorization wins grow with n.
 SPEEDUP_N = 4000
 SPEEDUP_P = 64
+
+# The large-n leg: columnar generation + numpy HC at n=10^5, with a
+# peak-RSS ceiling (lifetime peak; triangle pools ~1.2M tuples).
+LARGE_N = 100_000
+LARGE_P = 64
+LARGE_N_MEMORY_CEILING_BYTES = 2 * 1024**3
 
 
 def run_sweeps(backend):
@@ -90,9 +96,16 @@ def test_hc_backend_speedup(once):
                 query, database, p=SPEEDUP_P, seed=0, backend="numpy"
             ),
         )
-        return pure_seconds, numpy_seconds, pure, vectorized
+        # Memory on a separate (untimed) run: tracemalloc slows the
+        # traced call, so it must never wrap the timed ones.
+        _, memory = measure_peak(
+            lambda: run_hypercube(
+                query, database, p=SPEEDUP_P, seed=0, backend="numpy"
+            )
+        )
+        return pure_seconds, numpy_seconds, pure, vectorized, memory
 
-    pure_seconds, numpy_seconds, pure, vectorized = once(timed)
+    pure_seconds, numpy_seconds, pure, vectorized, memory = once(timed)
     speedup = pure_seconds / numpy_seconds
     emit(
         format_table(
@@ -115,6 +128,7 @@ def test_hc_backend_speedup(once):
             "numpy_seconds": numpy_seconds,
             "speedup": speedup,
             "answers": len(pure.answers),
+            **memory,
         },
     )
     # The engines implement the identical protocol.
@@ -124,3 +138,60 @@ def test_hc_backend_speedup(once):
         == vectorized.report.rounds[0].received_bits
     )
     assert speedup >= 5.0, f"numpy engine only {speedup:.1f}x faster"
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy backend unavailable")
+def test_hc_large_n_memory(once):
+    """The n=10^5 leg: columnar generation + numpy HC within its
+    memory ceiling, answers verified against the single-node join."""
+    from repro.algorithms.localjoin import evaluate_query_table
+    from repro.data.generators import matching_database_columnar
+
+    query = cycle_query(3)
+
+    def timed():
+        database = matching_database_columnar(query, n=LARGE_N, seed=0)
+        seconds, result = best_of(
+            1,
+            lambda: run_hypercube(
+                query, database, p=LARGE_P, seed=0, backend="numpy"
+            ),
+        )
+        # Memory on a separate (untimed) run under tracemalloc.
+        _, memory = measure_peak(
+            lambda: run_hypercube(
+                query, database, p=LARGE_P, seed=0, backend="numpy"
+            )
+        )
+        truth = evaluate_query_table(
+            query,
+            {
+                name: relation.columns
+                for name, relation in database.relations.items()
+            },
+        )
+        return seconds, result, truth, memory
+
+    seconds, result, truth, memory = once(timed)
+    assert result.answers == tuple(map(tuple, truth.tolist()))
+    emit(
+        f"E4-large: HC {query.name} n={LARGE_N} p={LARGE_P} numpy "
+        f"{seconds:.2f}s, {len(result.answers)} answers, peak RSS "
+        f"{memory['peak_rss_bytes'] / 1024**2:.0f} MiB"
+    )
+    record_bench(
+        "hc_large_n",
+        {
+            "query": query.name,
+            "n": LARGE_N,
+            "p": LARGE_P,
+            "numpy_seconds": seconds,
+            "answers": len(result.answers),
+            "max_load_tuples": result.report.max_load_tuples,
+            **memory,
+        },
+    )
+    assert memory["peak_rss_bytes"] <= LARGE_N_MEMORY_CEILING_BYTES, (
+        f"peak RSS {memory['peak_rss_bytes']} exceeds ceiling "
+        f"{LARGE_N_MEMORY_CEILING_BYTES}"
+    )

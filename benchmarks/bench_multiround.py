@@ -18,7 +18,7 @@ from fractions import Fraction
 
 import pytest
 
-from conftest import best_of, emit, record_bench
+from conftest import best_of, emit, measure_peak, record_bench
 
 from repro.algorithms.multiround import run_plan
 from repro.analysis.experiments import sweep_multiround_rounds
@@ -32,6 +32,11 @@ from repro.data.matching import matching_database
 SPEEDUP_N = 4000
 SPEEDUP_P = 16
 SPEEDUP_K = 8
+
+# The large-n leg: columnar inputs + numpy plan execution at n=10^5.
+LARGE_N = 100_000
+LARGE_P = 16
+LARGE_N_MEMORY_CEILING_BYTES = 2 * 1024**3
 
 
 def test_multiround_rounds(once):
@@ -88,9 +93,16 @@ def test_multiround_backend_speedup(once):
                 plan, database, p=SPEEDUP_P, seed=0, backend="numpy"
             ),
         )
-        return pure_seconds, numpy_seconds, pure, vectorized
+        # Memory on a separate (untimed) run: tracemalloc slows the
+        # traced call, so it must never wrap the timed ones.
+        _, memory = measure_peak(
+            lambda: run_plan(
+                plan, database, p=SPEEDUP_P, seed=0, backend="numpy"
+            )
+        )
+        return pure_seconds, numpy_seconds, pure, vectorized, memory
 
-    pure_seconds, numpy_seconds, pure, vectorized = once(timed)
+    pure_seconds, numpy_seconds, pure, vectorized, memory = once(timed)
     speedup = pure_seconds / numpy_seconds
     emit(
         format_table(
@@ -115,6 +127,7 @@ def test_multiround_backend_speedup(once):
             "numpy_seconds": numpy_seconds,
             "speedup": speedup,
             "answers": len(pure.answers),
+            **memory,
         },
     )
     # Identical protocol: answers, view sizes and per-round loads.
@@ -125,3 +138,55 @@ def test_multiround_backend_speedup(once):
     ):
         assert round_pure.received_bits == round_vec.received_bits
     assert speedup >= 3.0, f"numpy engine only {speedup:.1f}x faster"
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy backend unavailable")
+def test_multiround_large_n_memory(once):
+    """The n=10^5 leg: columnar plan execution within its ceiling."""
+    from repro.data.generators import matching_database_columnar
+
+    query = line_query(SPEEDUP_K)
+    plan = build_plan(query, Fraction(1, 2))
+
+    def timed():
+        database = matching_database_columnar(query, n=LARGE_N, seed=0)
+        seconds, result = best_of(
+            1,
+            lambda: run_plan(
+                plan, database, p=LARGE_P, seed=0, backend="numpy"
+            ),
+        )
+        # Memory on a separate (untimed) run under tracemalloc.
+        _, memory = measure_peak(
+            lambda: run_plan(
+                plan, database, p=LARGE_P, seed=0, backend="numpy"
+            )
+        )
+        return seconds, result, memory
+
+    seconds, result, memory = once(timed)
+    emit(
+        f"E6-large: plan L_{SPEEDUP_K} eps=1/2 n={LARGE_N} "
+        f"p={LARGE_P} numpy {seconds:.2f}s, {result.rounds_used} "
+        f"rounds, {len(result.answers)} answers, peak RSS "
+        f"{memory['peak_rss_bytes'] / 1024**2:.0f} MiB"
+    )
+    record_bench(
+        "multiround_large_n",
+        {
+            "query": query.name,
+            "eps": "1/2",
+            "n": LARGE_N,
+            "p": LARGE_P,
+            "rounds": result.rounds_used,
+            "numpy_seconds": seconds,
+            "answers": len(result.answers),
+            **memory,
+        },
+    )
+    # Every matching-database L_k chain joins end to end: n answers.
+    assert len(result.answers) == LARGE_N
+    assert memory["peak_rss_bytes"] <= LARGE_N_MEMORY_CEILING_BYTES, (
+        f"peak RSS {memory['peak_rss_bytes']} exceeds ceiling "
+        f"{LARGE_N_MEMORY_CEILING_BYTES}"
+    )

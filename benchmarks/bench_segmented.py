@@ -1,0 +1,192 @@
+"""E12 -- fleet-segmented local evaluation at large n (the PR 3 gate).
+
+After routing unified on the shared round engine, the simulator's
+wall-clock became dominated by *local* evaluation: the per-worker
+numpy path loops over all ``p`` workers in Python, re-concatenating
+each worker's mailbox batches and paying full join setup per worker.
+The segmented path evaluates the whole fleet in one vectorized join
+over the round's delivery pools (worker id prepended to every join
+key; sort-free direct-address lookups where the pools are pre-sorted).
+
+``test_segmented_local_eval_speedup`` pins the engineering gate:
+segmented fleet-wide local eval is >= 2x faster than the per-worker
+numpy loop on ``L_8`` at p=64, n=10^5, with bit-identical merged
+answers and per-server counts.  The BENCH_segmented_speedup.json
+artifact records the timings plus peak-memory fields
+(``tracemalloc_peak``, ``peak_rss_bytes``), and the run fails if peak
+memory blows its ceiling.
+
+Set ``REPRO_BENCH_XL=1`` to also run the n=10^6 leg (several GB of
+transient pool memory; off by default so CI stays fast).
+"""
+
+from __future__ import annotations
+
+import os
+from fractions import Fraction
+
+import pytest
+
+from conftest import best_of, emit, measure_peak, peak_rss_bytes, record_bench
+
+from repro.analysis.reporting import format_table
+from repro.backend import numpy_available
+from repro.core.covers import fractional_vertex_cover
+from repro.core.families import line_query
+from repro.core.shares import allocate_integer_shares, share_exponents
+from repro.data.columnar import columnar_database
+from repro.data.generators import matching_database_columnar
+from repro.mpc.model import MPCConfig
+from repro.mpc.routing import HashFamily
+from repro.mpc.simulator import MPCSimulator
+
+SPEEDUP_N = 100_000
+SPEEDUP_P = 64
+SPEEDUP_K = 8
+# Lifetime peak RSS ceiling for the n=10^5 leg.  The L_8 round pools
+# ~16M delivered tuples (~0.7 GB peak on the measured runs); 3 GB
+# catches a regression to quadratic blowup while leaving allocator
+# headroom on CI runners.
+MEMORY_CEILING_BYTES = 3 * 1024**3
+
+
+def _route_l8(n: int, p: int):
+    """One HC round of L_k at (n, p); returns (query, simulator, workers)."""
+    from repro.engine import GridSpec, HashRoute, RoundEngine
+
+    query = line_query(SPEEDUP_K)
+    database = matching_database_columnar(query, n=n, seed=0)
+    cover = fractional_vertex_cover(query)
+    allocation = allocate_integer_shares(
+        share_exponents(query, cover), p
+    )
+    grid = GridSpec.from_shares(
+        query.variables, allocation.shares, HashFamily(0)
+    )
+    config = MPCConfig(
+        p=p, eps=Fraction(1, 2), c=4.0, backend="numpy"
+    )
+    simulator = MPCSimulator(
+        config, input_bits=database.total_bits, enforce_capacity=False
+    )
+    engine = RoundEngine(simulator)
+    steps = [
+        HashRoute(relation=atom.name, atom=atom, grid=grid)
+        for atom in query.atoms
+    ]
+    engine.run_round(steps, columnar_database(database, "numpy"))
+    return query, simulator, list(range(allocation.used_servers))
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy backend unavailable")
+def test_segmented_local_eval_speedup(once):
+    """Segmented fleet-wide eval >= 2x over the per-worker numpy loop."""
+    from repro.engine import (
+        fleet_answer_table,
+        merged_answer_table_per_worker,
+    )
+
+    def timed():
+        (query, simulator, workers), memory = measure_peak(
+            lambda: _route_l8(SPEEDUP_N, SPEEDUP_P)
+        )
+        per_worker_seconds, per_worker = best_of(
+            3,
+            lambda: merged_answer_table_per_worker(
+                query, simulator, workers
+            ),
+        )
+        segmented_seconds, segmented = best_of(
+            3, lambda: fleet_answer_table(query, simulator, workers)
+        )
+        # Lifetime peak RSS re-read after the timed paths ran, so the
+        # ceiling covers local evaluation too (tracemalloc covered
+        # only routing -- it must never wrap the timed calls).
+        memory["peak_rss_bytes"] = peak_rss_bytes()
+        return (
+            per_worker_seconds,
+            segmented_seconds,
+            per_worker,
+            segmented,
+            memory,
+        )
+
+    per_worker_seconds, segmented_seconds, per_worker, segmented, memory = (
+        once(timed)
+    )
+    speedup = per_worker_seconds / segmented_seconds
+    emit(
+        format_table(
+            ["local eval path", "seconds", "speedup"],
+            [
+                ["per-worker loop", f"{per_worker_seconds:.4f}", "1.0x"],
+                ["segmented fleet", f"{segmented_seconds:.4f}",
+                 f"{speedup:.1f}x"],
+            ],
+            title=f"E12: L_{SPEEDUP_K} local eval n={SPEEDUP_N} "
+            f"p={SPEEDUP_P}: per-worker vs segmented "
+            f"(peak RSS {memory['peak_rss_bytes'] / 1024**2:.0f} MiB)",
+        )
+    )
+    record_bench(
+        "segmented_speedup",
+        {
+            "query": f"L{SPEEDUP_K}",
+            "n": SPEEDUP_N,
+            "p": SPEEDUP_P,
+            "per_worker_seconds": per_worker_seconds,
+            "segmented_seconds": segmented_seconds,
+            "speedup": speedup,
+            "answers": int(len(segmented[0])),
+            **memory,
+        },
+    )
+    # The two paths implement the identical local semantics.
+    assert (per_worker[0] == segmented[0]).all()
+    assert per_worker[1] == segmented[1]
+    assert speedup >= 2.0, f"segmented eval only {speedup:.2f}x faster"
+    assert memory["peak_rss_bytes"] <= MEMORY_CEILING_BYTES, (
+        f"peak RSS {memory['peak_rss_bytes']} exceeds ceiling "
+        f"{MEMORY_CEILING_BYTES}"
+    )
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy backend unavailable")
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_BENCH_XL"),
+    reason="set REPRO_BENCH_XL=1 for the n=10^6 leg",
+)
+def test_segmented_local_eval_million(once):
+    """The n=10^6 leg: segmented eval completes and records memory."""
+    from repro.engine import fleet_answer_table
+
+    n = 1_000_000
+
+    def timed():
+        (query, simulator, workers), memory = measure_peak(
+            lambda: _route_l8(n, SPEEDUP_P)
+        )
+        seconds, result = best_of(
+            1, lambda: fleet_answer_table(query, simulator, workers)
+        )
+        memory["peak_rss_bytes"] = peak_rss_bytes()
+        return seconds, result, memory
+
+    seconds, result, memory = once(timed)
+    emit(
+        f"E12-XL: L_{SPEEDUP_K} n={n} p={SPEEDUP_P} segmented local "
+        f"eval {seconds:.2f}s, {len(result[0])} answers, peak RSS "
+        f"{memory['peak_rss_bytes'] / 1024**3:.2f} GiB"
+    )
+    record_bench(
+        "segmented_million",
+        {
+            "query": f"L{SPEEDUP_K}",
+            "n": n,
+            "p": SPEEDUP_P,
+            "segmented_seconds": seconds,
+            "answers": int(len(result[0])),
+            **memory,
+        },
+    )
+    assert len(result[0]) == n

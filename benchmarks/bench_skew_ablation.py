@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import best_of, emit, record_bench
+from conftest import best_of, emit, measure_peak, record_bench
 
 from repro.algorithms.hypercube import run_hypercube
 from repro.algorithms.localjoin import evaluate_query
@@ -37,6 +37,12 @@ from repro.data.matching import matching_database
 SPEEDUP_N = 4000
 SPEEDUP_P = 64
 SPEEDUP_HEAVY_FRACTION = 0.5
+
+# The large-n leg: chunked columnar skew generation + numpy skew-aware
+# HC at n=10^5.
+LARGE_N = 100_000
+LARGE_P = 64
+LARGE_N_MEMORY_CEILING_BYTES = 3 * 1024**3
 
 
 def funnel_database(n):
@@ -155,9 +161,16 @@ def test_skew_backend_speedup(once):
                 query, database, p=SPEEDUP_P, seed=0, backend="numpy"
             ),
         )
-        return pure_seconds, numpy_seconds, pure, vectorized
+        # Memory on a separate (untimed) run: tracemalloc slows the
+        # traced call, so it must never wrap the timed ones.
+        _, memory = measure_peak(
+            lambda: run_hypercube_skew_aware(
+                query, database, p=SPEEDUP_P, seed=0, backend="numpy"
+            )
+        )
+        return pure_seconds, numpy_seconds, pure, vectorized, memory
 
-    pure_seconds, numpy_seconds, pure, vectorized = once(timed)
+    pure_seconds, numpy_seconds, pure, vectorized, memory = once(timed)
     speedup = pure_seconds / numpy_seconds
     emit(
         format_table(
@@ -181,6 +194,7 @@ def test_skew_backend_speedup(once):
             "numpy_seconds": numpy_seconds,
             "speedup": speedup,
             "answers": len(pure.answers),
+            **memory,
         },
     )
     # Identical protocol: answers, heavy hitters and loads.
@@ -191,3 +205,61 @@ def test_skew_backend_speedup(once):
         == vectorized.report.rounds[0].received_bits
     )
     assert speedup >= 3.0, f"numpy engine only {speedup:.1f}x faster"
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy backend unavailable")
+def test_skew_large_n_memory(once):
+    """The n=10^5 leg: chunked skew generation + skew-aware HC within
+    its memory ceiling; heavy-hitter machinery actually engaged."""
+    from repro.data.generators import skewed_database_columnar
+
+    query = parse_query("q(x,y,z) = S1(x,y), S2(y,z)")
+
+    def timed():
+        database = skewed_database_columnar(
+            query,
+            n=LARGE_N,
+            seed=1,
+            heavy_fraction=SPEEDUP_HEAVY_FRACTION,
+        )
+        seconds, result = best_of(
+            1,
+            lambda: run_hypercube_skew_aware(
+                query, database, p=LARGE_P, seed=0, backend="numpy"
+            ),
+        )
+        # Memory on a separate (untimed) run under tracemalloc.
+        _, memory = measure_peak(
+            lambda: run_hypercube_skew_aware(
+                query, database, p=LARGE_P, seed=0, backend="numpy"
+            )
+        )
+        return seconds, result, memory
+
+    seconds, result, memory = once(timed)
+    heavy_values = sum(len(v) for v in result.heavy_hitters.values())
+    emit(
+        f"E11-large: skew-aware HC n={LARGE_N} p={LARGE_P} "
+        f"heavy={SPEEDUP_HEAVY_FRACTION} numpy {seconds:.2f}s, "
+        f"{len(result.answers)} answers, {heavy_values} heavy values, "
+        f"peak RSS {memory['peak_rss_bytes'] / 1024**2:.0f} MiB"
+    )
+    record_bench(
+        "skew_large_n",
+        {
+            "query": query.name,
+            "n": LARGE_N,
+            "p": LARGE_P,
+            "heavy_fraction": SPEEDUP_HEAVY_FRACTION,
+            "numpy_seconds": seconds,
+            "answers": len(result.answers),
+            "heavy_values": heavy_values,
+            "max_load_tuples": result.report.max_load_tuples,
+            **memory,
+        },
+    )
+    assert heavy_values >= 1  # the funnel value was detected
+    assert memory["peak_rss_bytes"] <= LARGE_N_MEMORY_CEILING_BYTES, (
+        f"peak RSS {memory['peak_rss_bytes']} exceeds ceiling "
+        f"{LARGE_N_MEMORY_CEILING_BYTES}"
+    )

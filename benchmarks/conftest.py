@@ -7,9 +7,11 @@ tables; without ``-s`` the rows are still checked by assertions).
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import time
+import tracemalloc
 
 import pytest
 
@@ -17,6 +19,50 @@ import pytest
 def emit(text: str) -> None:
     """Print a regenerated table, surviving pytest capture settings."""
     print("\n" + text)
+
+
+def peak_rss_bytes() -> int:
+    """The process's lifetime peak resident set size, in bytes.
+
+    Linux reports ``ru_maxrss`` in kilobytes, macOS in bytes; returns
+    0 on platforms without :mod:`resource`.  Lifetime-peak semantics
+    make this a conservative ceiling check: nothing the benchmark did
+    can have exceeded it.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    import sys
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform != "darwin":
+        peak *= 1024
+    return peak
+
+
+def measure_peak(func):
+    """Run ``func`` once and measure its peak memory.
+
+    Returns ``(result, memory)`` where ``memory`` holds the two fields
+    every BENCH_*.json records:
+
+    * ``tracemalloc_peak`` -- peak *Python-allocator* bytes during the
+      call (numpy array buffers included via its tracemalloc domain);
+    * ``peak_rss_bytes`` -- the process's lifetime peak RSS after the
+      call (OS view; includes interpreter + imports).
+    """
+    gc.collect()
+    tracemalloc.start()
+    try:
+        result = func()
+        _, traced_peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, {
+        "tracemalloc_peak": int(traced_peak),
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
 
 
 def best_of(runs, func):

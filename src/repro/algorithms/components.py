@@ -19,14 +19,28 @@ Two algorithms, matching the dichotomy the paper draws:
 
 Both run on the simulator, so rounds and received bits are measured
 exactly; ground truth comes from the generator's union-find labels.
+
+Hash-to-Min compiles to the shared round engine: each iteration is an
+iterate-until-fixpoint driver around one
+:class:`~repro.engine.steps.HashRoute` round (a 1-D grid hashing the
+destination vertex), so the route/ship loop is the same columnar code
+path every other algorithm uses, ``backend="numpy"`` ships each
+round's messages as one vectorized send, and the receiver-side state
+update reads the round's fleet-wide delivery pool
+(:meth:`~repro.mpc.simulator.MPCSimulator.relation_pool`) instead of
+looping workers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.backend import NUMPY, resolve_backend
+from repro.core.query import Atom
+from repro.data.columnar import ColumnarRelation
 from repro.data.database import bits_per_value
 from repro.data.generators import GraphInstance
+from repro.engine import GridSpec, HashRoute, RoundEngine
 from repro.mpc.model import MPCConfig
 from repro.mpc.routing import HashFamily
 from repro.mpc.simulator import MPCSimulator
@@ -64,6 +78,7 @@ def run_hash_to_min(
     seed: int = 0,
     max_rounds: int = 64,
     capacity_c: float = 8.0,
+    backend: str | None = None,
 ) -> ComponentsResult:
     """Hash-to-Min connected components on the MPC simulator.
 
@@ -76,6 +91,15 @@ def run_hash_to_min(
     non-minimum vertex in ``O(log d)`` rounds on diameter-``d``
     components.
 
+    Each iteration compiles to one engine round: the round's
+    (destination, payload) pairs form a columnar relation routed by a
+    :class:`~repro.engine.steps.HashRoute` over a 1-D grid on the
+    destination vertex, and the receiving side folds the delivered
+    pairs back into cluster state -- fleet-wide from the round's
+    delivery pool under ``numpy``, per worker under ``pure``.  The
+    iterate-until-fixpoint driver stops (without spending a round)
+    when no vertex would learn anything new.
+
     Args:
         graph: the input graph with ground-truth labels.
         p: number of workers.
@@ -84,16 +108,24 @@ def run_hash_to_min(
         max_rounds: safety bound on iterations.
         capacity_c: capacity constant (loads are recorded, not
             enforced: the experiment reports them).
+        backend: ``"pure"`` (default, reference), ``"numpy"`` or
+            ``"auto"``; identical labels, rounds and loads either way.
     """
     from fractions import Fraction
 
     input_bits, edge_bits = _graph_bits(graph)
-    config = MPCConfig(p=p, eps=Fraction(eps).limit_denominator(64), c=capacity_c)
+    config = MPCConfig(
+        p=p,
+        eps=Fraction(eps).limit_denominator(64),
+        c=capacity_c,
+        backend=resolve_backend(backend),
+    )
+    backend = config.backend
     simulator = MPCSimulator(config, input_bits, enforce_capacity=False)
-    hashes = HashFamily(seed)
-
-    def home(vertex: int) -> int:
-        return hashes.hash_value("vertex", vertex, p)
+    engine = RoundEngine(simulator)
+    grid = GridSpec(
+        variables=("v",), dimensions=(p,), hashes=HashFamily(seed)
+    )
 
     # Vertex state lives at its home worker: closed neighbourhood sets.
     clusters: dict[int, set[int]] = {
@@ -123,29 +155,35 @@ def run_hash_to_min(
         if converged:
             break
 
-        simulator.begin_round()
-        batches: dict[int, list[tuple[int, int]]] = {}
-        for destination, payload in outbound.items():
-            worker = home(destination)
-            for value in payload:
-                batches.setdefault(worker, []).append((destination, value))
-        for worker, rows in batches.items():
-            simulator.send(
-                home(rows[0][1]) if rows else 0,
-                worker,
-                "cluster",
-                rows,
-                edge_bits,
-            )
-        simulator.end_round()
+        # One engine round: ship this iteration's (destination,
+        # payload) pairs, hashed on the destination vertex.  A fresh
+        # mailbox key per iteration keeps each round's delivery pool
+        # single-use (workers still keep everything ever received).
+        relation = f"cluster@{rounds + 1}"
+        source = ColumnarRelation.from_rows(
+            relation,
+            [
+                (destination, value)
+                for destination, payload in outbound.items()
+                for value in payload
+            ],
+            domain_size=graph.num_vertices,
+            arity=2,
+            backend=backend,
+        )
+        assert source.tuple_bits == edge_bits
+        step = HashRoute(
+            relation=relation,
+            atom=Atom(name=relation, variables=("v", "u")),
+            grid=grid,
+            sender=0,  # a worker holding the pair forwards it
+        )
+        engine.run_round([step], {relation: source})
         rounds += 1
 
-        new_clusters: dict[int, set[int]] = {
-            v: {min(c)} for v, c in clusters.items()
-        }
-        for destination, payload in outbound.items():
-            new_clusters.setdefault(destination, set()).update(payload)
-        clusters = new_clusters
+        clusters = _fold_delivered_pairs(
+            simulator, relation, clusters, backend
+        )
 
     labels = {v: min(c) for v, c in clusters.items()}
     # Propagate to a fixpoint locally (label of label), mirroring the
@@ -164,6 +202,36 @@ def run_hash_to_min(
         correct=labels == graph.labels,
         report=simulator.report,
     )
+
+
+def _fold_delivered_pairs(
+    simulator: MPCSimulator,
+    relation: str,
+    clusters: dict[int, set[int]],
+    backend: str,
+) -> dict[int, set[int]]:
+    """One Hash-to-Min state transition from the delivered pairs.
+
+    Every vertex first contracts to its known minimum, then absorbs
+    the payload vertices delivered to it this round.  Under ``numpy``
+    the round's pairs are read fleet-wide from the delivery pool (no
+    per-worker loop); under ``pure`` from each worker's mailbox rows.
+    """
+    new_clusters: dict[int, set[int]] = {
+        v: {min(c)} for v, c in clusters.items()
+    }
+    if backend == NUMPY:
+        pool = simulator.relation_pool(relation)
+        if pool is not None and len(pool):
+            destinations = pool.columns[0].tolist()
+            payloads = pool.columns[1].tolist()
+            for destination, value in zip(destinations, payloads):
+                new_clusters.setdefault(destination, set()).add(value)
+        return new_clusters
+    for worker in range(simulator.num_workers):
+        for destination, value in simulator.worker_rows(worker, relation):
+            new_clusters.setdefault(destination, set()).add(value)
+    return new_clusters
 
 
 def run_dense_two_round(

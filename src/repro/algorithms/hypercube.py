@@ -37,9 +37,15 @@ from repro.backend import resolve_backend
 from repro.core.covers import fractional_vertex_cover
 from repro.core.query import Atom, ConjunctiveQuery
 from repro.core.shares import ShareAllocation, allocate_integer_shares, share_exponents
-from repro.data.columnar import columnar_database
+from repro.data.columnar import ColumnarDatabase, columnar_database
 from repro.data.database import Database
-from repro.engine import GridSpec, HashRoute, RoundEngine, collect_answers
+from repro.engine import (
+    GridSpec,
+    HashRoute,
+    RoundEngine,
+    RoundProfiler,
+    collect_answers,
+)
 from repro.mpc.model import MPCConfig
 from repro.mpc.routing import HashFamily
 from repro.mpc.simulator import MPCSimulator
@@ -93,7 +99,7 @@ def hc_destinations(
 
 def run_hypercube(
     query: ConjunctiveQuery,
-    database: Database,
+    database: Database | ColumnarDatabase,
     p: int,
     eps: Fraction | float | None = None,
     cover: Mapping[str, Fraction] | None = None,
@@ -101,12 +107,16 @@ def run_hypercube(
     capacity_c: float = 4.0,
     enforce_capacity: bool = False,
     backend: str | None = None,
+    profiler: RoundProfiler | None = None,
 ) -> HCResult:
     """Run one round of HC on the simulator and return all answers.
 
     Args:
         query: a full conjunctive query (connected or not).
-        database: instances for every atom of the query.
+        database: instances for every atom of the query -- a
+            row-oriented :class:`Database` or, for the large-``n``
+            path, a :class:`ColumnarDatabase` that never materialises
+            Python tuples.
         p: number of servers.
         eps: space exponent for capacity accounting; defaults to the
             query's own space exponent ``1 - 1/tau*`` (the budget at
@@ -119,6 +129,8 @@ def run_hypercube(
         backend: ``"pure"`` (default, reference), ``"numpy"``
             (vectorized) or ``"auto"``; both produce identical
             answers, loads and statistics.
+        profiler: optional per-round route/ship/deliver/local timing
+            collector (the CLI's ``--profile``).
 
     Returns:
         An :class:`HCResult`; ``answers`` equals the true query answer
@@ -146,7 +158,7 @@ def run_hypercube(
         input_bits=database.total_bits,
         enforce_capacity=enforce_capacity,
     )
-    engine = RoundEngine(simulator)
+    engine = RoundEngine(simulator, profiler=profiler)
 
     steps = [
         HashRoute(relation=atom.name, atom=atom, grid=grid)
@@ -155,7 +167,11 @@ def run_hypercube(
     engine.run_round(steps, columnar_database(database, backend))
 
     answers, per_server = collect_answers(
-        query, simulator, range(allocation.used_servers), backend
+        query,
+        simulator,
+        range(allocation.used_servers),
+        backend,
+        profiler=profiler,
     )
     per_server.extend([0] * (p - allocation.used_servers))
 

@@ -9,7 +9,13 @@ in two bit-identical flavours:
   index-backed backtracking join over row tuples;
 * :func:`evaluate_query_columnar` -- the vectorized path: a sort/
   searchsorted hash join over int64 column arrays (numpy backend),
-  used by the columnar HyperCube executor.
+  used by the columnar HyperCube executor;
+* :func:`evaluate_query_table_segmented` -- the fleet-wide path: all
+  ``p`` workers' fragments arrive as one pooled column set plus a
+  segment (worker) id per row, and a single join pass with the
+  segment id as the highest-order key component computes every
+  worker's answers at once -- with direct-address (bincount) lookups
+  replacing binary search where the pools are pre-sorted.
 
 Both evaluators:
 
@@ -175,7 +181,7 @@ def evaluate_query_table(
         shared = [v for v in positions if v in binding]
         num_bound = len(next(iter(binding.values())))
         if shared:
-            key_left, key_right = _factorize_keys(
+            key_left, key_right, _ = _factorize_keys(
                 numpy,
                 [binding[v] for v in shared],
                 [table[:, positions[v]] for v in shared],
@@ -202,6 +208,156 @@ def evaluate_query_table(
     return head
 
 
+def evaluate_query_table_segmented(
+    query: ConjunctiveQuery,
+    fragments: Mapping[str, Sequence[Any]],
+    segments: Mapping[str, Any],
+    num_segments: int,
+    assume_unique: bool = False,
+    sorted_relations: frozenset[str] | set[str] = frozenset(),
+) -> tuple[Any, Any]:
+    """Evaluate ``query`` independently inside every segment, at once.
+
+    The fleet-wide counterpart of :func:`evaluate_query_table`: each
+    atom arrives as one pooled column set spanning all ``p`` workers
+    plus a parallel ``segments[atom]`` array of worker (segment) ids,
+    and the whole fleet's local evaluations run as *one* vectorized
+    join by prepending the segment id as the highest-order component
+    of every factorized join key -- rows only match within their own
+    segment, so the result equals running :func:`evaluate_query_table`
+    per worker, without the per-worker Python loop.
+
+    Args:
+        query: a full conjunctive query.
+        fragments: per atom name, the pooled parallel value columns of
+            every segment's fragment (missing/empty => no answers).
+        segments: per atom name, the int64 segment id of each pooled
+            row; ids must lie in ``[0, num_segments)``.
+        num_segments: number of segments (workers) pooled.
+        assume_unique: skip per-segment input dedup and output
+            sorting, as in :func:`evaluate_query_table`.
+        sorted_relations: atom names whose pooled rows are known
+            sorted by (segment, lexicographic row order) -- i.e. their
+            delivery pool's ``source_sorted`` flag.  When such an
+            atom's join key is a prefix of its column order, the join
+            skips its sort (the sort-free fast path); the answer
+            multiset is unaffected.
+
+    Returns:
+        ``(answers, answer_segments)`` -- an int64 table of shape
+        ``(num_answers, len(head))`` holding every segment's local
+        answers, and the parallel segment id per answer row.  Per-
+        segment answer counts are one ``bincount(answer_segments)``
+        away; the fleet-wide deduplicated union is one ``unique``.
+    """
+    numpy = require_numpy()
+    empty = (
+        numpy.zeros((0, len(query.head)), dtype=numpy.int64),
+        numpy.zeros(0, dtype=numpy.int64),
+    )
+    # Fragments stay tuples of *contiguous* 1-D columns throughout:
+    # at fleet scale the joins are memory-bound, and gathers/scans
+    # over contiguous int64 arrays are several times faster than over
+    # the strided views a stacked 2-D table would hand out.
+    tables: dict[str, tuple] = {}
+    table_segments: dict[str, Any] = {}
+    for atom in query.atoms:
+        columns = fragments.get(atom.name)
+        if columns is None or len(columns) == 0 or len(columns[0]) == 0:
+            return empty
+        columns = tuple(
+            numpy.ascontiguousarray(c, dtype=numpy.int64) for c in columns
+        )
+        segment = numpy.asarray(
+            segments[atom.name], dtype=numpy.int64
+        )
+        if not assume_unique:
+            # Dedup *within* each segment: unique over (segment, row).
+            stacked = numpy.unique(
+                numpy.column_stack((segment,) + columns), axis=0
+            )
+            segment = numpy.ascontiguousarray(stacked[:, 0])
+            columns = tuple(
+                numpy.ascontiguousarray(stacked[:, 1 + position])
+                for position in range(len(columns))
+            )
+        # Intra-atom repeated variables act as equality selections.
+        first_position = atom.first_positions
+        mask = None
+        for position, variable in enumerate(atom.variables):
+            first = first_position[variable]
+            if first != position:
+                equal = columns[position] == columns[first]
+                mask = equal if mask is None else (mask & equal)
+        if mask is not None:
+            columns = tuple(column[mask] for column in columns)
+            segment = segment[mask]
+        if len(columns[0]) == 0:
+            return empty
+        tables[atom.name] = columns
+        table_segments[atom.name] = segment
+
+    sizes = {name: len(columns[0]) for name, columns in tables.items()}
+    order = _atom_order_by_size(query, sizes)
+
+    binding: dict[str, Any] = {}
+    first_atom = order[0]
+    for variable, position in first_atom.first_positions.items():
+        binding[variable] = tables[first_atom.name][position]
+    segment = table_segments[first_atom.name]
+
+    for atom in order[1:]:
+        columns = tables[atom.name]
+        atom_segment = table_segments[atom.name]
+        positions = atom.first_positions
+        shared = [v for v in positions if v in binding]
+        # The segment id is always part of the key (highest-order
+        # component): with no shared variables the "join" degenerates
+        # to the per-segment cartesian product, exactly as the
+        # per-worker evaluation computes it.
+        key_left, key_right, order_preserving = _pack_segmented_keys(
+            numpy,
+            segment,
+            atom_segment,
+            num_segments,
+            [binding[v] for v in shared],
+            [columns[positions[v]] for v in shared],
+        )
+        # Sort-free fast path: the pool is sorted by (segment, lex
+        # row) and the key columns are a lexicographic prefix of the
+        # atom's columns, so the packed key is already non-decreasing.
+        assume_sorted = (
+            order_preserving
+            and atom.name in sorted_relations
+            and [positions[v] for v in shared] == list(range(len(shared)))
+        )
+        left_index, right_index = _join_pairs_sparse(
+            numpy, key_left, key_right, assume_sorted=assume_sorted
+        )
+        if left_index is not None:
+            if len(left_index) == 0:
+                return empty
+            binding = {
+                variable: column[left_index]
+                for variable, column in binding.items()
+            }
+            segment = segment[left_index]
+        # left_index None: every bound row matched exactly once, so
+        # the existing binding columns line up as-is (no gathers).
+        for variable, position in positions.items():
+            if variable not in binding:
+                binding[variable] = columns[position][right_index]
+
+    head = numpy.column_stack([binding[v] for v in query.head])
+    if not assume_unique:
+        stacked = numpy.unique(
+            numpy.column_stack([segment, head]), axis=0
+        )
+        segment = numpy.ascontiguousarray(stacked[:, 0])
+        head = stacked[:, 1:]
+    return head, segment
+
+
 def _atom_order_by_size(
     query: ConjunctiveQuery, sizes: Mapping[str, int]
 ) -> list[Atom]:
@@ -222,11 +378,57 @@ def _atom_order_by_size(
     return order
 
 
+def _pack_segmented_keys(
+    numpy: Any,
+    segment_left: Any,
+    segment_right: Any,
+    num_segments: int,
+    left_columns: Sequence[Any],
+    right_columns: Sequence[Any],
+) -> tuple[Any, Any, bool]:
+    """Pack (segment, columns...) join keys, segment highest-order.
+
+    Like :func:`_factorize_keys` with the segment id prepended, but
+    exploits the known segment bound: the (fleet-sized) segment
+    columns are never scanned for their min/max, and a bare
+    segment-only key ships without so much as a copy.  Falls back to
+    the generic factorizer when the packed span would overflow.
+    """
+    radices = []
+    span = num_segments
+    packable = True
+    for left, right in zip(left_columns, right_columns):
+        low = high = 0
+        if len(left):
+            low = min(low, int(left.min()))
+            high = max(high, int(left.max()))
+        if len(right):
+            low = min(low, int(right.min()))
+            high = max(high, int(right.max()))
+        span *= high + 1
+        if low < 0 or span >= (1 << 62):
+            packable = False
+            break
+        radices.append(high + 1)
+    if not packable:
+        return _factorize_keys(
+            numpy,
+            [segment_left] + list(left_columns),
+            [segment_right] + list(right_columns),
+        )
+    key_left = segment_left
+    key_right = segment_right
+    for left, right, radix in zip(left_columns, right_columns, radices):
+        key_left = key_left * radix + left
+        key_right = key_right * radix + right
+    return key_left, key_right, True
+
+
 def _factorize_keys(
     numpy: Any,
     left_columns: Sequence[Any],
     right_columns: Sequence[Any],
-) -> tuple[Any, Any]:
+) -> tuple[Any, Any, bool]:
     """Map multi-column join keys on both sides to shared int keys.
 
     Single-column keys are used directly.  Wider keys are packed
@@ -234,9 +436,16 @@ def _factorize_keys(
     (the common case: domain values are small positive ints);
     otherwise they are factorized through one ``numpy.unique`` over
     the stacked key rows of both sides, which never overflows.
+
+    Returns:
+        ``(key_left, key_right, order_preserving)`` -- the third flag
+        is True when the keys are a monotone function of the key
+        tuples' lexicographic order (direct and mixed-radix packing
+        are; the ``unique`` fallback is not), which is what the
+        sort-free join branch needs to trust pre-sorted inputs.
     """
     if len(left_columns) == 1:
-        return left_columns[0], right_columns[0]
+        return left_columns[0], right_columns[0], True
     radices = []
     span = 1
     packable = True
@@ -261,7 +470,7 @@ def _factorize_keys(
         ):
             key_left = key_left * radix + left
             key_right = key_right * radix + right
-        return key_left, key_right
+        return key_left, key_right, True
     num_left = len(left_columns[0])
     stacked = numpy.column_stack(
         [
@@ -271,20 +480,106 @@ def _factorize_keys(
     )
     _, inverse = numpy.unique(stacked, axis=0, return_inverse=True)
     inverse = inverse.reshape(-1)  # pre-2.1 numpy returns shape (n, 1)
-    return inverse[:num_left], inverse[num_left:]
+    return inverse[:num_left], inverse[num_left:], False
 
 
-def _join_pairs(numpy: Any, key_left: Any, key_right: Any) -> tuple[Any, Any]:
+def _join_pairs(
+    numpy: Any,
+    key_left: Any,
+    key_right: Any,
+    assume_sorted: bool = False,
+) -> tuple[Any, Any]:
     """Index pairs ``(i, j)`` with ``key_left[i] == key_right[j]``.
 
     Sorts the right side once, locates each left key's run with two
     ``searchsorted`` calls, and expands the runs arithmetic-only.
+
+    Args:
+        assume_sorted: skip the right-side ``argsort`` entirely; only
+            valid when ``key_right`` is already non-decreasing (e.g. a
+            pre-sorted delivery pool keyed by its sort prefix).  The
+            returned pair multiset is identical either way.
+
+    A sorted right side additionally enables direct addressing: when
+    the key span is within a small multiple of the data size, each
+    key's (start, count) run is read from one ``bincount``/``cumsum``
+    table in O(1) -- one cache line per probe instead of the
+    ``log(n)`` scattered reads of a fleet-sized binary search, which
+    is what makes the pooled join faster than per-worker joins over
+    cache-resident fragments.
     """
-    order = numpy.argsort(key_right, kind="stable")
-    sorted_keys = key_right[order]
-    starts = numpy.searchsorted(sorted_keys, key_left, side="left")
-    ends = numpy.searchsorted(sorted_keys, key_left, side="right")
-    counts = ends - starts
+    left_index, right_index = _join_pairs_sparse(
+        numpy, key_left, key_right, assume_sorted
+    )
+    if left_index is None:
+        left_index = numpy.arange(len(key_left), dtype=numpy.int64)
+    return left_index, right_index
+
+
+def _join_pairs_sparse(
+    numpy: Any,
+    key_left: Any,
+    key_right: Any,
+    assume_sorted: bool = False,
+) -> tuple[Any | None, Any]:
+    """:func:`_join_pairs` with the identity left side left implicit.
+
+    Returns ``(left_index, right_index)`` where ``left_index`` is None
+    when it would be exactly ``arange(len(key_left))`` -- the key-key
+    join case where every left row matches exactly once, which lets
+    callers skip re-gathering every bound column through an identity
+    permutation.
+    """
+    if assume_sorted:
+        order = None
+        sorted_keys = key_right
+    else:
+        order = numpy.argsort(key_right, kind="stable")
+        sorted_keys = key_right[order]
+    # Direct addressing needs non-negative keys (bincount) with a
+    # modest span; sorted_keys[0] >= 0 guards negatives (possible
+    # under the documented "non-decreasing" precondition even though
+    # no shipped caller produces them).
+    span = (
+        int(sorted_keys[-1]) + 1
+        if assume_sorted and len(sorted_keys) and int(sorted_keys[0]) >= 0
+        else -1
+    )
+    if 0 <= span <= max(
+        1 << 22, 4 * (len(key_left) + len(key_right))
+    ):
+        run_counts = numpy.bincount(sorted_keys, minlength=span)
+        run_starts_all = numpy.empty_like(run_counts)
+        run_starts_all[0] = 0
+        numpy.cumsum(run_counts[:-1], out=run_starts_all[1:])
+        within = (key_left >= 0) & (key_left < span)
+        if within.all():
+            starts = run_starts_all[key_left]
+            counts = run_counts[key_left]
+        else:
+            lookup = numpy.where(within, key_left, 0)
+            starts = run_starts_all[lookup]
+            counts = numpy.where(within, run_counts[lookup], 0)
+    else:
+        starts = numpy.searchsorted(sorted_keys, key_left, side="left")
+        ends = numpy.searchsorted(sorted_keys, key_left, side="right")
+        counts = ends - starts
+    max_count = int(counts.max()) if len(counts) else 0
+    if max_count <= 1:
+        # Key-key join: no run expansion, and when nothing drops the
+        # left side is the identity (signalled as None).
+        if int(counts.sum()) == len(counts):
+            left_index = None
+            sorted_positions = starts
+        else:
+            left_index = numpy.nonzero(counts)[0]
+            sorted_positions = starts[left_index]
+        right_index = (
+            sorted_positions
+            if order is None
+            else order[sorted_positions]
+        )
+        return left_index, right_index
     total = int(counts.sum())
     left_index = numpy.repeat(numpy.arange(len(key_left)), counts)
     run_starts = numpy.repeat(starts, counts)
@@ -294,7 +589,10 @@ def _join_pairs(numpy: Any, key_left: Any, key_right: Any) -> tuple[Any, Any]:
         ) if len(counts) else numpy.zeros(0, dtype=numpy.int64),
         counts,
     )
-    right_index = order[run_starts + offsets]
+    sorted_positions = run_starts + offsets
+    right_index = (
+        sorted_positions if order is None else order[sorted_positions]
+    )
     return left_index, right_index
 
 

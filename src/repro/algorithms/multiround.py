@@ -34,9 +34,15 @@ from repro.backend import resolve_backend
 from repro.core.covers import fractional_vertex_cover
 from repro.core.plans import PlanStep, QueryPlan, validate_plan
 from repro.core.shares import allocate_integer_shares, share_exponents
-from repro.data.columnar import ColumnarRelation
+from repro.data.columnar import ColumnarDatabase, ColumnarRelation
 from repro.data.database import Database
-from repro.engine import GridSpec, HashRoute, RoundEngine, materialise_view
+from repro.engine import (
+    GridSpec,
+    HashRoute,
+    RoundEngine,
+    RoundProfiler,
+    materialise_view,
+)
 from repro.mpc.model import MPCConfig
 from repro.mpc.routing import HashFamily
 from repro.mpc.simulator import MPCSimulator
@@ -73,12 +79,13 @@ def _step_key(step: PlanStep, atom_name: str) -> str:
 
 def run_plan(
     plan: QueryPlan,
-    database: Database,
+    database: Database | ColumnarDatabase,
     p: int,
     seed: int = 0,
     capacity_c: float = 8.0,
     enforce_capacity: bool = False,
     backend: str | None = None,
+    profiler: RoundProfiler | None = None,
 ) -> MultiRoundResult:
     """Execute a query plan round by round on the simulator.
 
@@ -93,6 +100,8 @@ def run_plan(
         backend: ``"pure"`` (default, reference), ``"numpy"``
             (vectorized) or ``"auto"``; identical answers, per-round
             loads and view sizes either way.
+        profiler: optional per-round route/ship/deliver/local timing
+            collector (the CLI's ``--profile``).
 
     Returns:
         A :class:`MultiRoundResult`; ``answers`` is exactly
@@ -109,16 +118,20 @@ def run_plan(
         input_bits=database.total_bits,
         enforce_capacity=enforce_capacity,
     )
-    engine = RoundEngine(simulator)
+    engine = RoundEngine(simulator, profiler=profiler)
 
     # Environment: relation/view name -> (schema, columnar tuples).
     # Base relations enter with their atom's variable schema; bits are
     # charged uniformly at the database's domain width, as for views.
     environment: dict[str, tuple[tuple[str, ...], ColumnarRelation]] = {}
     for atom in plan.query.atoms:
-        source = ColumnarRelation.from_relation(
-            database[atom.name], backend=backend
-        )
+        relation = database[atom.name]
+        if isinstance(relation, ColumnarRelation):
+            source = relation.with_backend(backend)
+        else:
+            source = ColumnarRelation.from_relation(
+                relation, backend=backend
+            )
         environment[atom.name] = (
             atom.variables,
             replace(source, domain_size=n),
@@ -177,6 +190,7 @@ def run_plan(
                 backend,
                 domain_size=n,
                 key_of=lambda name, s=plan_step: _step_key(s, name),
+                profiler=profiler,
             )
             environment[plan_step.output] = (plan_step.query.head, view)
             view_sizes[plan_step.output] = len(view)

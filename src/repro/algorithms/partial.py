@@ -40,6 +40,7 @@ from repro.engine import (
     HashRoute,
     RemapRanks,
     RoundEngine,
+    RoundProfiler,
     collect_answers,
 )
 from repro.mpc.model import MPCConfig
@@ -78,6 +79,7 @@ def run_partial_hypercube(
     cover: Mapping[str, Fraction] | None = None,
     capacity_c: float = 4.0,
     backend: str | None = None,
+    profiler: RoundProfiler | None = None,
 ) -> PartialResult:
     """Run the Proposition 3.11 algorithm with budget ``eps``.
 
@@ -126,7 +128,7 @@ def run_partial_hypercube(
     simulator = MPCSimulator(
         config, input_bits=database.total_bits, enforce_capacity=False
     )
-    engine = RoundEngine(simulator)
+    engine = RoundEngine(simulator, profiler=profiler)
 
     steps = [
         RemapRanks(
@@ -140,7 +142,8 @@ def run_partial_hypercube(
     engine.run_round(steps, columnar_database(database, backend))
 
     answers, _ = collect_answers(
-        query, simulator, range(min(p, len(chosen))), backend
+        query, simulator, range(min(p, len(chosen))), backend,
+        profiler=profiler,
     )
     reported = set(answers)
 

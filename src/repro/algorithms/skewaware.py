@@ -44,9 +44,19 @@ from repro.backend import NUMPY, require_numpy, resolve_backend
 from repro.core.query import ConjunctiveQuery
 from repro.core.covers import fractional_vertex_cover
 from repro.core.shares import ShareAllocation, allocate_integer_shares, share_exponents
-from repro.data.columnar import ColumnarRelation, columnar_database
+from repro.data.columnar import (
+    ColumnarDatabase,
+    ColumnarRelation,
+    columnar_database,
+)
 from repro.data.database import Database
-from repro.engine import GridSpec, HeavyGridRoute, RoundEngine, collect_answers
+from repro.engine import (
+    GridSpec,
+    HeavyGridRoute,
+    RoundEngine,
+    RoundProfiler,
+    collect_answers,
+)
 from repro.mpc.model import MPCConfig
 from repro.mpc.routing import HashFamily
 from repro.mpc.simulator import MPCSimulator
@@ -74,7 +84,7 @@ class SkewAwareResult:
 
 def detect_heavy_hitters(
     query: ConjunctiveQuery,
-    database: Database,
+    database: Database | ColumnarDatabase,
     shares: Mapping[str, int],
     backend: str | None = None,
     columnar: Mapping[str, ColumnarRelation] | None = None,
@@ -121,7 +131,12 @@ def detect_heavy_hitters(
                 )
                 continue
             counts_by_value: dict[int, int] = {}
-            for row in relation:
+            rows = (
+                relation.rows()
+                if isinstance(relation, ColumnarRelation)
+                else relation
+            )
+            for row in rows:
                 counts_by_value[row[position]] = (
                     counts_by_value.get(row[position], 0) + 1
                 )
@@ -151,13 +166,14 @@ def _heavy_roles(query: ConjunctiveQuery) -> dict[str, dict[str, int] | None]:
 
 def run_hypercube_skew_aware(
     query: ConjunctiveQuery,
-    database: Database,
+    database: Database | ColumnarDatabase,
     p: int,
     eps: Fraction | float | None = None,
     seed: int = 0,
     capacity_c: float = 4.0,
     enforce_capacity: bool = False,
     backend: str | None = None,
+    profiler: RoundProfiler | None = None,
 ) -> SkewAwareResult:
     """One-round HC with heavy-hitter spreading.
 
@@ -190,7 +206,7 @@ def run_hypercube_skew_aware(
         input_bits=database.total_bits,
         enforce_capacity=enforce_capacity,
     )
-    engine = RoundEngine(simulator)
+    engine = RoundEngine(simulator, profiler=profiler)
 
     steps = [
         HeavyGridRoute(
@@ -205,7 +221,11 @@ def run_hypercube_skew_aware(
     engine.run_round(steps, sources)
 
     answers, per_server = collect_answers(
-        query, simulator, range(allocation.used_servers), backend
+        query,
+        simulator,
+        range(allocation.used_servers),
+        backend,
+        profiler=profiler,
     )
     per_server.extend([0] * (p - allocation.used_servers))
 

@@ -21,6 +21,10 @@ Commands:
   and race plain HC against the skew-aware executor, printing heavy
   hitters, max loads and imbalance; honours ``--backend``.
 * ``tables`` -- regenerate Table 1 and Table 2 of the paper.
+
+``run``, ``run-plan`` and ``skew`` accept ``--profile``, which prints
+a per-round route/ship/deliver/local-eval wall-clock breakdown -- the
+numbers that show where an execution actually spends its time.
 """
 
 from __future__ import annotations
@@ -36,6 +40,21 @@ from repro.core.covers import analyze_covers
 from repro.core.plans import build_plan
 from repro.core.query import QueryError, parse_query
 from repro.core.shares import allocate_integer_shares, share_exponents
+
+
+def _new_profiler(args: argparse.Namespace):
+    """A RoundProfiler when ``--profile`` was given, else None."""
+    if not getattr(args, "profile", False):
+        return None
+    from repro.engine import RoundProfiler
+
+    return RoundProfiler()
+
+
+def _print_profile(profiler, title: str) -> None:
+    if profiler is not None:
+        print()
+        print(profiler.format_table(title=title))
 
 
 def _parse_eps(text: str) -> Fraction:
@@ -82,8 +101,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     query = parse_query(args.query)
     database = matching_database(query, n=args.n, rng=args.seed)
     backend = resolve_backend(args.backend)
+    profiler = _new_profiler(args)
     result = run_hypercube(
-        query, database, p=args.p, seed=args.seed, backend=backend
+        query, database, p=args.p, seed=args.seed, backend=backend,
+        profiler=profiler,
     )
     truth = evaluate_query(
         query, {name: database[name].tuples for name in database.relations}
@@ -103,6 +124,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             ["replication rate", f"{result.report.replication_rate:.3f}"],
         ],
     ))
+    _print_profile(profiler, f"HC timing breakdown ({backend})")
     return 0 if verified else 1
 
 
@@ -126,8 +148,10 @@ def cmd_run_plan(args: argparse.Namespace) -> int:
     plan = build_plan(query, args.eps)
     database = matching_database(query, n=args.n, rng=args.seed)
     backend = resolve_backend(args.backend)
+    profiler = _new_profiler(args)
     result = run_plan(
-        plan, database, p=args.p, seed=args.seed, backend=backend
+        plan, database, p=args.p, seed=args.seed, backend=backend,
+        profiler=profiler,
     )
     truth = evaluate_query(
         query, {name: database[name].tuples for name in database.relations}
@@ -151,6 +175,7 @@ def cmd_run_plan(args: argparse.Namespace) -> int:
         for view, size in sorted(result.view_sizes.items())
     )
     print(format_table(["property", "value"], rows))
+    _print_profile(profiler, f"plan timing breakdown ({backend})")
     return 0 if verified else 1
 
 
@@ -166,11 +191,15 @@ def cmd_skew(args: argparse.Namespace) -> int:
         query, n=args.n, rng=args.seed, heavy_fraction=args.heavy_fraction
     )
     backend = resolve_backend(args.backend)
+    plain_profiler = _new_profiler(args)
+    aware_profiler = _new_profiler(args)
     plain = run_hypercube(
-        query, database, p=args.p, seed=args.seed, backend=backend
+        query, database, p=args.p, seed=args.seed, backend=backend,
+        profiler=plain_profiler,
     )
     aware = run_hypercube_skew_aware(
-        query, database, p=args.p, seed=args.seed, backend=backend
+        query, database, p=args.p, seed=args.seed, backend=backend,
+        profiler=aware_profiler,
     )
     truth = evaluate_query(
         query, {name: database[name].tuples for name in database.relations}
@@ -204,6 +233,8 @@ def cmd_skew(args: argparse.Namespace) -> int:
             ],
         ],
     ))
+    _print_profile(plain_profiler, f"plain HC timing breakdown ({backend})")
+    _print_profile(aware_profiler, f"skew-aware timing breakdown ({backend})")
     return 0 if verified else 1
 
 
@@ -285,6 +316,12 @@ def build_parser() -> argparse.ArgumentParser:
             default="pure",
             help="execution engine: pure-Python reference or vectorized "
             "numpy (auto picks numpy when available)",
+        )
+        subparser.add_argument(
+            "--profile",
+            action="store_true",
+            help="print a per-round route/ship/deliver/local-eval "
+            "wall-clock breakdown after the run",
         )
 
     run = commands.add_parser("run", help="run HyperCube on a random matching DB")

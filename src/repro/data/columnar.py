@@ -236,9 +236,91 @@ def _finalise_pure(
 def columnar_database(
     database: "Any", backend: str | None = None
 ) -> dict[str, ColumnarRelation]:
-    """Columnarise every relation of a :class:`Database`."""
+    """Columnarise every relation of a :class:`Database`.
+
+    Accepts either a row-oriented :class:`~repro.data.database.Database`
+    or a :class:`ColumnarDatabase` (whose relations are converted only
+    if their backend differs -- the large-``n`` path never leaves
+    column space).
+    """
     backend = resolve_backend(backend)
+    if isinstance(database, ColumnarDatabase):
+        return {
+            name: relation.with_backend(backend)
+            for name, relation in database.relations.items()
+        }
     return {
         relation.name: ColumnarRelation.from_relation(relation, backend)
         for relation in database
     }
+
+
+@dataclass(frozen=True)
+class ColumnarDatabase:
+    """A database whose relations never existed as Python tuples.
+
+    The columnar counterpart of :class:`~repro.data.database.Database`
+    for the large-``n`` (10^5 - 10^6) generators and benchmarks: it
+    exposes exactly the surface the executors consume (``total_bits``,
+    ``domain_size``, per-relation lookup) without materialising row
+    tuples anywhere.
+
+    Attributes:
+        relations: relation name -> :class:`ColumnarRelation`.
+        domain_size: the shared domain bound ``n``.
+    """
+
+    relations: dict[str, ColumnarRelation]
+    domain_size: int
+
+    def __post_init__(self) -> None:
+        for relation in self.relations.values():
+            if relation.domain_size > self.domain_size:
+                raise DataError(
+                    f"{relation.name}: domain {relation.domain_size} "
+                    f"exceeds database domain {self.domain_size}"
+                )
+
+    @classmethod
+    def from_relations(
+        cls, relations: Iterable[ColumnarRelation]
+    ) -> "ColumnarDatabase":
+        """Build from columnar relations (domain = the largest seen)."""
+        by_name = {relation.name: relation for relation in relations}
+        return cls(
+            relations=by_name,
+            domain_size=max(
+                (r.domain_size for r in by_name.values()), default=1
+            ),
+        )
+
+    def __getitem__(self, name: str) -> ColumnarRelation:
+        return self.relations[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def __iter__(self) -> Iterator[ColumnarRelation]:
+        return iter(self.relations.values())
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    @property
+    def total_bits(self) -> int:
+        """Input size ``N`` in bits (drives the capacity bound)."""
+        return sum(
+            relation.size_bits for relation in self.relations.values()
+        )
+
+    def to_database(self) -> "Any":
+        """Materialise to a row-oriented :class:`Database` (tests)."""
+        from repro.data.database import Database
+
+        return Database(
+            relations={
+                name: relation.to_relation()
+                for name, relation in self.relations.items()
+            },
+            domain_size=self.domain_size,
+        )

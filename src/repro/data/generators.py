@@ -16,6 +16,11 @@
   a path of length ``k`` -- one per tuple of the corresponding ``L_k``.
 * :func:`dense_graph` -- dense random graphs for the contrast with the
   two-round algorithm of Karloff et al. [16].
+* :func:`matching_database_columnar` / :func:`skewed_database_columnar`
+  -- the large-``n`` (10^5 - 10^6) generators: columns are built
+  directly as int64 arrays (uniform fills in bounded chunks), so no
+  Python tuple is ever materialised and peak memory stays within a
+  small constant of the output size.
 """
 
 from __future__ import annotations
@@ -24,9 +29,15 @@ import math
 import random
 from dataclasses import dataclass
 
+from repro.backend import NUMPY, require_numpy, resolve_backend
 from repro.core.query import ConjunctiveQuery
+from repro.data.columnar import ColumnarDatabase, ColumnarRelation
 from repro.data.database import Database, DataError, Relation
 from repro.data.matching import random_matching, random_permutation
+
+# Chunk size (rows) for the large-n generators' random fills: bounds
+# transient allocations without affecting the generated values.
+GENERATOR_CHUNK_ROWS = 1 << 18
 
 
 def skewed_relation(
@@ -87,6 +98,136 @@ def skewed_database(
             )
         )
     return Database.from_relations(relations)
+
+
+def matching_database_columnar(
+    query: ConjunctiveQuery,
+    n: int,
+    seed: int = 0,
+    backend: str | None = None,
+) -> ColumnarDatabase:
+    """A uniform matching database built straight into columns.
+
+    The large-``n`` counterpart of
+    :func:`repro.data.matching.matching_database`: each atom's
+    relation is one ascending first column plus ``arity - 1``
+    independent uniform permutations, written directly as int64 arrays
+    -- no Python tuples, no per-row loop, already lexicographically
+    sorted and duplicate-free (the first column is strictly
+    increasing), so construction is O(n) memory with a small constant.
+
+    Draws come from ``numpy.random.default_rng`` (seeded), so
+    instances are reproducible but *not* equal to the row generator's
+    for the same seed.
+
+    Args:
+        query: fixes the vocabulary (names and arities).
+        n: the domain size (= tuples per relation).
+        seed: generator seed.
+        backend: ``"numpy"`` (default via ``"auto"``) or ``"pure"``
+            (columns become Python lists; for parity tests at small
+            ``n`` only).
+    """
+    backend = resolve_backend(backend or "auto")
+    numpy = require_numpy()
+    rng = numpy.random.default_rng(seed)
+    relations = []
+    for atom in query.atoms:
+        columns = [numpy.arange(1, n + 1, dtype=numpy.int64)]
+        for _ in range(atom.arity - 1):
+            columns.append(
+                rng.permutation(n).astype(numpy.int64) + 1
+            )
+        relations.append(
+            _columnar_relation(atom.name, tuple(columns), n, backend)
+        )
+    return ColumnarDatabase.from_relations(relations)
+
+
+def skewed_database_columnar(
+    query: ConjunctiveQuery,
+    n: int,
+    seed: int = 0,
+    heavy_fraction: float = 0.5,
+    backend: str | None = None,
+    chunk_rows: int = GENERATOR_CHUNK_ROWS,
+) -> ColumnarDatabase:
+    """A skewed instance per atom, generated chunk-wise into columns.
+
+    The large-``n`` counterpart of :func:`skewed_database`: a
+    ``heavy_fraction`` share of each relation's first column is the
+    heavy value ``1``, every other position is uniform in ``[1, n]``.
+    Uniform fills happen in ``chunk_rows``-row slices of preallocated
+    arrays, so transient memory stays bounded regardless of ``n``;
+    rows are then deduplicated and sorted in one vectorized pass
+    (mirroring :class:`~repro.data.database.Relation` semantics).
+
+    Args:
+        query: fixes the vocabulary.
+        n: rows generated per relation (before dedup).
+        seed: generator seed.
+        heavy_fraction: share of first-column positions set to ``1``.
+        backend: ``"numpy"`` (default via ``"auto"``) or ``"pure"``.
+        chunk_rows: rows filled per chunk (memory bound knob).
+    """
+    if not 0 <= heavy_fraction <= 1:
+        raise DataError(
+            f"heavy_fraction must be in [0,1], got {heavy_fraction}"
+        )
+    if chunk_rows < 1:
+        raise DataError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    backend = resolve_backend(backend or "auto")
+    numpy = require_numpy()
+    root = numpy.random.SeedSequence(seed)
+    heavy_count = int(n * heavy_fraction)
+    relations = []
+    for atom_sequence, atom in zip(
+        root.spawn(len(query.atoms)), query.atoms
+    ):
+        columns = [
+            numpy.empty(n, dtype=numpy.int64)
+            for _ in range(atom.arity)
+        ]
+        columns[0][:heavy_count] = 1
+        # One independent stream per column, drawn sequentially in
+        # chunks: the generated instance is invariant under
+        # ``chunk_rows`` (the knob only bounds transient memory).
+        streams = [
+            numpy.random.default_rng(column_sequence)
+            for column_sequence in atom_sequence.spawn(atom.arity)
+        ]
+        for start in range(0, n, chunk_rows):
+            end = min(start + chunk_rows, n)
+            for position, column in enumerate(columns):
+                fill_start = max(start, heavy_count) if position == 0 else start
+                if fill_start < end:
+                    column[fill_start:end] = streams[position].integers(
+                        1, n + 1, size=end - fill_start, dtype=numpy.int64
+                    )
+        table = numpy.unique(numpy.column_stack(columns), axis=0)
+        sorted_columns = tuple(
+            numpy.ascontiguousarray(table[:, position])
+            for position in range(atom.arity)
+        )
+        relations.append(
+            _columnar_relation(atom.name, sorted_columns, n, backend)
+        )
+    return ColumnarDatabase.from_relations(relations)
+
+
+def _columnar_relation(
+    name: str, columns: tuple, n: int, backend: str
+) -> ColumnarRelation:
+    """Wrap generated int64 columns (already sorted+unique) directly."""
+    if backend != NUMPY:
+        columns = tuple(column.tolist() for column in columns)
+    return ColumnarRelation(
+        name=name,
+        arity=len(columns),
+        columns=columns,
+        domain_size=n,
+        backend=backend,
+    )
 
 
 def witness_database(n: int, rng: random.Random | int | None = None) -> Database:

@@ -23,6 +23,9 @@ broadcast join        one :class:`Broadcast` per atom
 single-server         one :class:`ToServer` per atom
 single-attribute join one :class:`HashRoute` per atom on a 1-D grid
 cartesian grid        one :class:`RoundRobinGrid` per operand
+hash-to-min (CC)      per fixpoint iteration, one :class:`HashRoute`
+                      round over the iteration's (vertex, payload)
+                      pairs
 ====================  =================================================
 
 New execution scenarios (new operators, sharding, asynchronous
@@ -33,11 +36,15 @@ of the route/ship/join loop.
 from repro.engine.executor import RoundEngine
 from repro.engine.local import (
     collect_answers,
+    fleet_answer_table,
     fragment_tuple_count,
     materialise_view,
+    merged_answer_table_per_worker,
+    slice_pool_for_workers,
     worker_answer_rows,
     worker_answer_table,
 )
+from repro.engine.profile import RoundProfiler
 from repro.engine.steps import (
     Broadcast,
     GridSpec,
@@ -52,9 +59,13 @@ from repro.engine.steps import (
 
 __all__ = [
     "RoundEngine",
+    "RoundProfiler",
     "collect_answers",
+    "fleet_answer_table",
     "fragment_tuple_count",
     "materialise_view",
+    "merged_answer_table_per_worker",
+    "slice_pool_for_workers",
     "worker_answer_rows",
     "worker_answer_table",
     "Broadcast",

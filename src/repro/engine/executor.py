@@ -15,14 +15,23 @@ with a single :meth:`MPCSimulator.send_columns` call.  Both paths
 produce the same multiset of (row, destination) pairs, so answers,
 per-round received bits/tuples and capacity failures are bit-identical
 across backends by construction.
+
+Vectorized sends carry the step's
+:attr:`~repro.engine.steps.RoutingStep.preserves_source_order` promise
+so the simulator's delivery pools can mark worker fragments as
+pre-sorted -- the precondition of the local join's sort-free path.
+An optional :class:`~repro.engine.profile.RoundProfiler` splits each
+round's wall-clock into route/ship/deliver phases.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Mapping, Sequence
 
 from repro.backend import NUMPY, resolve_backend
 from repro.data.columnar import ColumnarRelation
+from repro.engine.profile import RoundProfiler
 from repro.engine.steps import RoutingStep
 from repro.mpc.message import input_server
 from repro.mpc.simulator import MPCSimulator
@@ -36,10 +45,16 @@ class RoundEngine:
         simulator: the MPC network to route over.
         backend: ``"pure"``, ``"numpy"`` or ``"auto"``; defaults to
             the simulator config's backend.
+        profiler: optional phase-timing collector; when given, every
+            round records route/ship/deliver seconds against its round
+            index.
     """
 
     def __init__(
-        self, simulator: MPCSimulator, backend: str | None = None
+        self,
+        simulator: MPCSimulator,
+        backend: str | None = None,
+        profiler: RoundProfiler | None = None,
     ) -> None:
         self.simulator = simulator
         self.backend = (
@@ -47,6 +62,12 @@ class RoundEngine:
             if backend is None
             else resolve_backend(backend)
         )
+        self.profiler = profiler
+
+    def _measure(self, phase: str):
+        if self.profiler is None:
+            return nullcontext()
+        return self.profiler.measure(self.simulator.round_index, phase)
 
     def run_round(
         self,
@@ -70,7 +91,8 @@ class RoundEngine:
         self.simulator.begin_round()
         for step in steps:
             self.execute_step(step, sources[step.relation])
-        return self.simulator.end_round()
+        with self._measure("deliver"):
+            return self.simulator.end_round()
 
     def execute_step(
         self, step: RoutingStep, source: ColumnarRelation
@@ -85,23 +107,28 @@ class RoundEngine:
         )
         key = step.mailbox_key
         if self.backend == NUMPY:
-            columns, destinations, row_indices = step.route_columns(
-                source.columns, p
-            )
-            simulator.send_columns(
-                sender,
-                destinations,
-                key,
-                columns,
-                bits_per_tuple=source.tuple_bits,
-                row_indices=row_indices,
-            )
+            with self._measure("route"):
+                columns, destinations, row_indices = step.route_columns(
+                    source.columns, p
+                )
+            with self._measure("ship"):
+                simulator.send_columns(
+                    sender,
+                    destinations,
+                    key,
+                    columns,
+                    bits_per_tuple=source.tuple_bits,
+                    row_indices=row_indices,
+                    source_sorted=step.preserves_source_order,
+                )
             return
-        batches: dict[int, list[tuple[int, ...]]] = {}
-        for index, row in enumerate(source.rows()):
-            for destination in step.destinations(row, index, p):
-                batches.setdefault(destination, []).append(row)
-        for destination, rows in batches.items():
-            simulator.send(
-                sender, destination, key, rows, source.tuple_bits
-            )
+        with self._measure("route"):
+            batches: dict[int, list[tuple[int, ...]]] = {}
+            for index, row in enumerate(source.rows()):
+                for destination in step.destinations(row, index, p):
+                    batches.setdefault(destination, []).append(row)
+        with self._measure("ship"):
+            for destination, rows in batches.items():
+                simulator.send(
+                    sender, destination, key, rows, source.tuple_bits
+                )

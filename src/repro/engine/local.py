@@ -3,26 +3,45 @@
 After the engine delivers a round, each worker evaluates a conjunctive
 query over the fragments it received.  This module is the single
 join-and-collect loop: the ``pure`` backend runs the reference
-backtracking join over mailbox rows, the ``numpy`` backend runs the
-columnar hash join over mailbox column batches, and either way the
-callers get back identical answer sets, per-server answer counts and
-(for the multi-round executor) materialised views.
+backtracking join over mailbox rows; the ``numpy`` backend evaluates
+the *whole fleet* in one vectorized pass -- the simulator's delivery
+pools (:class:`~repro.mpc.simulator.ColumnPool`) hand over every
+worker's fragments as contiguous slices of one column pool plus a
+``(worker -> offset range)`` index, and
+:func:`~repro.algorithms.localjoin.evaluate_query_table_segmented`
+joins all ``p`` workers at once by prepending the worker id to every
+join key.  Per-server answer counts fall out of one ``bincount`` over
+the answer segment ids; the deduplicated union out of one ``unique``.
+
+The previous per-worker numpy loop (concatenate each worker's
+batches, join, merge) is kept as :func:`merged_answer_table_per_worker`
+-- it is the fallback when pools are unavailable (row-path deliveries
+mixed in) and the baseline the segmented speedup gate measures
+against.  Either way the callers get back identical answer sets,
+per-server answer counts and (for the multi-round executor)
+materialised views.
 
 Routing never delivers the same source row twice to one worker under
 any :class:`~repro.engine.steps.RoutingStep` (a step's destination set
 per row is duplicate-free, and engine sources are deduplicated), so
-the columnar path can skip the dedup passes (``assume_unique``).
+the columnar paths can skip the dedup passes (``assume_unique``).
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Callable, Iterable
 
 from repro.backend import NUMPY, require_numpy
-from repro.algorithms.localjoin import evaluate_query, evaluate_query_table
+from repro.algorithms.localjoin import (
+    evaluate_query,
+    evaluate_query_table,
+    evaluate_query_table_segmented,
+)
 from repro.core.query import ConjunctiveQuery
 from repro.data.columnar import ColumnarRelation
-from repro.mpc.simulator import MPCSimulator
+from repro.engine.profile import RoundProfiler
+from repro.mpc.simulator import ColumnPool, MPCSimulator
 
 KeyOf = Callable[[str], str]
 
@@ -82,13 +101,116 @@ def worker_answer_rows(
     return evaluate_query(query, local)
 
 
-def _merged_answer_table(
+def slice_pool_for_workers(
+    pool: ColumnPool, workers: list[int]
+) -> tuple[tuple, "object", bool]:
+    """Restrict a delivery pool to the listed workers.
+
+    Returns:
+        ``(columns, segments, source_sorted)`` -- the selected rows'
+        value columns, a parallel int64 array mapping each row to its
+        position in ``workers`` (the segment id), and whether the
+        selection still preserves per-segment source order.  Selecting
+        a prefix ``0..k-1`` (the overwhelmingly common case) is a
+        zero-copy basic slice of the pool.
+    """
+    numpy = require_numpy()
+    offsets = pool.offsets
+    counts = offsets[1:] - offsets[:-1]
+    k = len(workers)
+    if workers == list(range(k)):
+        end = int(offsets[k]) if k else 0
+        columns = tuple(column[:end] for column in pool.columns)
+        segment_counts = counts[:k]
+        source_sorted = pool.source_sorted
+    else:
+        chosen = numpy.asarray(workers, dtype=numpy.int64)
+        starts = offsets[chosen]
+        segment_counts = counts[chosen]
+        total = int(segment_counts.sum())
+        run_starts = numpy.repeat(starts, segment_counts)
+        run_offsets = numpy.arange(total, dtype=numpy.int64) - numpy.repeat(
+            numpy.concatenate(
+                ([0], numpy.cumsum(segment_counts)[:-1])
+            )
+            if k
+            else numpy.zeros(0, dtype=numpy.int64),
+            segment_counts,
+        )
+        gather = run_starts + run_offsets
+        columns = tuple(column[gather] for column in pool.columns)
+        # A non-ascending worker list still yields correct segments
+        # (ids index into ``workers``), but only an ascending one
+        # keeps the (segment, row) order the sort-free join needs.
+        source_sorted = pool.source_sorted and all(
+            workers[i] < workers[i + 1] for i in range(k - 1)
+        )
+    segment = numpy.repeat(
+        numpy.arange(k, dtype=numpy.int64), segment_counts
+    )
+    return columns, segment, source_sorted
+
+
+def fleet_answer_table(
+    query: ConjunctiveQuery,
+    simulator: MPCSimulator,
+    workers: list[int],
+    key_of: KeyOf = _identity_key,
+):
+    """All workers' answers via the segmented fleet-wide join.
+
+    Returns ``(merged, per_server)`` exactly as
+    :func:`merged_answer_table_per_worker` computes them, or None when
+    some atom's deliveries are not available as a
+    :class:`~repro.mpc.simulator.ColumnPool` (row-path deliveries
+    mixed in, or nothing delivered) and the caller must fall back to
+    the per-worker path.
+    """
+    numpy = require_numpy()
+    fragments: dict[str, tuple] = {}
+    segments: dict[str, object] = {}
+    sorted_relations: set[str] = set()
+    for atom in query.atoms:
+        pool = simulator.relation_pool(key_of(atom.name))
+        if pool is None:
+            return None
+        columns, segment, source_sorted = slice_pool_for_workers(
+            pool, workers
+        )
+        fragments[atom.name] = columns
+        segments[atom.name] = segment
+        if source_sorted:
+            sorted_relations.add(atom.name)
+    answers, answer_segments = evaluate_query_table_segmented(
+        query,
+        fragments,
+        segments,
+        num_segments=len(workers),
+        assume_unique=True,
+        sorted_relations=sorted_relations,
+    )
+    per_server = numpy.bincount(
+        answer_segments, minlength=len(workers)
+    ).tolist()
+    if len(answers):
+        merged = numpy.unique(answers, axis=0)
+    else:
+        merged = numpy.zeros((0, len(query.head)), dtype=numpy.int64)
+    return merged, per_server
+
+
+def merged_answer_table_per_worker(
     query: ConjunctiveQuery,
     simulator: MPCSimulator,
     workers: Iterable[int],
-    key_of: KeyOf,
+    key_of: KeyOf = _identity_key,
 ):
-    """All workers' answers merged into one sorted unique int64 table.
+    """All workers' answers merged, one worker at a time (reference).
+
+    The pre-pooling numpy path: per worker, concatenate its mailbox
+    batches and join, then merge.  Kept as the fallback for mixed
+    row/column deliveries and as the baseline the segmented speedup
+    gate compares against.
 
     Returns:
         ``(merged, per_server)`` -- the deduplicated union (sorted
@@ -110,12 +232,48 @@ def _merged_answer_table(
     return merged, per_server
 
 
+def _merged_answer_table(
+    query: ConjunctiveQuery,
+    simulator: MPCSimulator,
+    workers: Iterable[int],
+    key_of: KeyOf,
+    segmented: bool | None = None,
+):
+    """Dispatch: segmented fleet-wide join, per-worker loop fallback.
+
+    Args:
+        segmented: None (default) tries the segmented path and falls
+            back when pools are unavailable; True requires it (raises
+            if unavailable -- used by tests); False forces the
+            per-worker reference loop.
+    """
+    workers = list(workers)
+    if segmented is not False:
+        result = fleet_answer_table(query, simulator, workers, key_of)
+        if result is not None:
+            return result
+        if segmented is True:
+            raise RuntimeError(
+                "segmented evaluation requested but some relation has "
+                "no delivery pool (row-path deliveries present?)"
+            )
+    return merged_answer_table_per_worker(query, simulator, workers, key_of)
+
+
+def _measure_local(profiler: RoundProfiler | None, simulator: MPCSimulator):
+    if profiler is None:
+        return nullcontext()
+    return profiler.measure(simulator.round_index, "local")
+
+
 def collect_answers(
     query: ConjunctiveQuery,
     simulator: MPCSimulator,
     workers: Iterable[int],
     backend: str,
     key_of: KeyOf = _identity_key,
+    segmented: bool | None = None,
+    profiler: RoundProfiler | None = None,
 ) -> tuple[tuple[tuple[int, ...], ...], list[int]]:
     """Evaluate ``query`` at every worker and union the results.
 
@@ -124,18 +282,19 @@ def collect_answers(
         of all workers' answers, and the per-worker answer counts in
         iteration order.  Both are backend-independent.
     """
-    if backend == NUMPY:
-        merged, per_server = _merged_answer_table(
-            query, simulator, workers, key_of
-        )
-        return tuple(map(tuple, merged.tolist())), per_server
-    per_server: list[int] = []
-    answers: set[tuple[int, ...]] = set()
-    for worker in workers:
-        found = worker_answer_rows(query, simulator, worker, key_of)
-        per_server.append(len(found))
-        answers.update(found)
-    return tuple(sorted(answers)), per_server
+    with _measure_local(profiler, simulator):
+        if backend == NUMPY:
+            merged, per_server = _merged_answer_table(
+                query, simulator, workers, key_of, segmented
+            )
+            return tuple(map(tuple, merged.tolist())), per_server
+        per_server: list[int] = []
+        answers: set[tuple[int, ...]] = set()
+        for worker in workers:
+            found = worker_answer_rows(query, simulator, worker, key_of)
+            per_server.append(len(found))
+            answers.update(found)
+        return tuple(sorted(answers)), per_server
 
 
 def materialise_view(
@@ -146,6 +305,8 @@ def materialise_view(
     backend: str,
     domain_size: int,
     key_of: KeyOf = _identity_key,
+    segmented: bool | None = None,
+    profiler: RoundProfiler | None = None,
 ) -> tuple[ColumnarRelation, list[int]]:
     """Materialise an operator's output view from all workers' answers.
 
@@ -161,9 +322,10 @@ def materialise_view(
     arity = len(query.head)
     if backend == NUMPY:
         numpy = require_numpy()
-        merged, per_server = _merged_answer_table(
-            query, simulator, workers, key_of
-        )
+        with _measure_local(profiler, simulator):
+            merged, per_server = _merged_answer_table(
+                query, simulator, workers, key_of, segmented
+            )
         view = ColumnarRelation(
             name=name,
             arity=arity,
@@ -176,7 +338,7 @@ def materialise_view(
         )
         return view, per_server
     answers, per_server = collect_answers(
-        query, simulator, workers, backend, key_of
+        query, simulator, workers, backend, key_of, profiler=profiler
     )
     view = ColumnarRelation(
         name=name,
@@ -195,6 +357,9 @@ def fragment_tuple_count(
 ) -> int:
     """Tuples of ``relation`` held by ``worker`` (backend-aware)."""
     if backend == NUMPY:
+        pool = simulator.relation_pool(relation)
+        if pool is not None:
+            return pool.worker_count(worker)
         return sum(
             len(batch[0]) if batch else 0
             for batch in simulator.worker_column_batches(worker, relation)

@@ -1,0 +1,81 @@
+"""Per-round phase timing for the engine's hot paths.
+
+A :class:`RoundProfiler` splits the wall-clock of an execution into
+the phases the cost model talks about:
+
+* ``route``  -- computing destinations (hashing, grid ranking);
+* ``ship``   -- staging the routed tuples on the simulator;
+* ``deliver``-- closing the round (pooling, capacity accounting);
+* ``local``  -- post-round local evaluation (joins, views).
+
+Every executor accepts an optional ``profiler=`` and feeds it through
+:meth:`RoundProfiler.measure`; the CLI's ``--profile`` flag prints the
+resulting per-round breakdown, which is how the "where does the time
+go" question that motivates local-evaluation optimisations is one
+command away.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+PHASES = ("route", "ship", "deliver", "local")
+
+
+class RoundProfiler:
+    """Accumulates per-(round, phase) wall-clock seconds."""
+
+    def __init__(self) -> None:
+        self.rounds: dict[int, dict[str, float]] = {}
+
+    def add(self, round_index: int, phase: str, seconds: float) -> None:
+        """Record ``seconds`` against one round's phase."""
+        phases = self.rounds.setdefault(round_index, {})
+        phases[phase] = phases.get(phase, 0.0) + seconds
+
+    @contextmanager
+    def measure(self, round_index: int, phase: str) -> Iterator[None]:
+        """Time a block and record it under ``(round_index, phase)``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(round_index, phase, time.perf_counter() - start)
+
+    def phase_total(self, phase: str) -> float:
+        """Total seconds spent in one phase across all rounds."""
+        return sum(
+            phases.get(phase, 0.0) for phases in self.rounds.values()
+        )
+
+    @property
+    def total_seconds(self) -> float:
+        """Total profiled seconds across all rounds and phases."""
+        return sum(
+            sum(phases.values()) for phases in self.rounds.values()
+        )
+
+    def format_table(self, title: str = "per-round timing") -> str:
+        """The breakdown as a printable table (CLI ``--profile``)."""
+        from repro.analysis.reporting import format_table
+
+        rows = []
+        for round_index in sorted(self.rounds):
+            phases = self.rounds[round_index]
+            rows.append(
+                [round_index]
+                + [f"{phases.get(phase, 0.0):.4f}" for phase in PHASES]
+                + [f"{sum(phases.values()):.4f}"]
+            )
+        rows.append(
+            ["total"]
+            + [f"{self.phase_total(phase):.4f}" for phase in PHASES]
+            + [f"{self.total_seconds:.4f}"]
+        )
+        return format_table(
+            ["round"] + [f"{phase} (s)" for phase in PHASES] + ["sum (s)"],
+            rows,
+            title=title,
+        )

@@ -132,6 +132,28 @@ class RoutingStep:
         """The key receivers file this step's tuples under."""
         return self.destination if self.destination is not None else self.relation
 
+    @property
+    def preserves_source_order(self) -> bool:
+        """Whether rows staged for any one receiver keep source order.
+
+        True when :meth:`route_columns` emits its (row, destination)
+        pairs so that, restricted to one destination worker, row
+        indices are non-decreasing -- the case for every step whose
+        replication pattern is a ``repeat``/``tile`` over ascending
+        row indices.  Since source relations are lexicographically
+        sorted, a True flag means delivered worker fragments are
+        pre-sorted, which lets the segmented local join skip its sort
+        (:class:`~repro.mpc.simulator.ColumnPool.source_sorted`).
+
+        Defaults to False -- the safe direction: a new step type that
+        forgets to override merely loses the sort-free fast path,
+        whereas a wrong True silently corrupts the segmented join.
+        Steps whose emission is a repeat/tile over ascending indices
+        (every shipped step except signature-grouped heavy-hitter
+        routing) override this with True.
+        """
+        return False
+
     def destinations(self, row: Sequence[int], index: int, p: int) -> list[int]:
         """Worker ranks receiving ``row`` (the scalar reference path).
 
@@ -209,6 +231,11 @@ class HashRoute(RoutingStep):
     grid: GridSpec
     atom: Atom
     filter_contradictions: bool = True
+
+    @property
+    def preserves_source_order(self) -> bool:
+        """Replication is a repeat of ascending row indices."""
+        return True
 
     def _pinned(self) -> dict[str, int]:
         """variable -> first column position, grid dimensions only."""
@@ -314,6 +341,9 @@ class HeavyGridRoute(RoutingStep):
     atom: Atom
     heavy: Mapping[str, frozenset[int]] = field(default_factory=dict)
     roles: Mapping[str, Mapping[str, int] | None] = field(default_factory=dict)
+
+    # preserves_source_order stays False (the base default):
+    # signature-grouped routing interleaves heavy/light rows.
 
     def _residual_positions(self, variable: str) -> tuple[int, ...]:
         """First positions of the atom's other distinct variables."""
@@ -503,6 +533,20 @@ class RemapRanks(RoutingStep):
     mapping: Mapping[int, int]
     virtual_size: int
 
+    @property
+    def preserves_source_order(self) -> bool:
+        """Order survives when no two virtual ranks share a worker.
+
+        Rank filtering keeps the inner step's emission order, and with
+        an injective mapping each real worker drains exactly one
+        virtual rank's (already ordered) stream.  A non-injective
+        mapping could interleave two streams, so report False there.
+        """
+        if not self.inner.preserves_source_order:
+            return False
+        targets = list(self.mapping.values())
+        return len(targets) == len(set(targets))
+
     def destinations(self, row: Sequence[int], index: int, p: int) -> list[int]:
         mapping = self.mapping
         return [
@@ -532,6 +576,11 @@ class RemapRanks(RoutingStep):
 class Broadcast(RoutingStep):
     """Every row to every worker (replication rate exactly ``p``)."""
 
+    @property
+    def preserves_source_order(self) -> bool:
+        """Each worker's block is one ascending ``arange`` tile."""
+        return True
+
     def destinations(self, row: Sequence[int], index: int, p: int) -> list[int]:
         return list(range(p))
 
@@ -552,6 +601,11 @@ class ToServer(RoutingStep):
     """Every row to one fixed worker."""
 
     worker: int = 0
+
+    @property
+    def preserves_source_order(self) -> bool:
+        """Rows ship in source order to a single worker."""
+        return True
 
     def destinations(self, row: Sequence[int], index: int, p: int) -> list[int]:
         return [self.worker]
@@ -575,6 +629,11 @@ class RoundRobinGrid(RoutingStep):
 
     grid: GridSpec
     axis: int
+
+    @property
+    def preserves_source_order(self) -> bool:
+        """Replication is a repeat of ascending row indices."""
+        return True
 
     def destinations(self, row: Sequence[int], index: int, p: int) -> list[int]:
         dimensions = self.grid.dimensions

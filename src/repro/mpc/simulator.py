@@ -18,7 +18,16 @@ running aggregates (no per-message object allocation), while the
 vectorized path ships a whole relation's routing decision in one
 :meth:`MPCSimulator.send_columns` call -- an array of destination
 workers plus the source columns -- and the simulator bin-counts the
-load and slices per-receiver fragments at delivery time.
+load and pools the deliveries at round end.
+
+Columnar delivery is *pooled*: all of a relation's staged column sends
+for the round are gathered into one contiguous :class:`ColumnPool`
+whose rows are grouped by receiving worker (one stable sort per
+relation per round), with a ``(worker -> offset range)`` index.  Each
+worker's mailbox fragment is then a zero-copy basic slice of the pool,
+and fleet-wide consumers (the segmented local join) read the whole
+pool plus the index via :meth:`MPCSimulator.relation_pool` without any
+per-worker concatenation.
 
 The simulator enforces the model's ground rules:
 
@@ -86,6 +95,12 @@ class _ColumnStage:
     the stage represents ``columns[row_indices[i]] -> receivers[i]``
     without materialising the replicated rows, which is what keeps
     HC's ``p^{1-1/tau}``-fold replication cheap to stage.
+
+    ``source_sorted`` is the sender's promise that, restricted to any
+    one receiver, staged rows appear in ascending source-row order --
+    true for every routing step whose replication pattern is a
+    ``repeat``/``tile`` of ``arange`` (see
+    :attr:`repro.engine.steps.RoutingStep.preserves_source_order`).
     """
 
     relation: str
@@ -93,6 +108,48 @@ class _ColumnStage:
     columns: tuple
     bits_per_tuple: int
     row_indices: Any | None = None
+    source_sorted: bool = False
+
+
+@dataclass(frozen=True)
+class ColumnPool:
+    """One relation's pooled columnar deliveries, grouped by worker.
+
+    Attributes:
+        columns: parallel value columns holding every delivered row of
+            the relation, ordered by receiving worker (ascending).
+        offsets: int64 array of length ``p + 1``; worker ``w``'s rows
+            occupy ``columns[:][offsets[w]:offsets[w+1]]`` -- a basic
+            (zero-copy) numpy slice.
+        source_sorted: True when each worker's slice preserves the
+            source relation's row order.  Source relations
+            (:class:`~repro.data.columnar.ColumnarRelation`) are
+            lexicographically sorted, so a True flag means every
+            worker's fragment is lex-sorted too -- the precondition of
+            the sort-free join fast path.
+    """
+
+    columns: tuple
+    offsets: Any
+    source_sorted: bool = False
+
+    def __len__(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    @property
+    def num_workers(self) -> int:
+        """Number of workers the offset index covers."""
+        return len(self.offsets) - 1
+
+    def worker_slice(self, worker: int) -> tuple:
+        """Worker ``w``'s fragment as zero-copy column views."""
+        start = int(self.offsets[worker])
+        end = int(self.offsets[worker + 1])
+        return tuple(column[start:end] for column in self.columns)
+
+    def worker_count(self, worker: int) -> int:
+        """Number of rows delivered to one worker."""
+        return int(self.offsets[worker + 1]) - int(self.offsets[worker])
 
 
 class MPCSimulator:
@@ -119,6 +176,14 @@ class MPCSimulator:
         self._mailboxes = [Mailbox() for _ in range(config.p)]
         self._round_index = 0
         self._in_round = False
+        # Columnar deliveries pooled per relation (kept across rounds,
+        # like mailboxes: workers remember everything they received).
+        self._pools: dict[str, list[ColumnPool]] = {}
+        self._merged_pools: dict[str, ColumnPool] = {}
+        # Relations that ever received row-path deliveries; their
+        # pools (if any) are incomplete, so fleet-wide consumers must
+        # fall back to the per-worker mailbox view.
+        self._row_delivered: set[str] = set()
         self._reset_staging()
 
     def _reset_staging(self) -> None:
@@ -167,8 +232,8 @@ class MPCSimulator:
                     )
         for (receiver, relation), rows in self._staged_rows.items():
             self._mailboxes[receiver].deliver_rows(relation, rows)
-        for stage in self._staged_columns:
-            self._deliver_column_stage(stage)
+            self._row_delivered.add(relation)
+        self._deliver_column_pools()
         stats = RoundStats(
             round_index=self._round_index,
             received_bits=tuple(self._received_bits),
@@ -180,23 +245,76 @@ class MPCSimulator:
         self._in_round = False
         return stats
 
-    def _deliver_column_stage(self, stage: _ColumnStage) -> None:
-        """Group one vectorized stage by receiver and hand out slices."""
+    def _deliver_column_pools(self) -> None:
+        """Pool the round's column stages per relation and deliver.
+
+        One stable sort per relation groups every staged row by its
+        receiving worker; each worker's mailbox fragment is then a
+        zero-copy basic slice of the pooled columns, and the pool plus
+        its offset index stays available fleet-wide through
+        :meth:`relation_pool`.
+        """
+        if not self._staged_columns:
+            return
+        by_relation: dict[str, list[_ColumnStage]] = {}
+        for stage in self._staged_columns:
+            by_relation.setdefault(stage.relation, []).append(stage)
+        for relation, stages in by_relation.items():
+            pool = self._build_pool(stages)
+            self._pools.setdefault(relation, []).append(pool)
+            self._merged_pools.pop(relation, None)
+            for worker in range(self.config.p):
+                if pool.worker_count(worker):
+                    self._mailboxes[worker].deliver_columns(
+                        relation, pool.worker_slice(worker)
+                    )
+
+    def _build_pool(self, stages: list[_ColumnStage]) -> ColumnPool:
+        """Gather one relation's stages into a worker-grouped pool."""
         numpy = require_numpy()
-        order = numpy.argsort(stage.receivers, kind="stable")
-        sorted_receivers = stage.receivers[order]
-        present, starts = numpy.unique(sorted_receivers, return_index=True)
-        boundaries = numpy.append(starts, len(sorted_receivers))
-        for index, receiver in enumerate(present.tolist()):
-            selected = order[boundaries[index]:boundaries[index + 1]]
-            if stage.row_indices is not None:
-                selected = stage.row_indices[selected]
-            fragment = tuple(
-                column[selected] for column in stage.columns
+        if len(stages) == 1:
+            stage = stages[0]
+            receivers = stage.receivers
+            order = numpy.argsort(receivers, kind="stable")
+            selected = (
+                order
+                if stage.row_indices is None
+                else stage.row_indices[order]
             )
-            self._mailboxes[receiver].deliver_columns(
-                stage.relation, fragment
+            columns = tuple(column[selected] for column in stage.columns)
+            source_sorted = stage.source_sorted
+        else:
+            receivers = numpy.concatenate(
+                [stage.receivers for stage in stages]
             )
+            order = numpy.argsort(receivers, kind="stable")
+            arity = len(stages[0].columns)
+            expanded = [
+                tuple(
+                    column
+                    if stage.row_indices is None
+                    else column[stage.row_indices]
+                    for column in stage.columns
+                )
+                for stage in stages
+            ]
+            columns = tuple(
+                numpy.concatenate(
+                    [stage_columns[i] for stage_columns in expanded]
+                )[order]
+                for i in range(arity)
+            )
+            # Interleaved stages break within-worker source order.
+            source_sorted = False
+        offsets = numpy.searchsorted(
+            receivers[order],
+            numpy.arange(self.config.p + 1, dtype=numpy.int64),
+        )
+        return ColumnPool(
+            columns=columns,
+            offsets=offsets.astype(numpy.int64),
+            source_sorted=source_sorted,
+        )
 
     # -- sending --------------------------------------------------------------
 
@@ -265,6 +383,7 @@ class MPCSimulator:
         columns: tuple,
         bits_per_tuple: int,
         row_indices: Any | None = None,
+        source_sorted: bool = False,
     ) -> None:
         """Stage a whole routing decision in one vectorized call.
 
@@ -273,7 +392,8 @@ class MPCSimulator:
         ``columns[:][row_indices[i]]`` when ``row_indices`` is given
         (replication without materialising the copies).  Load is
         accounted immediately via a bincount; per-receiver fragments
-        are sliced out at delivery time.
+        are sliced out of the round's :class:`ColumnPool` at delivery
+        time.
 
         Args:
             sender: worker index, or an input-server label.
@@ -282,6 +402,10 @@ class MPCSimulator:
             columns: parallel value columns (numpy int64 arrays).
             bits_per_tuple: exact per-tuple cost in bits.
             row_indices: optional gather indices into ``columns``.
+            source_sorted: sender's promise that rows staged for any
+                one receiver appear in ascending source-row order
+                (lets the pool keep worker fragments pre-sorted; see
+                :class:`ColumnPool`).
         """
         numpy = require_numpy()
         self._validate_send(sender, None, bits_per_tuple)
@@ -326,6 +450,7 @@ class MPCSimulator:
                 columns=columns,
                 bits_per_tuple=bits_per_tuple,
                 row_indices=row_indices,
+                source_sorted=source_sorted,
             )
         )
 
@@ -385,3 +510,53 @@ class MPCSimulator:
     def worker_column_batches(self, worker: int, relation: str) -> list[tuple]:
         """Columnar fragments of ``relation`` held by ``worker``."""
         return self._mailboxes[worker].column_batches(relation)
+
+    def relation_pool(self, relation: str) -> ColumnPool | None:
+        """The fleet-wide delivery pool of one relation, or None.
+
+        Returns the pooled columns of *every* worker's fragment of
+        ``relation`` plus the ``(worker -> offset range)`` index, for
+        consumers that evaluate the whole fleet in one vectorized pass
+        (the segmented local join).  Pools from multiple rounds are
+        merged (and cached) on demand.
+
+        Returns None when the relation received no columnar deliveries
+        or when any delivery travelled the row path (mixed storage:
+        the pool would be incomplete, so callers must fall back to the
+        per-worker mailbox view).
+        """
+        if relation in self._row_delivered:
+            return None
+        pools = self._pools.get(relation)
+        if not pools:
+            return None
+        if len(pools) == 1:
+            return pools[0]
+        merged = self._merged_pools.get(relation)
+        if merged is None:
+            merged = self._merge_pools(pools)
+            self._merged_pools[relation] = merged
+        return merged
+
+    def _merge_pools(self, pools: list[ColumnPool]) -> ColumnPool:
+        """Merge several rounds' pools into one worker-grouped pool.
+
+        Each pool becomes a synthetic stage (its receiver array is
+        reconstructed from the offset index) so the group-by-worker
+        construction lives in exactly one place, :meth:`_build_pool`.
+        """
+        numpy = require_numpy()
+        p = self.config.p
+        stages = [
+            _ColumnStage(
+                relation="",
+                receivers=numpy.repeat(
+                    numpy.arange(p, dtype=numpy.int64),
+                    pool.offsets[1:] - pool.offsets[:-1],
+                ),
+                columns=pool.columns,
+                bits_per_tuple=0,
+            )
+            for pool in pools
+        ]
+        return self._build_pool(stages)

@@ -153,3 +153,41 @@ class TestTables:
         assert "Table 1" in output
         assert "Table 2" in output
         assert "True" in output  # matches_paper column
+
+
+class TestProfileFlag:
+    def test_run_prints_breakdown(self, capsys):
+        code = main(
+            ["run", "S1(x,y), S2(y,z)", "--n", "30", "--p", "4",
+             "--profile"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "timing breakdown" in output
+        for phase in ("route", "ship", "deliver", "local"):
+            assert phase in output
+
+    def test_run_plan_prints_breakdown(self, capsys):
+        code = main(
+            ["run-plan", "S1(a,b), S2(b,c), S3(c,d)", "--eps", "0",
+             "--n", "20", "--p", "4", "--profile"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "plan timing breakdown" in output
+
+    def test_skew_prints_both_breakdowns(self, capsys):
+        code = main(
+            ["skew", "S1(x,y), S2(y,z)", "--n", "40", "--p", "4",
+             "--profile"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "plain HC timing breakdown" in output
+        assert "skew-aware timing breakdown" in output
+
+    def test_no_breakdown_without_flag(self, capsys):
+        code = main(["run", "S1(x,y), S2(y,z)", "--n", "30", "--p", "4"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "timing breakdown" not in output

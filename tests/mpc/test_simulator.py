@@ -347,3 +347,136 @@ class TestColumnarSends:
         simulator.begin_round()
         with pytest.raises(ValueError, match="bits_per_tuple"):
             simulator.send(0, 1, "R", [(1,)], -8)
+
+
+class TestColumnPools:
+    """The pooled columnar delivery path and its fleet-wide index."""
+
+    def _numpy(self):
+        pytest.importorskip("numpy")
+        from repro.backend import numpy_or_none
+
+        numpy = numpy_or_none()
+        if numpy is None:
+            pytest.skip("numpy disabled")
+        return numpy
+
+    def _columns(self, numpy, rows):
+        return tuple(
+            numpy.asarray(column, dtype=numpy.int64)
+            for column in zip(*rows)
+        )
+
+    def _deliver(self, numpy, receivers, rows, p=4, **kwargs):
+        simulator = make_simulator(p=p, enforce=False)
+        simulator.begin_round()
+        simulator.send_columns(
+            0,
+            numpy.asarray(receivers, dtype=numpy.int64),
+            "R",
+            self._columns(numpy, rows),
+            bits_per_tuple=8,
+            **kwargs,
+        )
+        simulator.end_round()
+        return simulator
+
+    def test_pool_offsets_and_slices(self):
+        numpy = self._numpy()
+        simulator = self._deliver(
+            numpy, [2, 0, 2, 0], [(1, 1), (2, 2), (3, 3), (4, 4)]
+        )
+        pool = simulator.relation_pool("R")
+        assert pool is not None
+        assert pool.offsets.tolist() == [0, 2, 2, 4, 4]
+        # Stable grouping: staged order preserved within a worker.
+        assert pool.worker_slice(0)[0].tolist() == [2, 4]
+        assert pool.worker_slice(2)[0].tolist() == [1, 3]
+        assert pool.worker_slice(1)[0].tolist() == []
+        assert pool.worker_count(3) == 0
+
+    def test_mailbox_batches_are_pool_views(self):
+        """Worker fragments share the pool's buffer (zero-copy)."""
+        numpy = self._numpy()
+        simulator = self._deliver(
+            numpy, [1, 1, 2], [(1, 2), (3, 4), (5, 6)]
+        )
+        pool = simulator.relation_pool("R")
+        [batch] = simulator.worker_column_batches(1, "R")
+        for fragment_column, pool_column in zip(batch, pool.columns):
+            assert (
+                numpy.shares_memory(fragment_column, pool_column)
+                or len(fragment_column) == 0
+            )
+
+    def test_source_sorted_flag_propagates(self):
+        numpy = self._numpy()
+        rows = [(1, 2), (3, 4), (5, 6)]
+        sorted_sim = self._deliver(
+            numpy, [1, 0, 1], rows, source_sorted=True
+        )
+        assert sorted_sim.relation_pool("R").source_sorted
+        unsorted_sim = self._deliver(numpy, [1, 0, 1], rows)
+        assert not unsorted_sim.relation_pool("R").source_sorted
+
+    def test_multi_stage_pool_merges_stages(self):
+        numpy = self._numpy()
+        simulator = make_simulator(p=3, enforce=False)
+        simulator.begin_round()
+        simulator.send_columns(
+            0,
+            numpy.asarray([1, 2], dtype=numpy.int64),
+            "R",
+            self._columns(numpy, [(1,), (2,)]),
+            bits_per_tuple=8,
+            source_sorted=True,
+        )
+        simulator.send_columns(
+            1,
+            numpy.asarray([1], dtype=numpy.int64),
+            "R",
+            self._columns(numpy, [(3,)]),
+            bits_per_tuple=8,
+            source_sorted=True,
+        )
+        simulator.end_round()
+        pool = simulator.relation_pool("R")
+        assert pool.worker_slice(1)[0].tolist() == [1, 3]
+        assert pool.worker_slice(2)[0].tolist() == [2]
+        # Interleaved stages cannot promise per-worker source order.
+        assert not pool.source_sorted
+
+    def test_pools_merge_across_rounds(self):
+        numpy = self._numpy()
+        simulator = make_simulator(p=2, enforce=False)
+        for batch in ([(1,), (2,)], [(3,)]):
+            simulator.begin_round()
+            simulator.send_columns(
+                0,
+                numpy.full(len(batch), 1, dtype=numpy.int64),
+                "R",
+                self._columns(numpy, batch),
+                bits_per_tuple=8,
+            )
+            simulator.end_round()
+        pool = simulator.relation_pool("R")
+        assert pool.worker_slice(1)[0].tolist() == [1, 2, 3]
+        # Merged pools are cached until the next delivery.
+        assert simulator.relation_pool("R") is pool
+
+    def test_row_delivery_disables_pool(self):
+        """Mixed row/column storage falls back to the mailbox view."""
+        numpy = self._numpy()
+        simulator = make_simulator(p=2, enforce=False)
+        simulator.begin_round()
+        simulator.send(0, 1, "R", [(9, 9)], 8)
+        simulator.send_columns(
+            0,
+            numpy.asarray([1], dtype=numpy.int64),
+            "R",
+            self._columns(numpy, [(1, 2)]),
+            bits_per_tuple=8,
+        )
+        simulator.end_round()
+        assert simulator.relation_pool("R") is None
+        assert simulator.relation_pool("unknown") is None

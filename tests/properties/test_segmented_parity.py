@@ -1,0 +1,255 @@
+"""Segmented fleet-wide local evaluation vs the per-worker reference.
+
+The tentpole invariant of the mailbox-pool refactor: for every
+algorithm, evaluating all workers in one segmented pass over the
+delivery pools produces *bit-identical* results to the per-worker
+loop -- merged answers, per-server counts, materialised views and
+capacity failures -- across backends.  These tests randomize queries,
+databases and grid sizes to pin that.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algorithms.hypercube import run_hypercube
+from repro.algorithms.multiround import run_plan
+from repro.algorithms.skewaware import run_hypercube_skew_aware
+from repro.backend import numpy_available, require_numpy
+from repro.core.families import cycle_query, line_query, star_query
+from repro.core.plans import build_plan
+from repro.core.query import parse_query
+from repro.data.generators import (
+    matching_database_columnar,
+    skewed_database,
+    skewed_database_columnar,
+)
+from repro.data.matching import matching_database
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="numpy backend unavailable"
+)
+
+QUERIES = [
+    cycle_query(3),
+    line_query(3),
+    line_query(5),
+    star_query(2),
+    parse_query("q(x,y,z) = S1(x,y), S2(y,z)"),
+]
+
+
+def _route_hc(query, database, p, seed):
+    """One numpy HC round; returns (simulator, workers)."""
+    from fractions import Fraction
+
+    from repro.core.covers import fractional_vertex_cover
+    from repro.core.shares import (
+        allocate_integer_shares,
+        share_exponents,
+    )
+    from repro.data.columnar import columnar_database
+    from repro.engine import GridSpec, HashRoute, RoundEngine
+    from repro.mpc.model import MPCConfig
+    from repro.mpc.routing import HashFamily
+    from repro.mpc.simulator import MPCSimulator
+
+    cover = fractional_vertex_cover(query)
+    allocation = allocate_integer_shares(
+        share_exponents(query, cover), p
+    )
+    grid = GridSpec.from_shares(
+        query.variables, allocation.shares, HashFamily(seed)
+    )
+    config = MPCConfig(
+        p=p, eps=Fraction(1, 2), c=4.0, backend="numpy"
+    )
+    simulator = MPCSimulator(
+        config, input_bits=database.total_bits, enforce_capacity=False
+    )
+    engine = RoundEngine(simulator)
+    steps = [
+        HashRoute(relation=atom.name, atom=atom, grid=grid)
+        for atom in query.atoms
+    ]
+    engine.run_round(steps, columnar_database(database, "numpy"))
+    return simulator, list(range(allocation.used_servers))
+
+
+class TestSegmentedVsPerWorker:
+    """The two numpy local-eval paths agree on every query/input."""
+
+    @pytest.mark.parametrize("query", QUERIES, ids=lambda q: q.name)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matching_inputs(self, query, seed):
+        from repro.engine import (
+            fleet_answer_table,
+            merged_answer_table_per_worker,
+        )
+
+        numpy = require_numpy()
+        rng = random.Random(seed)
+        n = rng.choice([40, 97, 150])
+        p = rng.choice([4, 16, 33])
+        database = matching_database(query, n=n, rng=seed)
+        simulator, workers = _route_hc(query, database, p, seed)
+        segmented = fleet_answer_table(query, simulator, workers)
+        assert segmented is not None  # pools available: path exercised
+        per_worker = merged_answer_table_per_worker(
+            query, simulator, workers
+        )
+        assert numpy.array_equal(segmented[0], per_worker[0])
+        assert segmented[1] == per_worker[1]
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_worker_subsets(self, seed):
+        """Pool slicing agrees for prefixes and arbitrary subsets."""
+        from repro.engine import (
+            fleet_answer_table,
+            merged_answer_table_per_worker,
+        )
+
+        numpy = require_numpy()
+        query = cycle_query(3)
+        database = matching_database(query, n=80, rng=seed)
+        simulator, workers = _route_hc(query, database, 16, seed)
+        for subset in (
+            [0],
+            list(range(5)),
+            [2, 7, 11],
+            [11, 2, 7],  # non-ascending iteration order
+            [],
+        ):
+            segmented = fleet_answer_table(
+                query, simulator, list(subset)
+            )
+            per_worker = merged_answer_table_per_worker(
+                query, simulator, list(subset)
+            )
+            assert segmented is not None
+            assert numpy.array_equal(segmented[0], per_worker[0]), subset
+            assert segmented[1] == per_worker[1], subset
+
+
+class TestBackendParityThroughSegmented:
+    """End-to-end: numpy (segmented) vs pure answers and counts."""
+
+    @pytest.mark.parametrize("query", QUERIES, ids=lambda q: q.name)
+    def test_hypercube(self, query):
+        database = matching_database(query, n=60, rng=5)
+        pure = run_hypercube(query, database, p=16, seed=1, backend="pure")
+        vectorized = run_hypercube(
+            query, database, p=16, seed=1, backend="numpy"
+        )
+        assert pure.answers == vectorized.answers
+        assert pure.per_server_answers == vectorized.per_server_answers
+        assert (
+            pure.report.rounds[0].received_bits
+            == vectorized.report.rounds[0].received_bits
+        )
+
+    def test_skew_aware(self):
+        query = parse_query("q(x,y,z) = S1(x,y), S2(y,z)")
+        database = skewed_database(query, n=120, rng=2, heavy_fraction=0.4)
+        pure = run_hypercube_skew_aware(
+            query, database, p=16, seed=3, backend="pure"
+        )
+        vectorized = run_hypercube_skew_aware(
+            query, database, p=16, seed=3, backend="numpy"
+        )
+        assert pure.answers == vectorized.answers
+        assert pure.per_server_answers == vectorized.per_server_answers
+        assert pure.heavy_hitters == vectorized.heavy_hitters
+
+    def test_multiround_views(self):
+        """Views and per-server counts agree round by round."""
+        from fractions import Fraction
+
+        query = line_query(4)
+        plan = build_plan(query, Fraction(0))
+        database = matching_database(query, n=50, rng=7)
+        pure = run_plan(plan, database, p=8, seed=2, backend="pure")
+        vectorized = run_plan(plan, database, p=8, seed=2, backend="numpy")
+        assert pure.answers == vectorized.answers
+        assert pure.view_sizes == vectorized.view_sizes
+        assert pure.per_server_answers == vectorized.per_server_answers
+
+    def test_capacity_exceeded_parity(self):
+        """Both backends blow the same budget at the same worker."""
+        from repro.mpc.simulator import CapacityExceeded
+
+        query = cycle_query(3)
+        database = matching_database(query, n=100, rng=0)
+        failures = {}
+        for backend in ("pure", "numpy"):
+            with pytest.raises(CapacityExceeded) as info:
+                run_hypercube(
+                    query,
+                    database,
+                    p=16,
+                    seed=0,
+                    backend=backend,
+                    capacity_c=0.01,
+                    enforce_capacity=True,
+                )
+            failures[backend] = (
+                info.value.worker,
+                info.value.received_bits,
+                info.value.round_index,
+            )
+        assert failures["pure"] == failures["numpy"]
+
+
+class TestColumnarGenerators:
+    """The large-n generators agree with the executors end to end."""
+
+    def test_matching_columnar_structure(self):
+        numpy = require_numpy()
+        query = cycle_query(3)
+        database = matching_database_columnar(query, n=200, seed=4)
+        for relation in database:
+            assert len(relation) == 200
+            # Every column is a permutation of 1..n.
+            for column in relation.columns:
+                assert numpy.array_equal(
+                    numpy.sort(column), numpy.arange(1, 201)
+                )
+            # Lexicographically sorted (first column ascending).
+            assert numpy.array_equal(
+                relation.columns[0], numpy.arange(1, 201)
+            )
+
+    def test_matching_columnar_runs_hypercube(self):
+        query = line_query(3)
+        database = matching_database_columnar(query, n=150, seed=1)
+        result = run_hypercube(
+            query, database, p=16, seed=0, backend="numpy"
+        )
+        # L_k over matchings chains end to end: n answers.
+        assert len(result.answers) == 150
+
+    def test_skewed_columnar_chunking_invariant(self):
+        """Chunk size never changes the generated instance."""
+        numpy = require_numpy()
+        query = parse_query("q(x,y,z) = S1(x,y), S2(y,z)")
+        small = skewed_database_columnar(
+            query, n=500, seed=9, heavy_fraction=0.3, chunk_rows=64
+        )
+        large = skewed_database_columnar(
+            query, n=500, seed=9, heavy_fraction=0.3, chunk_rows=1 << 18
+        )
+        for name in ("S1", "S2"):
+            for a, b in zip(small[name].columns, large[name].columns):
+                assert numpy.array_equal(a, b)
+
+    def test_skewed_columnar_heavy_value_present(self):
+        query = parse_query("q(x,y,z) = S1(x,y), S2(y,z)")
+        database = skewed_database_columnar(
+            query, n=400, seed=0, heavy_fraction=0.5
+        )
+        aware = run_hypercube_skew_aware(
+            query, database, p=16, seed=0, backend="numpy"
+        )
+        assert any(1 in values for values in aware.heavy_hitters.values())

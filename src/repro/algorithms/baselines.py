@@ -12,11 +12,13 @@
   grid of reducers; replication rate ``g``, reducer input ``2n/g``,
   optimal at ``g = sqrt(p)``.
 
-All four compile to the shared round engine --
+All four compile to the shared plan IR --
 :class:`~repro.engine.steps.Broadcast`,
 :class:`~repro.engine.steps.ToServer`, a one-dimensional
 :class:`~repro.engine.steps.HashRoute` grid, and
-:class:`~repro.engine.steps.RoundRobinGrid` respectively -- and honour
+:class:`~repro.engine.steps.RoundRobinGrid` respectively -- via pure
+``compile_*`` functions whose plans
+:func:`~repro.engine.executor.execute_plan` runs; all honour
 ``backend=`` like every other executor in the package.
 """
 
@@ -27,21 +29,22 @@ from fractions import Fraction
 
 from repro.backend import resolve_backend
 from repro.core.query import ConjunctiveQuery, QueryError
-from repro.data.columnar import ColumnarRelation, columnar_database
+from repro.data.columnar import ColumnarRelation
 from repro.data.database import Database, Relation, bits_per_value
 from repro.engine import (
     Broadcast,
+    CollectAnswers,
     GridSpec,
     HashRoute,
-    RoundEngine,
+    Plan,
+    PlanRound,
+    PlanSignature,
     RoundRobinGrid,
     ToServer,
-    collect_answers,
+    execute_plan,
     fragment_tuple_count,
 )
-from repro.mpc.model import MPCConfig
 from repro.mpc.routing import HashFamily
-from repro.mpc.simulator import MPCSimulator
 from repro.mpc.stats import SimulationReport
 
 
@@ -51,6 +54,34 @@ class BaselineResult:
 
     answers: tuple[tuple[int, ...], ...]
     report: SimulationReport
+
+
+def compile_broadcast_join(
+    query: ConjunctiveQuery, p: int, backend: str | None = None
+) -> Plan:
+    """Compile the broadcast join: every atom to every worker."""
+    return Plan(
+        signature=PlanSignature(
+            algorithm="broadcast",
+            query_text=str(query),
+            eps=Fraction(1),
+            p=p,
+            backend=resolve_backend(backend),
+            seed=0,
+            capacity_c=2.0,
+            enforce_capacity=True,
+        ),
+        rounds=(
+            PlanRound(
+                steps=tuple(
+                    Broadcast(relation=atom.name) for atom in query.atoms
+                )
+            ),
+        ),
+        # Every worker holds the whole input; evaluating at worker 0
+        # suffices and already yields the sorted full answer.
+        finalize=CollectAnswers(query=query, workers=1),
+    )
 
 
 def run_broadcast_join(
@@ -64,20 +95,38 @@ def run_broadcast_join(
     Always correct; replication rate is exactly ``p`` -- the
     degenerate end of the space-exponent scale (``eps = 1``).
     """
-    config = MPCConfig(
-        p=p, eps=Fraction(1), backend=resolve_backend(backend)
+    plan = compile_broadcast_join(query, p, backend)
+    execution = execute_plan(plan, database)
+    return BaselineResult(
+        answers=execution.answers, report=execution.report
     )
-    backend = config.backend
-    simulator = MPCSimulator(
-        config, input_bits=database.total_bits, enforce_capacity=True
+
+
+def compile_single_server(
+    query: ConjunctiveQuery, p: int = 1, backend: str | None = None
+) -> Plan:
+    """Compile the single-server strawman: everything to worker 0."""
+    return Plan(
+        signature=PlanSignature(
+            algorithm="single_server",
+            query_text=str(query),
+            eps=Fraction(1),
+            p=max(1, p),
+            backend=resolve_backend(backend),
+            seed=0,
+            capacity_c=2.0,
+            enforce_capacity=False,
+        ),
+        rounds=(
+            PlanRound(
+                steps=tuple(
+                    ToServer(relation=atom.name, worker=0)
+                    for atom in query.atoms
+                )
+            ),
+        ),
+        finalize=CollectAnswers(query=query, workers=1),
     )
-    engine = RoundEngine(simulator)
-    steps = [Broadcast(relation=atom.name) for atom in query.atoms]
-    engine.run_round(steps, columnar_database(database, backend))
-    # Every worker holds the whole input; evaluating at worker 0
-    # suffices and already yields the sorted full answer.
-    answers, _ = collect_answers(query, simulator, (0,), backend)
-    return BaselineResult(answers=answers, report=simulator.report)
 
 
 def run_single_server(
@@ -87,20 +136,66 @@ def run_single_server(
     backend: str | None = None,
 ) -> BaselineResult:
     """Everything to worker 0; the sequential strawman."""
-    config = MPCConfig(
-        p=max(1, p), eps=Fraction(1), backend=resolve_backend(backend)
+    plan = compile_single_server(query, p, backend)
+    execution = execute_plan(plan, database)
+    return BaselineResult(
+        answers=execution.answers, report=execution.report
     )
-    backend = config.backend
-    simulator = MPCSimulator(
-        config, input_bits=database.total_bits, enforce_capacity=False
+
+
+def compile_single_attribute_join(
+    query: ConjunctiveQuery,
+    p: int,
+    seed: int = 0,
+    backend: str | None = None,
+) -> Plan:
+    """Compile the classical hash join on one all-atom shared variable.
+
+    Raises:
+        QueryError: if no variable is shared by all atoms.
+    """
+    shared = None
+    for variable in query.variables:
+        if all(
+            variable in atom.variable_set for atom in query.atoms
+        ):
+            shared = variable
+            break
+    if shared is None:
+        raise QueryError(
+            "single-attribute hash join needs a variable in every atom "
+            f"(tau* = 1); {query.name} has none"
+        )
+    grid = GridSpec(
+        variables=(shared,), dimensions=(p,), hashes=HashFamily(seed)
     )
-    engine = RoundEngine(simulator)
-    steps = [
-        ToServer(relation=atom.name, worker=0) for atom in query.atoms
-    ]
-    engine.run_round(steps, columnar_database(database, backend))
-    answers, _ = collect_answers(query, simulator, (0,), backend)
-    return BaselineResult(answers=answers, report=simulator.report)
+    steps = tuple(
+        # The classical hash join routes *every* tuple by its hash --
+        # it never inspects the other columns -- so keep the
+        # repeated-variable short-circuit off to preserve the
+        # baseline's exact shipping statistics.
+        HashRoute(
+            relation=atom.name,
+            atom=atom,
+            grid=grid,
+            filter_contradictions=False,
+        )
+        for atom in query.atoms
+    )
+    return Plan(
+        signature=PlanSignature(
+            algorithm="single_attribute",
+            query_text=str(query),
+            eps=Fraction(0),
+            p=p,
+            backend=resolve_backend(backend),
+            seed=seed,
+            capacity_c=2.0,
+            enforce_capacity=False,
+        ),
+        rounds=(PlanRound(steps=steps),),
+        finalize=CollectAnswers(query=query, workers=p),
+    )
 
 
 def run_single_attribute_join(
@@ -121,45 +216,11 @@ def run_single_attribute_join(
     Raises:
         QueryError: if no variable is shared by all atoms.
     """
-    shared = None
-    for variable in query.variables:
-        if all(
-            variable in atom.variable_set for atom in query.atoms
-        ):
-            shared = variable
-            break
-    if shared is None:
-        raise QueryError(
-            "single-attribute hash join needs a variable in every atom "
-            f"(tau* = 1); {query.name} has none"
-        )
-    config = MPCConfig(
-        p=p, eps=Fraction(0), backend=resolve_backend(backend)
+    plan = compile_single_attribute_join(query, p, seed, backend)
+    execution = execute_plan(plan, database)
+    return BaselineResult(
+        answers=execution.answers, report=execution.report
     )
-    backend = config.backend
-    simulator = MPCSimulator(
-        config, input_bits=database.total_bits, enforce_capacity=False
-    )
-    engine = RoundEngine(simulator)
-    grid = GridSpec(
-        variables=(shared,), dimensions=(p,), hashes=HashFamily(seed)
-    )
-    steps = [
-        # The classical hash join routes *every* tuple by its hash --
-        # it never inspects the other columns -- so keep the
-        # repeated-variable short-circuit off to preserve the
-        # baseline's exact shipping statistics.
-        HashRoute(
-            relation=atom.name,
-            atom=atom,
-            grid=grid,
-            filter_contradictions=False,
-        )
-        for atom in query.atoms
-    ]
-    engine.run_round(steps, columnar_database(database, backend))
-    answers, _ = collect_answers(query, simulator, range(p), backend)
-    return BaselineResult(answers=answers, report=simulator.report)
 
 
 @dataclass(frozen=True)
@@ -202,31 +263,20 @@ def run_cartesian_grid(
         groups: ``g``; defaults to ``floor(sqrt(p))`` (the optimum).
         backend: ``"pure"``, ``"numpy"`` or ``"auto"``.
     """
-    import math
-
-    g = groups if groups is not None else max(1, math.isqrt(p))
-    if g * g > p:
-        raise ValueError(f"grid {g}x{g} needs {g * g} workers, have {p}")
+    plan = compile_cartesian_grid(
+        left.name, right.name, p, groups=groups, backend=backend
+    )
+    backend = plan.signature.backend
     n_bits = bits_per_value(max(left.domain_size, right.domain_size))
     input_bits = (len(left) + len(right)) * n_bits
-    config = MPCConfig(
-        p=p, eps=Fraction(1, 2), c=4.0, backend=resolve_backend(backend)
-    )
-    backend = config.backend
-    simulator = MPCSimulator(config, input_bits, enforce_capacity=False)
-    engine = RoundEngine(simulator)
-
-    grid = GridSpec(variables=("left", "right"), dimensions=(g, g))
-    steps = [
-        RoundRobinGrid(relation=left.name, grid=grid, axis=0),
-        RoundRobinGrid(relation=right.name, grid=grid, axis=1),
-    ]
     sources = {
         relation.name: ColumnarRelation.from_relation(relation, backend)
         for relation in (left, right)
     }
-    engine.run_round(steps, sources)
+    execution = execute_plan(plan, sources, input_bits=input_bits)
+    simulator = execution.simulator
 
+    g = plan.rounds[0].steps[0].grid.dimensions[0]
     pairs = 0
     max_reducer = 0
     for reducer in range(g * g):
@@ -244,4 +294,45 @@ def run_cartesian_grid(
         replication_rate=replication,
         max_reducer_tuples=max_reducer,
         report=simulator.report,
+    )
+
+
+def compile_cartesian_grid(
+    left: str,
+    right: str,
+    p: int,
+    groups: int | None = None,
+    backend: str | None = None,
+) -> Plan:
+    """Compile the ``g x g`` cartesian grid over two relation names.
+
+    The plan has no finalize spec: the caller reads fragment counts
+    off the execution's simulator (the tradeoff being measured is
+    about shipping, not answers).
+    """
+    import math
+
+    g = groups if groups is not None else max(1, math.isqrt(p))
+    if g * g > p:
+        raise ValueError(f"grid {g}x{g} needs {g * g} workers, have {p}")
+    grid = GridSpec(variables=("left", "right"), dimensions=(g, g))
+    return Plan(
+        signature=PlanSignature(
+            algorithm="cartesian",
+            query_text=f"{left} x {right} @ {g}x{g}",
+            eps=Fraction(1, 2),
+            p=p,
+            backend=resolve_backend(backend),
+            seed=0,
+            capacity_c=4.0,
+            enforce_capacity=False,
+        ),
+        rounds=(
+            PlanRound(
+                steps=(
+                    RoundRobinGrid(relation=left, grid=grid, axis=0),
+                    RoundRobinGrid(relation=right, grid=grid, axis=1),
+                )
+            ),
+        ),
     )

@@ -40,7 +40,15 @@ from repro.core.query import Atom
 from repro.data.columnar import ColumnarRelation
 from repro.data.database import bits_per_value
 from repro.data.generators import GraphInstance
-from repro.engine import GridSpec, HashRoute, RoundEngine
+from repro.engine import (
+    FixpointSpec,
+    GridSpec,
+    HashRoute,
+    Plan,
+    PlanSignature,
+    RoundEngine,
+    plan_simulator,
+)
 from repro.mpc.model import MPCConfig
 from repro.mpc.routing import HashFamily
 from repro.mpc.simulator import MPCSimulator
@@ -69,6 +77,46 @@ def _graph_bits(graph: GraphInstance) -> tuple[int, int]:
     """(input bits N, bits per edge tuple) for capacity accounting."""
     value_bits = bits_per_value(graph.num_vertices)
     return 2 * len(graph.edges) * 2 * value_bits, 2 * value_bits
+
+
+def compile_hash_to_min(
+    p: int,
+    eps: float = 0.0,
+    seed: int = 0,
+    max_rounds: int = 64,
+    capacity_c: float = 8.0,
+    backend: str | None = None,
+) -> Plan:
+    """Compile the hash-to-min round template into a fixpoint plan.
+
+    The rounds of hash-to-min are data-dependent (each iteration's
+    messages come from the evolving cluster state), so the plan
+    carries a :class:`~repro.engine.plan.FixpointSpec` -- the 1-D
+    routing grid on the destination vertex, the per-iteration mailbox
+    key prefix and the iteration bound -- instead of a static round
+    list.  :func:`run_hash_to_min` is its driver.
+    """
+    from fractions import Fraction
+
+    return Plan(
+        signature=PlanSignature(
+            algorithm="hash_to_min",
+            query_text="cc(v, u)",
+            eps=Fraction(eps).limit_denominator(64),
+            p=p,
+            backend=resolve_backend(backend),
+            seed=seed,
+            capacity_c=capacity_c,
+            enforce_capacity=False,
+        ),
+        fixpoint=FixpointSpec(
+            grid=GridSpec(
+                variables=("v",), dimensions=(p,), hashes=HashFamily(seed)
+            ),
+            relation_prefix="cluster@",
+            max_rounds=max_rounds,
+        ),
+    )
 
 
 def run_hash_to_min(
@@ -111,21 +159,21 @@ def run_hash_to_min(
         backend: ``"pure"`` (default, reference), ``"numpy"`` or
             ``"auto"``; identical labels, rounds and loads either way.
     """
-    from fractions import Fraction
-
+    plan = compile_hash_to_min(
+        p,
+        eps=eps,
+        seed=seed,
+        max_rounds=max_rounds,
+        capacity_c=capacity_c,
+        backend=backend,
+    )
+    backend = plan.signature.backend
     input_bits, edge_bits = _graph_bits(graph)
-    config = MPCConfig(
-        p=p,
-        eps=Fraction(eps).limit_denominator(64),
-        c=capacity_c,
-        backend=resolve_backend(backend),
-    )
-    backend = config.backend
-    simulator = MPCSimulator(config, input_bits, enforce_capacity=False)
+    simulator = plan_simulator(plan, input_bits)
     engine = RoundEngine(simulator)
-    grid = GridSpec(
-        variables=("v",), dimensions=(p,), hashes=HashFamily(seed)
-    )
+    fixpoint = plan.fixpoint
+    grid = fixpoint.grid
+    max_rounds = fixpoint.max_rounds
 
     # Vertex state lives at its home worker: closed neighbourhood sets.
     clusters: dict[int, set[int]] = {
@@ -159,7 +207,7 @@ def run_hash_to_min(
         # payload) pairs, hashed on the destination vertex.  A fresh
         # mailbox key per iteration keeps each round's delivery pool
         # single-use (workers still keep everything ever received).
-        relation = f"cluster@{rounds + 1}"
+        relation = f"{fixpoint.relation_prefix}{rounds + 1}"
         source = ColumnarRelation.from_rows(
             relation,
             [

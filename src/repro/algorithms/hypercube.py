@@ -19,12 +19,16 @@ On matching databases the maximum load is ``O(n / p^{1/tau})`` tuples
 per server w.h.p., matching Theorem 1.1's lower bound: HC is the
 optimal one-round algorithm.
 
-Execution compiles to the shared round engine: one
-:class:`~repro.engine.steps.HashRoute` per atom on the share grid,
-executed tuple-at-a-time (``pure``, the reference) or column-wise
-(``numpy``) by :class:`~repro.engine.executor.RoundEngine`.  The
-backends are cross-checked for exact equality of answers, per-round
-received bits/tuples and per-server answer counts.
+Compilation and execution are split: :func:`compile_hypercube` is a
+pure function of (query, p, eps, cover, seed, backend) emitting an
+immutable :class:`~repro.engine.plan.Plan` -- one
+:class:`~repro.engine.steps.HashRoute` per atom on the share grid plus
+a local-eval spec -- and :func:`~repro.engine.executor.execute_plan`
+runs it tuple-at-a-time (``pure``, the reference) or column-wise
+(``numpy``).  :func:`run_hypercube` composes the two; a serving layer
+caches the plan and re-executes it per request.  The backends are
+cross-checked for exact equality of answers, per-round received
+bits/tuples and per-server answer counts.
 """
 
 from __future__ import annotations
@@ -37,18 +41,19 @@ from repro.backend import resolve_backend
 from repro.core.covers import fractional_vertex_cover
 from repro.core.query import Atom, ConjunctiveQuery
 from repro.core.shares import ShareAllocation, allocate_integer_shares, share_exponents
-from repro.data.columnar import ColumnarDatabase, columnar_database
+from repro.data.columnar import ColumnarDatabase
 from repro.data.database import Database
 from repro.engine import (
+    CollectAnswers,
     GridSpec,
     HashRoute,
-    RoundEngine,
+    Plan,
+    PlanRound,
+    PlanSignature,
     RoundProfiler,
-    collect_answers,
+    execute_plan,
 )
-from repro.mpc.model import MPCConfig
 from repro.mpc.routing import HashFamily
-from repro.mpc.simulator import MPCSimulator
 from repro.mpc.stats import SimulationReport
 
 
@@ -97,6 +102,56 @@ def hc_destinations(
     return step.destinations(row, 0, 0)
 
 
+def compile_hypercube(
+    query: ConjunctiveQuery,
+    p: int,
+    eps: Fraction | float | None = None,
+    cover: Mapping[str, Fraction] | None = None,
+    seed: int = 0,
+    capacity_c: float = 4.0,
+    enforce_capacity: bool = False,
+    backend: str | None = None,
+) -> Plan:
+    """Compile one HC round into an immutable plan (data-independent).
+
+    The plan's single round routes every atom over the integer share
+    grid; its finalize spec joins fragments at the grid's used servers.
+    Compilation never looks at a database, so the plan can be cached
+    by ``(query, eps, p, backend)`` and executed repeatedly.
+    """
+    if cover is None:
+        cover = fractional_vertex_cover(query)
+    exponents = share_exponents(query, cover)
+    allocation = allocate_integer_shares(exponents, p)
+    grid = GridSpec.from_shares(
+        query.variables, allocation.shares, HashFamily(seed)
+    )
+    if eps is None:
+        tau = sum((Fraction(v) for v in cover.values()), start=Fraction(0))
+        eps = max(Fraction(0), 1 - 1 / tau)
+    steps = tuple(
+        HashRoute(relation=atom.name, atom=atom, grid=grid)
+        for atom in query.atoms
+    )
+    return Plan(
+        signature=PlanSignature(
+            algorithm="hypercube",
+            query_text=str(query),
+            eps=Fraction(eps),
+            p=p,
+            backend=resolve_backend(backend),
+            seed=seed,
+            capacity_c=capacity_c,
+            enforce_capacity=enforce_capacity,
+        ),
+        rounds=(PlanRound(steps=steps),),
+        finalize=CollectAnswers(
+            query=query, workers=allocation.used_servers
+        ),
+        allocation=allocation,
+    )
+
+
 def run_hypercube(
     query: ConjunctiveQuery,
     database: Database | ColumnarDatabase,
@@ -137,47 +192,20 @@ def run_hypercube(
         on any database (HC never misses: every potential answer is
         assembled at exactly one grid point).
     """
-    if cover is None:
-        cover = fractional_vertex_cover(query)
-    exponents = share_exponents(query, cover)
-    allocation = allocate_integer_shares(exponents, p)
-    grid = GridSpec.from_shares(
-        query.variables, allocation.shares, HashFamily(seed)
-    )
-
-    if eps is None:
-        tau = sum((Fraction(v) for v in cover.values()), start=Fraction(0))
-        eps = max(Fraction(0), 1 - 1 / tau)
-    config = MPCConfig(
-        p=p, eps=Fraction(eps), c=capacity_c,
-        backend=resolve_backend(backend),
-    )
-    backend = config.backend  # MPCConfig is the source of truth
-    simulator = MPCSimulator(
-        config,
-        input_bits=database.total_bits,
-        enforce_capacity=enforce_capacity,
-    )
-    engine = RoundEngine(simulator, profiler=profiler)
-
-    steps = [
-        HashRoute(relation=atom.name, atom=atom, grid=grid)
-        for atom in query.atoms
-    ]
-    engine.run_round(steps, columnar_database(database, backend))
-
-    answers, per_server = collect_answers(
+    plan = compile_hypercube(
         query,
-        simulator,
-        range(allocation.used_servers),
-        backend,
-        profiler=profiler,
+        p,
+        eps=eps,
+        cover=cover,
+        seed=seed,
+        capacity_c=capacity_c,
+        enforce_capacity=enforce_capacity,
+        backend=backend,
     )
-    per_server.extend([0] * (p - allocation.used_servers))
-
+    execution = execute_plan(plan, database, profiler=profiler)
     return HCResult(
-        answers=answers,
-        allocation=allocation,
-        report=simulator.report,
-        per_server_answers=tuple(per_server),
+        answers=execution.answers,
+        allocation=plan.allocation,
+        report=execution.report,
+        per_server_answers=execution.per_server,
     )

@@ -13,12 +13,17 @@ relations; between rounds they are re-routed purely by content -- the
 executor hashes each view tuple exactly like a base tuple, so the
 whole execution is a legal tuple-based MPC(eps) algorithm.
 
-Execution compiles to the shared round engine: each plan round becomes
-one list of :class:`~repro.engine.steps.HashRoute` steps (one per
-operator atom, on the operator's own share grid, namespaced per
+Compilation and execution are split: :func:`compile_multiround` turns
+a validated logical :class:`~repro.core.plans.QueryPlan` into an
+immutable physical :class:`~repro.engine.plan.Plan` -- per logical
+round, one list of :class:`~repro.engine.steps.HashRoute` steps (one
+per operator atom, on the operator's own share grid, namespaced per
 operator so concurrent operators sharing a relation do not mix
-fragments), and views are materialised columnar so the ``numpy``
-backend never leaves column space between rounds.
+fragments) plus the view-materialisation specs -- and
+:func:`~repro.engine.executor.execute_plan` runs it round by round,
+materialising views columnar so the ``numpy`` backend never leaves
+column space between rounds.  Operator/view schema compatibility is
+checked once, at compile time.
 
 The executor returns both the final answer (asserted in tests to equal
 the single-site join) and the per-round communication statistics, so
@@ -28,24 +33,26 @@ rounds and that loads respect the ``eps`` budget.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from repro.backend import resolve_backend
 from repro.core.covers import fractional_vertex_cover
 from repro.core.plans import PlanStep, QueryPlan, validate_plan
 from repro.core.shares import allocate_integer_shares, share_exponents
-from repro.data.columnar import ColumnarDatabase, ColumnarRelation
+from repro.data.columnar import ColumnarDatabase
 from repro.data.database import Database
 from repro.engine import (
+    FinalizeView,
     GridSpec,
     HashRoute,
-    RoundEngine,
+    Plan,
+    PlanRound,
+    PlanSignature,
     RoundProfiler,
-    materialise_view,
+    ViewSpec,
+    execute_plan,
 )
-from repro.mpc.model import MPCConfig
 from repro.mpc.routing import HashFamily
-from repro.mpc.simulator import MPCSimulator
 from repro.mpc.stats import SimulationReport
 
 
@@ -75,6 +82,103 @@ class MultiRoundResult:
 def _step_key(step: PlanStep, atom_name: str) -> str:
     """Mailbox namespace: operator output x input relation."""
     return f"{step.output}:{atom_name}"
+
+
+def compile_multiround(
+    plan: QueryPlan,
+    p: int,
+    seed: int = 0,
+    capacity_c: float = 8.0,
+    enforce_capacity: bool = False,
+    backend: str | None = None,
+) -> Plan:
+    """Compile a logical plan into an immutable physical plan.
+
+    Per logical round, every operator gets its own share grid (with a
+    per-(round, step) derived hash seed) and one
+    :class:`~repro.engine.steps.HashRoute` per atom, namespaced into
+    the operator's mailbox keys; the round's
+    :class:`~repro.engine.plan.ViewSpec`s materialise operator outputs
+    for content-based re-routing.  Operator/view schema compatibility
+    is validated here, once -- execution never re-checks it.
+
+    Raises:
+        QueryError: from :func:`~repro.core.plans.validate_plan`.
+        ValueError: on an operator whose atom schema does not match
+            the view (or base relation) it reads.
+    """
+    validate_plan(plan)
+    # Compile-time environment: relation/view name -> schema.  Base
+    # relations enter with their atom's variable schema.
+    schemas: dict[str, tuple[str, ...]] = {
+        atom.name: atom.variables for atom in plan.query.atoms
+    }
+    rounds: list[PlanRound] = []
+    for round_number, plan_round in enumerate(plan.rounds, start=1):
+        steps: list[HashRoute] = []
+        views: list[ViewSpec] = []
+        for step_index, plan_step in enumerate(plan_round.steps):
+            step_query = plan_step.query
+            cover = fractional_vertex_cover(step_query)
+            exponents = share_exponents(step_query, cover)
+            allocation = allocate_integer_shares(exponents, p)
+            grid = GridSpec.from_shares(
+                step_query.variables,
+                allocation.shares,
+                HashFamily(seed ^ (round_number << 20) ^ (step_index << 10)),
+            )
+            for atom in step_query.atoms:
+                schema = schemas[atom.name]
+                if schema != atom.variables:
+                    raise ValueError(
+                        f"schema mismatch for {atom.name}: "
+                        f"{schema} vs {atom.variables}"
+                    )
+                steps.append(
+                    HashRoute(
+                        relation=atom.name,
+                        destination=_step_key(plan_step, atom.name),
+                        atom=atom,
+                        grid=grid,
+                        # Round 1: the input server for the relation
+                        # routes its tuples (arbitrary round-1
+                        # messages are allowed by the model).  Rounds
+                        # >= 2 are tuple-based: a worker holding the
+                        # join tuple forwards it by content; worker 0
+                        # stands in for "some holder" and the receiver
+                        # is charged the same bits either way.
+                        sender=None if round_number == 1 else 0,
+                    )
+                )
+            views.append(
+                ViewSpec(
+                    name=plan_step.output,
+                    query=step_query,
+                    key_map=tuple(
+                        (atom.name, _step_key(plan_step, atom.name))
+                        for atom in step_query.atoms
+                    ),
+                )
+            )
+            schemas[plan_step.output] = step_query.head
+        rounds.append(PlanRound(steps=tuple(steps), views=tuple(views)))
+    return Plan(
+        signature=PlanSignature(
+            algorithm="multiround",
+            query_text=f"{plan.query}@eps={plan.eps}",
+            eps=plan.eps,
+            p=p,
+            backend=resolve_backend(backend),
+            seed=seed,
+            capacity_c=capacity_c,
+            enforce_capacity=enforce_capacity,
+        ),
+        rounds=tuple(rounds),
+        finalize=FinalizeView(view=plan.output, head=plan.query.head),
+        # Bits are charged uniformly at the database's domain width
+        # for base relations and views alike (tuple-based discipline).
+        uniform_domain_bits=True,
+    )
 
 
 def run_plan(
@@ -107,107 +211,19 @@ def run_plan(
         A :class:`MultiRoundResult`; ``answers`` is exactly
         ``plan.query`` evaluated on ``database``.
     """
-    validate_plan(plan)
-    n = database.domain_size
-    config = MPCConfig(
-        p=p, eps=plan.eps, c=capacity_c, backend=resolve_backend(backend)
-    )
-    backend = config.backend
-    simulator = MPCSimulator(
-        config,
-        input_bits=database.total_bits,
+    physical = compile_multiround(
+        plan,
+        p,
+        seed=seed,
+        capacity_c=capacity_c,
         enforce_capacity=enforce_capacity,
+        backend=backend,
     )
-    engine = RoundEngine(simulator, profiler=profiler)
-
-    # Environment: relation/view name -> (schema, columnar tuples).
-    # Base relations enter with their atom's variable schema; bits are
-    # charged uniformly at the database's domain width, as for views.
-    environment: dict[str, tuple[tuple[str, ...], ColumnarRelation]] = {}
-    for atom in plan.query.atoms:
-        relation = database[atom.name]
-        if isinstance(relation, ColumnarRelation):
-            source = relation.with_backend(backend)
-        else:
-            source = ColumnarRelation.from_relation(
-                relation, backend=backend
-            )
-        environment[atom.name] = (
-            atom.variables,
-            replace(source, domain_size=n),
-        )
-
-    view_sizes: dict[str, int] = {}
-    per_server_answers: dict[str, tuple[int, ...]] = {}
-    for round_number, plan_round in enumerate(plan.rounds, start=1):
-        steps: list[HashRoute] = []
-        sources: dict[str, ColumnarRelation] = {}
-        for step_index, plan_step in enumerate(plan_round.steps):
-            step_query = plan_step.query
-            cover = fractional_vertex_cover(step_query)
-            exponents = share_exponents(step_query, cover)
-            allocation = allocate_integer_shares(exponents, p)
-            grid = GridSpec.from_shares(
-                step_query.variables,
-                allocation.shares,
-                HashFamily(seed ^ (round_number << 20) ^ (step_index << 10)),
-            )
-            for atom in step_query.atoms:
-                schema, source = environment[atom.name]
-                if schema != atom.variables:
-                    raise ValueError(
-                        f"schema mismatch for {atom.name}: "
-                        f"{schema} vs {atom.variables}"
-                    )
-                sources[atom.name] = source
-                steps.append(
-                    HashRoute(
-                        relation=atom.name,
-                        destination=_step_key(plan_step, atom.name),
-                        atom=atom,
-                        grid=grid,
-                        # Round 1: the input server for the relation
-                        # routes its tuples (arbitrary round-1
-                        # messages are allowed by the model).  Rounds
-                        # >= 2 are tuple-based: a worker holding the
-                        # join tuple forwards it by content; worker 0
-                        # stands in for "some holder" and the receiver
-                        # is charged the same bits either way.
-                        sender=None if round_number == 1 else 0,
-                    )
-                )
-        engine.run_round(steps, sources)
-
-        # Local evaluation of every step at every worker, then
-        # materialise each output view (sorted, duplicate-free) for
-        # content-based re-routing in later rounds.
-        for plan_step in plan_round.steps:
-            view, counts = materialise_view(
-                plan_step.output,
-                plan_step.query,
-                simulator,
-                range(p),
-                backend,
-                domain_size=n,
-                key_of=lambda name, s=plan_step: _step_key(s, name),
-                profiler=profiler,
-            )
-            environment[plan_step.output] = (plan_step.query.head, view)
-            view_sizes[plan_step.output] = len(view)
-            per_server_answers[plan_step.output] = tuple(counts)
-
-    final_schema, final_view = environment[plan.output]
-    # Re-order columns into the original query's head order.
-    positions = [final_schema.index(v) for v in plan.query.head]
-    answers = tuple(
-        sorted(
-            tuple(row[i] for i in positions) for row in final_view.rows()
-        )
-    )
+    execution = execute_plan(physical, database, profiler=profiler)
     return MultiRoundResult(
-        answers=answers,
-        rounds_used=simulator.report.num_rounds,
-        report=simulator.report,
-        view_sizes=view_sizes,
-        per_server_answers=per_server_answers,
+        answers=execution.answers,
+        rounds_used=execution.report.num_rounds,
+        report=execution.report,
+        view_sizes=execution.view_sizes,
+        per_server_answers=execution.per_server_views,
     )

@@ -31,21 +31,21 @@ from typing import Mapping
 
 from repro.backend import resolve_backend
 from repro.algorithms.localjoin import evaluate_query
-from repro.core.covers import covering_number, fractional_vertex_cover
+from repro.core.covers import fractional_vertex_cover
 from repro.core.query import ConjunctiveQuery
-from repro.data.columnar import columnar_database
 from repro.data.database import Database
 from repro.engine import (
+    CollectAnswers,
     GridSpec,
     HashRoute,
+    Plan,
+    PlanRound,
+    PlanSignature,
     RemapRanks,
-    RoundEngine,
     RoundProfiler,
-    collect_answers,
+    execute_plan,
 )
-from repro.mpc.model import MPCConfig
 from repro.mpc.routing import HashFamily, grid_size
-from repro.mpc.simulator import MPCSimulator
 from repro.mpc.stats import SimulationReport
 
 
@@ -68,6 +68,71 @@ class PartialResult:
     theory_fraction: float
     virtual_grid_points: int
     report: SimulationReport
+
+
+def compile_partial_hypercube(
+    query: ConjunctiveQuery,
+    p: int,
+    eps: Fraction | float,
+    seed: int = 0,
+    cover: Mapping[str, Fraction] | None = None,
+    capacity_c: float = 4.0,
+    backend: str | None = None,
+) -> Plan:
+    """Compile the Proposition 3.11 round into an immutable plan.
+
+    The virtual grid and the sampled grid points are both functions of
+    (query, p, eps, seed) alone -- the sample is drawn here, so a
+    cached plan always keeps the same surviving grid points.  The
+    virtual point count rides along as the plan's allocation-free
+    metadata via the steps' ``virtual_size``.
+    """
+    eps = Fraction(eps)
+    if cover is None:
+        cover = fractional_vertex_cover(query)
+
+    # Virtual shares p_i = ceil(p^{(1-eps) v_i}).
+    shares: dict[str, int] = {}
+    for variable in query.variables:
+        exponent = float((1 - eps) * cover.get(variable, Fraction(0)))
+        shares[variable] = max(1, round(float(p) ** exponent))
+    variable_order = query.variables
+    dimensions = tuple(shares[v] for v in variable_order)
+    virtual_points = grid_size(dimensions)
+
+    rng = random.Random(seed)
+    if virtual_points <= p:
+        chosen = list(range(virtual_points))
+    else:
+        chosen = rng.sample(range(virtual_points), p)
+    point_to_server = {point: index for index, point in enumerate(chosen)}
+
+    grid = GridSpec.from_shares(variable_order, shares, HashFamily(seed))
+    steps = tuple(
+        RemapRanks(
+            relation=atom.name,
+            inner=HashRoute(relation=atom.name, atom=atom, grid=grid),
+            mapping=point_to_server,
+            virtual_size=virtual_points,
+        )
+        for atom in query.atoms
+    )
+    return Plan(
+        signature=PlanSignature(
+            algorithm="partial",
+            query_text=str(query),
+            eps=eps,
+            p=p,
+            backend=resolve_backend(backend),
+            seed=seed,
+            capacity_c=capacity_c,
+            enforce_capacity=False,
+        ),
+        rounds=(PlanRound(steps=steps),),
+        finalize=CollectAnswers(
+            query=query, workers=min(p, len(chosen))
+        ),
+    )
 
 
 def run_partial_hypercube(
@@ -99,53 +164,18 @@ def run_partial_hypercube(
         capacity_c: capacity constant for accounting.
         backend: ``"pure"`` (default), ``"numpy"`` or ``"auto"``.
     """
-    eps = Fraction(eps)
-    if cover is None:
-        cover = fractional_vertex_cover(query)
-    tau = covering_number(query)
-
-    # Virtual shares p_i = ceil(p^{(1-eps) v_i}).
-    shares: dict[str, int] = {}
-    for variable in query.variables:
-        exponent = float((1 - eps) * cover.get(variable, Fraction(0)))
-        shares[variable] = max(1, round(float(p) ** exponent))
-    variable_order = query.variables
-    dimensions = tuple(shares[v] for v in variable_order)
-    virtual_points = grid_size(dimensions)
-
-    rng = random.Random(seed)
-    if virtual_points <= p:
-        chosen = list(range(virtual_points))
-    else:
-        chosen = rng.sample(range(virtual_points), p)
-    point_to_server = {point: index for index, point in enumerate(chosen)}
-
-    grid = GridSpec.from_shares(variable_order, shares, HashFamily(seed))
-    config = MPCConfig(
-        p=p, eps=eps, c=capacity_c, backend=resolve_backend(backend)
+    plan = compile_partial_hypercube(
+        query,
+        p,
+        eps,
+        seed=seed,
+        cover=cover,
+        capacity_c=capacity_c,
+        backend=backend,
     )
-    backend = config.backend
-    simulator = MPCSimulator(
-        config, input_bits=database.total_bits, enforce_capacity=False
-    )
-    engine = RoundEngine(simulator, profiler=profiler)
-
-    steps = [
-        RemapRanks(
-            relation=atom.name,
-            inner=HashRoute(relation=atom.name, atom=atom, grid=grid),
-            mapping=point_to_server,
-            virtual_size=virtual_points,
-        )
-        for atom in query.atoms
-    ]
-    engine.run_round(steps, columnar_database(database, backend))
-
-    answers, _ = collect_answers(
-        query, simulator, range(min(p, len(chosen))), backend,
-        profiler=profiler,
-    )
-    reported = set(answers)
+    execution = execute_plan(plan, database, profiler=profiler)
+    reported = set(execution.answers)
+    virtual_points = plan.rounds[0].steps[0].virtual_size
 
     truth = evaluate_query(
         query,
@@ -159,5 +189,5 @@ def run_partial_hypercube(
         reported_fraction=len(reported) / total if total else 0.0,
         theory_fraction=theory,
         virtual_grid_points=virtual_points,
-        report=simulator.report,
+        report=execution.report,
     )

@@ -20,12 +20,16 @@ remedy practical HyperCube deployments use:
    heavy value.  (With three or more atoms on the dimension we fall
    back to full spreading.)
 
-Execution compiles to the shared round engine: one
-:class:`~repro.engine.steps.HeavyGridRoute` per atom, so the whole
-light/heavy split runs either tuple-at-a-time (``pure``) or as a
-handful of vectorized signature groups (``numpy``); heavy-hitter
-detection itself is one ``unique``/``counts`` pass per (atom,
-position) under numpy.
+Compilation and execution are split: :func:`compile_skew_aware` emits
+an immutable :class:`~repro.engine.plan.Plan` whose single round has
+one :class:`~repro.engine.steps.HeavyGridRoute` per atom *without*
+heavy sets -- detection reads the data, so the round carries a
+:class:`~repro.engine.plan.HeavyBind` marker and
+:func:`~repro.engine.executor.execute_plan` binds the detected heavy
+values just before routing.  The light/heavy split then runs either
+tuple-at-a-time (``pure``) or as a handful of vectorized signature
+groups (``numpy``); heavy-hitter detection itself is one
+``unique``/``counts`` pass per (atom, position) under numpy.
 
 On skew-free inputs no value is heavy and the algorithm degenerates to
 exactly `run_hypercube`; on skewed inputs the maximum load drops from
@@ -44,22 +48,20 @@ from repro.backend import NUMPY, require_numpy, resolve_backend
 from repro.core.query import ConjunctiveQuery
 from repro.core.covers import fractional_vertex_cover
 from repro.core.shares import ShareAllocation, allocate_integer_shares, share_exponents
-from repro.data.columnar import (
-    ColumnarDatabase,
-    ColumnarRelation,
-    columnar_database,
-)
+from repro.data.columnar import ColumnarDatabase, ColumnarRelation
 from repro.data.database import Database
 from repro.engine import (
+    CollectAnswers,
     GridSpec,
+    HeavyBind,
     HeavyGridRoute,
-    RoundEngine,
+    Plan,
+    PlanRound,
+    PlanSignature,
     RoundProfiler,
-    collect_answers,
+    execute_plan,
 )
-from repro.mpc.model import MPCConfig
 from repro.mpc.routing import HashFamily
-from repro.mpc.simulator import MPCSimulator
 from repro.mpc.stats import SimulationReport
 
 
@@ -164,6 +166,67 @@ def _heavy_roles(query: ConjunctiveQuery) -> dict[str, dict[str, int] | None]:
     return roles
 
 
+def compile_skew_aware(
+    query: ConjunctiveQuery,
+    p: int,
+    eps: Fraction | float | None = None,
+    seed: int = 0,
+    capacity_c: float = 4.0,
+    enforce_capacity: bool = False,
+    backend: str | None = None,
+) -> Plan:
+    """Compile the skew-aware round into an immutable plan.
+
+    Everything data-independent happens here -- shares, grid, roles,
+    the step list; the heavy sets stay empty and the round's
+    :class:`~repro.engine.plan.HeavyBind` tells the executor to detect
+    and bind them per database (round-1 statistics work).
+    """
+    cover = fractional_vertex_cover(query)
+    exponents = share_exponents(query, cover)
+    allocation = allocate_integer_shares(exponents, p)
+    shares = allocation.shares
+    if eps is None:
+        tau = sum((Fraction(v) for v in cover.values()), start=Fraction(0))
+        eps = max(Fraction(0), 1 - 1 / tau)
+    roles = _heavy_roles(query)
+    grid = GridSpec.from_shares(query.variables, shares, HashFamily(seed))
+    steps = tuple(
+        HeavyGridRoute(
+            relation=atom.name,
+            atom=atom,
+            grid=grid,
+            heavy={},
+            roles=roles,
+        )
+        for atom in query.atoms
+    )
+    return Plan(
+        signature=PlanSignature(
+            algorithm="skewaware",
+            query_text=str(query),
+            eps=Fraction(eps),
+            p=p,
+            backend=resolve_backend(backend),
+            seed=seed,
+            capacity_c=capacity_c,
+            enforce_capacity=enforce_capacity,
+        ),
+        rounds=(
+            PlanRound(
+                steps=steps,
+                bind_heavy=HeavyBind(
+                    query=query, shares=tuple(shares.items())
+                ),
+            ),
+        ),
+        finalize=CollectAnswers(
+            query=query, workers=allocation.used_servers
+        ),
+        allocation=allocation,
+    )
+
+
 def run_hypercube_skew_aware(
     query: ConjunctiveQuery,
     database: Database | ColumnarDatabase,
@@ -180,59 +243,20 @@ def run_hypercube_skew_aware(
     Identical interface to :func:`repro.algorithms.hypercube.run_hypercube`;
     on skew-free inputs the two produce identical routing.
     """
-    cover = fractional_vertex_cover(query)
-    exponents = share_exponents(query, cover)
-    allocation = allocate_integer_shares(exponents, p)
-    shares = allocation.shares
-
-    if eps is None:
-        tau = sum((Fraction(v) for v in cover.values()), start=Fraction(0))
-        eps = max(Fraction(0), 1 - 1 / tau)
-    config = MPCConfig(
-        p=p, eps=Fraction(eps), c=capacity_c,
-        backend=resolve_backend(backend),
-    )
-    backend = config.backend
-
-    sources = columnar_database(database, backend)
-    heavy = detect_heavy_hitters(
-        query, database, shares, backend=backend, columnar=sources
-    )
-    roles = _heavy_roles(query)
-    grid = GridSpec.from_shares(query.variables, shares, HashFamily(seed))
-
-    simulator = MPCSimulator(
-        config,
-        input_bits=database.total_bits,
-        enforce_capacity=enforce_capacity,
-    )
-    engine = RoundEngine(simulator, profiler=profiler)
-
-    steps = [
-        HeavyGridRoute(
-            relation=atom.name,
-            atom=atom,
-            grid=grid,
-            heavy=heavy,
-            roles=roles,
-        )
-        for atom in query.atoms
-    ]
-    engine.run_round(steps, sources)
-
-    answers, per_server = collect_answers(
+    plan = compile_skew_aware(
         query,
-        simulator,
-        range(allocation.used_servers),
-        backend,
-        profiler=profiler,
+        p,
+        eps=eps,
+        seed=seed,
+        capacity_c=capacity_c,
+        enforce_capacity=enforce_capacity,
+        backend=backend,
     )
-    per_server.extend([0] * (p - allocation.used_servers))
-
+    execution = execute_plan(plan, database, profiler=profiler)
     return SkewAwareResult(
-        answers=answers,
-        heavy_hitters=heavy,
-        allocation=allocation,
-        report=simulator.report,
-        per_server_answers=tuple(per_server),
+        answers=execution.answers,
+        heavy_hitters=execution.heavy_hitters or {},
+        allocation=plan.allocation,
+        report=execution.report,
+        per_server_answers=execution.per_server,
     )

@@ -20,6 +20,13 @@ Commands:
   generate a skewed database (heavy hitter on every first attribute)
   and race plain HC against the skew-aware executor, printing heavy
   hitters, max loads and imbalance; honours ``--backend``.
+* ``serve --vocab "S1(x,y), S2(y,z), S3(z,x)" --n 200 --p 16`` --
+  start a long-lived :class:`~repro.serve.service.QueryService` over
+  a generated matching database and read commands from stdin (or
+  ``--script FILE``): ``run <query>``, ``update <rel> <v,v> ...``,
+  ``delete <rel> <v,v> ...``, ``stats``, ``exit``.  Repeated and
+  isomorphic queries are served from the plan/result caches; the
+  ``stats`` command prints the service-level counters.
 * ``tables`` -- regenerate Table 1 and Table 2 of the paper.
 
 ``run``, ``run-plan`` and ``skew`` accept ``--profile``, which prints
@@ -238,6 +245,117 @@ def cmd_skew(args: argparse.Namespace) -> int:
     return 0 if verified else 1
 
 
+def _serve_handle(service, line: str, out) -> bool:
+    """Process one serve-REPL line; False means quit."""
+    import time
+
+    from repro.data.database import DataError
+    from repro.mpc.simulator import CapacityExceeded
+
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return True
+    command, _, rest = line.partition(" ")
+    command = command.lower()
+    if command in ("exit", "quit"):
+        return False
+    try:
+        if command == "run":
+            start = time.perf_counter()
+            result = service.execute(rest)
+            elapsed = (time.perf_counter() - start) * 1000
+            flags = (
+                f"plan:{'hit' if result.plan_hit else 'miss'} "
+                f"result:{'hit' if result.result_hit else 'miss'}"
+            )
+            print(
+                f"{len(result.answers)} answers in {elapsed:.2f} ms "
+                f"[{flags}] v{result.version}",
+                file=out,
+            )
+        elif command in ("update", "delete"):
+            relation, _, row_text = rest.partition(" ")
+            if not relation:
+                raise ValueError(f"usage: {command} <relation> <v,v> ...")
+            rows = [
+                tuple(int(value) for value in token.split(","))
+                for token in row_text.split()
+            ]
+            if not rows:
+                raise ValueError(f"{command}: no rows given")
+            delta = {relation: rows}
+            version = (
+                service.update(inserts=delta)
+                if command == "update"
+                else service.update(deletes=delta)
+            )
+            print(f"v{version}: {command}d {len(rows)} rows in {relation}", file=out)
+        elif command == "stats":
+            stats = service.stats
+            rows = [
+                ["requests", stats.requests],
+                ["executions", stats.executions],
+                ["plan hits (exact / isomorphic)",
+                 f"{stats.plans.hits} / {stats.plans.isomorphic_hits}"],
+                ["plan misses (compiles)", stats.plans.misses],
+                ["result hits", stats.result_hits],
+                ["routing hits / misses",
+                 f"{stats.routing_hits} / {stats.routing_misses}"],
+                ["updates", stats.updates],
+                ["answers served", stats.answers_served],
+                ["capacity failures", stats.capacity_failures],
+            ]
+            rows.extend(
+                [f"{phase} seconds", f"{seconds:.4f}"]
+                for phase, seconds in stats.phase_seconds.items()
+            )
+            print(format_table(["counter", "value"], rows), file=out)
+        else:
+            print(f"error: unknown command {command!r} "
+                  "(run / update / delete / stats / exit)", file=out)
+    except (
+        QueryError,
+        DataError,
+        ValueError,
+        KeyError,
+        CapacityExceeded,
+    ) as error:
+        print(f"error: {error}", file=out)
+    return True
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.backend import resolve_backend
+    from repro.data.matching import matching_database
+    from repro.serve import QueryService
+
+    vocab = parse_query(args.vocab)
+    database = matching_database(vocab, n=args.n, rng=args.seed)
+    backend = resolve_backend(args.backend)
+    service = QueryService(
+        database,
+        p=args.p,
+        backend=backend,
+        algorithm=args.algorithm,
+        eps=args.eps,
+        seed=args.seed,
+    )
+    print(
+        f"serving {vocab} over n={args.n} matching database "
+        f"(p={args.p}, backend={backend}, algorithm={args.algorithm})"
+    )
+    if args.script:
+        with open(args.script, encoding="utf-8") as stream:
+            for line in stream:
+                if not _serve_handle(service, line, sys.stdout):
+                    break
+    else:
+        for line in sys.stdin:
+            if not _serve_handle(service, line, sys.stdout):
+                break
+    return 0
+
+
 def cmd_shares(args: argparse.Namespace) -> int:
     query = parse_query(args.query)
     exponents = share_exponents(query)
@@ -358,6 +476,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_execution_options(skew)
     skew.set_defaults(handler=cmd_skew)
+
+    serve = commands.add_parser(
+        "serve",
+        help="long-lived query service over a generated matching DB "
+        "(REPL on stdin, or --script FILE)",
+    )
+    serve.add_argument(
+        "--vocab",
+        default="S1(x,y), S2(y,z), S3(z,x)",
+        help="query whose atoms define the served relations",
+    )
+    serve.add_argument(
+        "--algorithm",
+        choices=["hypercube", "skewaware", "multiround"],
+        default="hypercube",
+        help="which compiler serves requests",
+    )
+    serve.add_argument(
+        "--eps",
+        type=_parse_eps,
+        default=None,
+        help="space exponent (default: per-query; multiround uses 0)",
+    )
+    serve.add_argument(
+        "--script",
+        help="file with one command per line instead of stdin",
+    )
+    serve.add_argument("--n", type=int, default=200, help="domain size")
+    serve.add_argument("--p", type=int, default=16, help="number of servers")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--backend",
+        choices=["auto", "pure", "numpy"],
+        default="pure",
+        help="execution engine for every served request",
+    )
+    serve.set_defaults(handler=cmd_serve)
 
     shares = commands.add_parser("shares", help="integer share allocation")
     shares.add_argument("query")

@@ -11,11 +11,34 @@ onto the other position-for-position.
 The search is a straightforward backtracking over atom pairings with
 arity pre-grouping and incremental variable-binding checks; fine for
 the paper's small queries.
+
+Beyond the lower-bound proofs, the serving layer's plan cache uses the
+same machinery for query canonicalization: two isomorphic queries can
+share one compiled plan, with :class:`QueryIsomorphism` carrying both
+the variable bijection (to permute answer columns) and the atom
+bijection (to rebind the plan's relations onto the request's).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.core.query import Atom, ConjunctiveQuery
+
+
+@dataclass(frozen=True)
+class QueryIsomorphism:
+    """A witness that two queries are structurally identical.
+
+    Attributes:
+        variables: left variable name -> right variable name.
+        atoms: left atom (relation) name -> right atom name; the
+            paired atoms have the mapped variables position-for-
+            position.
+    """
+
+    variables: dict[str, str]
+    atoms: dict[str, str]
 
 
 def find_isomorphism(
@@ -27,6 +50,20 @@ def find_isomorphism(
     such that some atom bijection sends every left atom ``S(x...)`` to
     a right atom with the mapped variables in the same positions
     (relation *names* are ignored: isomorphism is structural).
+    """
+    witness = find_query_isomorphism(left, right)
+    return None if witness is None else witness.variables
+
+
+def find_query_isomorphism(
+    left: ConjunctiveQuery, right: ConjunctiveQuery
+) -> QueryIsomorphism | None:
+    """Like :func:`find_isomorphism`, but also return the atom pairing.
+
+    The plan cache needs both halves of the witness: the variable
+    bijection permutes answer columns between head orders, the atom
+    bijection says which of the request's relations feeds each of the
+    cached plan's routing steps.
     """
     if left.num_atoms != right.num_atoms:
         return None
@@ -60,6 +97,7 @@ def find_isomorphism(
     used_right: set[str] = set()
     mapping: dict[str, str] = {}
     reverse: dict[str, str] = {}
+    atom_mapping: dict[str, str] = {}
 
     def try_bind(left_atom: Atom, right_atom: Atom) -> list[str] | None:
         """Extend the variable bijection; return newly bound lefts."""
@@ -93,15 +131,19 @@ def find_isomorphism(
             if bound is None:
                 continue
             used_right.add(right_atom.name)
+            atom_mapping[left_atom.name] = right_atom.name
             if search(index + 1):
                 return True
             used_right.discard(right_atom.name)
+            del atom_mapping[left_atom.name]
             for variable in bound:
                 reverse.pop(mapping.pop(variable))
         return False
 
     if search(0):
-        return dict(mapping)
+        return QueryIsomorphism(
+            variables=dict(mapping), atoms=dict(atom_mapping)
+        )
     return None
 
 

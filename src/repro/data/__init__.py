@@ -14,11 +14,15 @@ This package provides:
 * :mod:`repro.data.matching` -- uniform random matching databases,
 * :mod:`repro.data.generators` -- auxiliary inputs: skewed relations,
   the JOIN-WITNESS instances of Proposition 3.12, and the layered /
-  dense graphs of the CONNECTED-COMPONENTS experiment (Theorem 4.10).
+  dense graphs of the CONNECTED-COMPONENTS experiment (Theorem 4.10),
+* :mod:`repro.data.versioned` -- the serving layer's mutating
+  database: immutable columnar snapshots behind a monotonically
+  increasing version number (the cache-invalidation token).
 """
 
 from repro.data.columnar import ColumnarRelation, columnar_database
 from repro.data.database import Database, Relation
+from repro.data.versioned import DatabaseDelta, VersionedDatabase
 from repro.data.matching import (
     identity_matching,
     matching_database,
@@ -36,7 +40,9 @@ __all__ = [
     "ColumnarRelation",
     "columnar_database",
     "Database",
+    "DatabaseDelta",
     "Relation",
+    "VersionedDatabase",
     "identity_matching",
     "matching_database",
     "random_matching",

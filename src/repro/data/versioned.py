@@ -1,0 +1,219 @@
+"""A mutating columnar database with explicit versioning.
+
+The serving layer executes cached plans repeatedly over a database
+that changes between requests.  Cache safety hinges on one question --
+"is this the same data the cached artifact was computed from?" -- and
+:class:`VersionedDatabase` answers it with a monotonically increasing
+integer version: every :meth:`VersionedDatabase.apply_delta` installs
+a fresh immutable :class:`~repro.data.columnar.ColumnarDatabase`
+snapshot and bumps the version, so any cache entry stamped with an
+older version is stale by construction.
+
+Snapshots are immutable and shared: readers mid-request keep the
+snapshot they started with; a concurrent update never mutates arrays
+under them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.backend import resolve_backend
+from repro.data.columnar import (
+    ColumnarDatabase,
+    ColumnarRelation,
+    columnar_database,
+)
+from repro.data.database import Database, DataError
+
+Rows = Iterable[Sequence[int]]
+
+
+@dataclass(frozen=True)
+class DatabaseDelta:
+    """One update's worth of row-level changes.
+
+    Attributes:
+        inserts: relation name -> rows to add (new relation names are
+            allowed; arity is inferred from the first row).
+        deletes: relation name -> rows to remove (absent rows are
+            ignored -- deletion is idempotent).
+    """
+
+    inserts: Mapping[str, tuple[tuple[int, ...], ...]] = field(
+        default_factory=dict
+    )
+    deletes: Mapping[str, tuple[tuple[int, ...], ...]] = field(
+        default_factory=dict
+    )
+
+    @classmethod
+    def of(
+        cls,
+        inserts: Mapping[str, Rows] | None = None,
+        deletes: Mapping[str, Rows] | None = None,
+    ) -> "DatabaseDelta":
+        """Normalise loose row iterables into an immutable delta."""
+        return cls(
+            inserts={
+                name: tuple(tuple(row) for row in rows)
+                for name, rows in (inserts or {}).items()
+            },
+            deletes={
+                name: tuple(tuple(row) for row in rows)
+                for name, rows in (deletes or {}).items()
+            },
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the delta changes nothing."""
+        return not any(self.inserts.values()) and not any(
+            self.deletes.values()
+        )
+
+
+class VersionedDatabase:
+    """A columnar database that mutates through numbered versions.
+
+    Args:
+        database: the initial contents -- a row
+            :class:`~repro.data.database.Database`, a
+            :class:`~repro.data.columnar.ColumnarDatabase`, or a
+            mapping of name to
+            :class:`~repro.data.columnar.ColumnarRelation`.
+        backend: column storage backend; relations are converted once
+            here so every later snapshot (and every plan execution
+            over it) reads the same arrays.
+    """
+
+    def __init__(
+        self,
+        database: Database | ColumnarDatabase | Mapping[str, ColumnarRelation],
+        backend: str | None = None,
+    ) -> None:
+        self._backend = resolve_backend(backend)
+        if isinstance(database, Mapping):
+            relations = {
+                name: relation.with_backend(self._backend)
+                for name, relation in database.items()
+            }
+        else:
+            relations = columnar_database(database, self._backend)
+        domain = getattr(database, "domain_size", None)
+        if domain is None:
+            domain = max(
+                (r.domain_size for r in relations.values()), default=1
+            )
+        self._snapshot = ColumnarDatabase(
+            relations=relations, domain_size=domain
+        )
+        self._version = 0
+
+    # -- read side ----------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """The current version number (0 for the initial contents)."""
+        return self._version
+
+    @property
+    def snapshot(self) -> ColumnarDatabase:
+        """The current immutable snapshot (never mutated in place)."""
+        return self._snapshot
+
+    @property
+    def backend(self) -> str:
+        """The resolved column-storage backend."""
+        return self._backend
+
+    @property
+    def domain_size(self) -> int:
+        """The snapshot's domain bound ``n``."""
+        return self._snapshot.domain_size
+
+    @property
+    def total_bits(self) -> int:
+        """The snapshot's input size ``N`` in bits."""
+        return self._snapshot.total_bits
+
+    def __getitem__(self, name: str) -> ColumnarRelation:
+        return self._snapshot[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._snapshot
+
+    def __iter__(self) -> Iterator[ColumnarRelation]:
+        return iter(self._snapshot)
+
+    def __len__(self) -> int:
+        return len(self._snapshot)
+
+    # -- write side ---------------------------------------------------------
+
+    def apply_delta(self, delta: DatabaseDelta) -> int:
+        """Install a new snapshot with the delta applied; bump version.
+
+        Inserts and deletes are applied per relation through the
+        standard dedup/sort/validate constructor, so a snapshot always
+        satisfies every :class:`ColumnarRelation` invariant.  The
+        domain grows automatically when inserted values exceed it
+        (which changes per-tuple bit accounting -- another reason the
+        version must move).  An empty delta still bumps the version:
+        the caller said "the data may have changed", and cache safety
+        errs on invalidation.
+
+        Returns:
+            The new version number.
+
+        Raises:
+            DataError: on ragged insert arities or values below 1.
+        """
+        relations = dict(self._snapshot.relations)
+        domain = self._snapshot.domain_size
+        for name in set(delta.inserts) | set(delta.deletes):
+            inserts = delta.inserts.get(name, ())
+            deletes = {
+                tuple(row) for row in delta.deletes.get(name, ())
+            }
+            existing = relations.get(name)
+            if existing is None:
+                if not inserts:
+                    raise DataError(
+                        f"{name}: cannot delete from an unknown relation"
+                    )
+                rows = []
+                arity = len(inserts[0])
+            else:
+                rows = list(existing.rows())
+                arity = existing.arity
+            rows = [tuple(row) for row in rows if tuple(row) not in deletes]
+            rows.extend(tuple(row) for row in inserts)
+            peak = max(
+                (value for row in rows for value in row), default=1
+            )
+            domain = max(domain, peak)
+            relation_domain = max(
+                existing.domain_size if existing is not None else 1, peak
+            )
+            relations[name] = ColumnarRelation.from_rows(
+                name,
+                rows,
+                domain_size=relation_domain,
+                arity=arity,
+                backend=self._backend,
+            )
+        self._snapshot = ColumnarDatabase(
+            relations=relations, domain_size=domain
+        )
+        self._version += 1
+        return self._version
+
+    def update(
+        self,
+        inserts: Mapping[str, Rows] | None = None,
+        deletes: Mapping[str, Rows] | None = None,
+    ) -> int:
+        """Convenience wrapper: build the delta and apply it."""
+        return self.apply_delta(DatabaseDelta.of(inserts, deletes))

@@ -31,9 +31,23 @@ hash-to-min (CC)      per fixpoint iteration, one :class:`HashRoute`
 New execution scenarios (new operators, sharding, asynchronous
 shipping) are new step types or new step parameters -- not new copies
 of the route/ship/join loop.
+
+Since the compile/execute split, the step program of a whole
+execution is packaged as an immutable :class:`~repro.engine.plan.Plan`
+(compiled once per (query, eps, p, backend) by the algorithms'
+``compile_*`` functions, executed any number of times by
+:func:`~repro.engine.executor.execute_plan`) -- the seam the serving
+layer's plan/routing/result caches build on.
 """
 
-from repro.engine.executor import RoundEngine
+from repro.engine.executor import (
+    PlanExecution,
+    RoundEngine,
+    RoutedStep,
+    execute_plan,
+    plan_config,
+    plan_simulator,
+)
 from repro.engine.local import (
     collect_answers,
     fleet_answer_table,
@@ -43,6 +57,18 @@ from repro.engine.local import (
     slice_pool_for_workers,
     worker_answer_rows,
     worker_answer_table,
+)
+from repro.engine.plan import (
+    CollectAnswers,
+    FinalizeView,
+    FixpointSpec,
+    HeavyBind,
+    KeyMap,
+    Plan,
+    PlanRound,
+    PlanSignature,
+    ViewSpec,
+    key_map_of,
 )
 from repro.engine.profile import RoundProfiler
 from repro.engine.steps import (
@@ -58,8 +84,23 @@ from repro.engine.steps import (
 )
 
 __all__ = [
+    "CollectAnswers",
+    "FinalizeView",
+    "FixpointSpec",
+    "HeavyBind",
+    "KeyMap",
+    "Plan",
+    "PlanExecution",
+    "PlanRound",
+    "PlanSignature",
     "RoundEngine",
     "RoundProfiler",
+    "RoutedStep",
+    "ViewSpec",
+    "execute_plan",
+    "key_map_of",
+    "plan_config",
+    "plan_simulator",
     "collect_answers",
     "fleet_answer_table",
     "fragment_tuple_count",

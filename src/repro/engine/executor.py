@@ -1,4 +1,4 @@
-"""The round engine: execute a list of routing steps on the simulator.
+"""The round engine: execute routing steps -- and whole plans.
 
 This is the single route/ship loop every algorithm in the repository
 compiles to.  A :class:`RoundEngine` wraps one :class:`MPCSimulator`
@@ -16,6 +16,20 @@ produce the same multiset of (row, destination) pairs, so answers,
 per-round received bits/tuples and capacity failures are bit-identical
 across backends by construction.
 
+Routing and shipping are separate verbs
+(:meth:`RoundEngine.route_step` / :meth:`RoundEngine.ship_step`): a
+step's routing decision is a pure function of (step, source), so a
+serving layer can cache the :class:`RoutedStep` across requests over
+an unchanged database and replay only the ship/deliver/local phases --
+load accounting and capacity behaviour are recomputed every time, so
+cached and fresh executions stay bit-identical.
+
+:func:`execute_plan` is the plan-level entry point: it takes an
+immutable :class:`~repro.engine.plan.Plan` (the output of an
+algorithm's compiler) plus a database, builds the simulator from the
+plan's signature, runs every round (binding heavy hitters and
+materialising views where the plan says so) and finalizes the answer.
+
 Vectorized sends carry the step's
 :attr:`~repro.engine.steps.RoutingStep.preserves_source_order` promise
 so the simulator's delivery pools can mark worker fragments as
@@ -26,16 +40,44 @@ round's wall-clock into route/ship/deliver phases.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
 from contextlib import nullcontext
-from typing import Mapping, Sequence
+from typing import Any, Mapping, MutableMapping, Sequence
 
 from repro.backend import NUMPY, resolve_backend
-from repro.data.columnar import ColumnarRelation
+from repro.data.columnar import ColumnarDatabase, ColumnarRelation
+from repro.engine.plan import (
+    CollectAnswers,
+    FinalizeView,
+    Plan,
+    key_map_of,
+)
 from repro.engine.profile import RoundProfiler
-from repro.engine.steps import RoutingStep
+from repro.engine.steps import HeavyGridRoute, RoutingStep
 from repro.mpc.message import input_server
+from repro.mpc.model import MPCConfig
 from repro.mpc.simulator import MPCSimulator
-from repro.mpc.stats import RoundStats
+from repro.mpc.stats import RoundStats, SimulationReport
+
+
+@dataclass(frozen=True)
+class RoutedStep:
+    """One step's routing decision, detached from shipping.
+
+    Exactly one representation is populated, matching the backend that
+    produced it: ``batches`` maps destination worker to its row list
+    (``pure``); ``columns``/``destinations``/``row_indices`` are the
+    :meth:`RoutingStep.route_columns` triple (``numpy``).  The routing
+    decision is a pure function of (step, source columns), so a
+    ``RoutedStep`` may be cached and re-shipped against the same
+    source -- replaying it stages the identical multiset of
+    (row, destination) pairs.
+    """
+
+    batches: tuple[tuple[int, tuple[tuple[int, ...], ...]], ...] | None = None
+    columns: tuple | None = None
+    destinations: Any = None
+    row_indices: Any = None
 
 
 class RoundEngine:
@@ -73,6 +115,7 @@ class RoundEngine:
         self,
         steps: Sequence[RoutingStep],
         sources: Mapping[str, ColumnarRelation],
+        routed: dict[int, RoutedStep] | None = None,
     ) -> RoundStats:
         """Execute one communication round: route, ship, deliver.
 
@@ -80,6 +123,12 @@ class RoundEngine:
             steps: the routing steps of the round.
             sources: source relation/view per step ``relation`` name;
                 column storage must match the engine's backend.
+            routed: optional pre-computed routing decisions, keyed by
+                step index (cache replay).  Missing steps are routed
+                fresh -- inside the open round, so the profiler
+                attributes their route time to the right round index
+                -- and their decisions are written back into the dict
+                for the caller to cache.
 
         Returns:
             The closed round's statistics.
@@ -89,46 +138,358 @@ class RoundEngine:
                 enforcement is on and a worker's budget is blown.
         """
         self.simulator.begin_round()
-        for step in steps:
-            self.execute_step(step, sources[step.relation])
+        for index, step in enumerate(steps):
+            source = sources[step.relation]
+            decision = None if routed is None else routed.get(index)
+            if decision is None:
+                decision = self.route_step(step, source)
+                if routed is not None:
+                    routed[index] = decision
+            self.ship_step(step, source, decision)
         with self._measure("deliver"):
             return self.simulator.end_round()
 
     def execute_step(
-        self, step: RoutingStep, source: ColumnarRelation
+        self,
+        step: RoutingStep,
+        source: ColumnarRelation,
+        routed: RoutedStep | None = None,
     ) -> None:
         """Route and stage one step (inside an open round)."""
+        if routed is None:
+            routed = self.route_step(step, source)
+        self.ship_step(step, source, routed)
+
+    def route_step(
+        self, step: RoutingStep, source: ColumnarRelation
+    ) -> RoutedStep:
+        """Compute one step's routing decision (no simulator effects).
+
+        A pure function of (step, source): the result may be cached
+        and replayed through :meth:`ship_step` as long as the source
+        relation is unchanged.
+        """
+        p = self.simulator.num_workers
+        if self.backend == NUMPY:
+            with self._measure("route"):
+                columns, destinations, row_indices = step.route_columns(
+                    source.columns, p
+                )
+            return RoutedStep(
+                columns=columns,
+                destinations=destinations,
+                row_indices=row_indices,
+            )
+        with self._measure("route"):
+            batches: dict[int, list[tuple[int, ...]]] = {}
+            for index, row in enumerate(source.rows()):
+                for destination in step.destinations(row, index, p):
+                    batches.setdefault(destination, []).append(row)
+        return RoutedStep(
+            batches=tuple(
+                (destination, tuple(rows))
+                for destination, rows in batches.items()
+            )
+        )
+
+    def ship_step(
+        self,
+        step: RoutingStep,
+        source: ColumnarRelation,
+        routed: RoutedStep,
+    ) -> None:
+        """Stage one routed step on the simulator (inside a round)."""
         simulator = self.simulator
-        p = simulator.num_workers
         sender = (
             step.sender
             if step.sender is not None
             else input_server(step.relation)
         )
         key = step.mailbox_key
-        if self.backend == NUMPY:
-            with self._measure("route"):
-                columns, destinations, row_indices = step.route_columns(
-                    source.columns, p
-                )
+        if routed.batches is None:
             with self._measure("ship"):
                 simulator.send_columns(
                     sender,
-                    destinations,
+                    routed.destinations,
                     key,
-                    columns,
+                    routed.columns,
                     bits_per_tuple=source.tuple_bits,
-                    row_indices=row_indices,
+                    row_indices=routed.row_indices,
                     source_sorted=step.preserves_source_order,
                 )
             return
-        with self._measure("route"):
-            batches: dict[int, list[tuple[int, ...]]] = {}
-            for index, row in enumerate(source.rows()):
-                for destination in step.destinations(row, index, p):
-                    batches.setdefault(destination, []).append(row)
         with self._measure("ship"):
-            for destination, rows in batches.items():
+            for destination, rows in routed.batches:
                 simulator.send(
                     sender, destination, key, rows, source.tuple_bits
                 )
+
+
+@dataclass
+class PlanExecution:
+    """Everything one plan execution produced.
+
+    Attributes:
+        plan: the executed plan.
+        simulator: the simulator after the run (callers post-process
+            fragment counts, reports, mailboxes from here).
+        answers: the finalized answer tuples, sorted, in the plan
+            query's head order (empty when ``plan.finalize`` is None).
+        per_server: per-worker answer counts, zero-padded to ``p``.
+        view_sizes: materialised size of every intermediate view.
+        per_server_views: per view, each worker's answer contribution.
+        heavy_hitters: the heavy values bound during execution, when
+            the plan asked for heavy binding.
+    """
+
+    plan: Plan
+    simulator: MPCSimulator
+    answers: tuple[tuple[int, ...], ...] = ()
+    per_server: tuple[int, ...] = ()
+    view_sizes: dict[str, int] | None = None
+    per_server_views: dict[str, tuple[int, ...]] | None = None
+    heavy_hitters: dict[str, frozenset[int]] | None = None
+
+    @property
+    def report(self) -> SimulationReport:
+        """The run's communication statistics."""
+        return self.simulator.report
+
+
+def plan_config(plan: Plan) -> MPCConfig:
+    """The :class:`MPCConfig` a plan's signature describes."""
+    signature = plan.signature
+    return MPCConfig(
+        p=signature.p,
+        eps=signature.eps,
+        c=signature.capacity_c,
+        backend=signature.backend,
+    )
+
+
+def plan_simulator(
+    plan: Plan,
+    input_bits: int,
+    simulator: MPCSimulator | None = None,
+) -> MPCSimulator:
+    """A simulator for one execution of ``plan``.
+
+    Passing an existing ``simulator`` (the serving layer's reuse path)
+    resets it in place instead of allocating ``p`` fresh mailboxes;
+    its configuration must match the plan's.
+    """
+    config = plan_config(plan)
+    if simulator is None:
+        return MPCSimulator(
+            config,
+            input_bits=input_bits,
+            enforce_capacity=plan.signature.enforce_capacity,
+        )
+    if simulator.config != config:
+        raise ValueError(
+            f"simulator config {simulator.config} does not match plan "
+            f"config {config}"
+        )
+    simulator.reset(
+        input_bits=input_bits,
+        enforce_capacity=plan.signature.enforce_capacity,
+    )
+    return simulator
+
+
+def _plan_sources(
+    database: Any, backend: str
+) -> dict[str, ColumnarRelation]:
+    """Columnarise any accepted database shape under ``backend``."""
+    from repro.data.columnar import columnar_database
+
+    if isinstance(database, Mapping):
+        return {
+            name: relation.with_backend(backend)
+            if isinstance(relation, ColumnarRelation)
+            else ColumnarRelation.from_relation(relation, backend)
+            for name, relation in database.items()
+        }
+    return columnar_database(database, backend)
+
+
+def _database_bits(database: Any, sources: Mapping[str, ColumnarRelation]) -> int:
+    """Input size ``N`` in bits for the capacity bound."""
+    total = getattr(database, "total_bits", None)
+    if total is not None:
+        return total
+    return sum(relation.size_bits for relation in sources.values())
+
+
+def execute_plan(
+    plan: Plan,
+    database: Any,
+    *,
+    profiler: RoundProfiler | None = None,
+    simulator: MPCSimulator | None = None,
+    routed_cache: MutableMapping[tuple[int, int], RoutedStep] | None = None,
+    relation_map: Mapping[str, str] | None = None,
+    input_bits: int | None = None,
+) -> PlanExecution:
+    """Execute a compiled plan against a database.
+
+    Args:
+        plan: the immutable physical plan (an algorithm compiler's
+            output).
+        database: a row :class:`~repro.data.database.Database`, a
+            :class:`~repro.data.columnar.ColumnarDatabase`, or a plain
+            mapping of relation name to
+            :class:`~repro.data.columnar.ColumnarRelation`.
+        profiler: optional per-round route/ship/deliver/local timing
+            collector.
+        simulator: optional simulator to reuse (reset in place); must
+            match the plan's configuration.
+        routed_cache: optional mutable mapping from ``(round index,
+            step index)`` to :class:`RoutedStep`.  Hits skip the route
+            phase entirely (the serving layer's pre-routed columns);
+            misses are routed fresh and written back.  The caller owns
+            invalidation -- entries are only valid while the database
+            content backing them is unchanged.
+        relation_map: plan relation name -> database relation name,
+            for executing a cached plan against an isomorphic query's
+            relations (the plan-cache rebind).
+        input_bits: override for the capacity bound's ``N`` (callers
+            with bespoke input accounting, e.g. the cartesian-grid
+            baseline).
+
+    Returns:
+        A :class:`PlanExecution` with answers, loads and views.
+
+    Raises:
+        CapacityExceeded: when the plan enforces capacity and a worker
+            overflows -- identically for fresh and cache-replayed
+            routing.
+        ValueError: for fixpoint plans (those are executed by their
+            algorithm's driver).
+    """
+    if plan.fixpoint is not None:
+        raise ValueError(
+            "fixpoint plans are executed by their algorithm driver, "
+            "not execute_plan"
+        )
+    backend = plan.signature.backend
+    sources = _plan_sources(database, backend)
+    if relation_map:
+        sources = {
+            plan_name: sources[database_name]
+            for plan_name, database_name in relation_map.items()
+        }
+    if input_bits is None:
+        input_bits = _database_bits(database, sources)
+    simulator = plan_simulator(plan, input_bits, simulator)
+    engine = RoundEngine(simulator, profiler=profiler)
+
+    domain_size = getattr(database, "domain_size", None)
+    if domain_size is None:
+        domain_size = max(
+            (relation.domain_size for relation in sources.values()),
+            default=1,
+        )
+    environment: dict[str, ColumnarRelation] = dict(sources)
+    if plan.uniform_domain_bits:
+        environment = {
+            name: replace(relation, domain_size=domain_size)
+            for name, relation in environment.items()
+        }
+
+    view_sizes: dict[str, int] = {}
+    per_server_views: dict[str, tuple[int, ...]] = {}
+    heavy_hitters: dict[str, frozenset[int]] | None = None
+    from repro.engine.local import collect_answers, materialise_view
+
+    for round_index, plan_round in enumerate(plan.rounds):
+        steps = plan_round.steps
+        routed: dict[int, RoutedStep] = {}
+        if routed_cache is not None:
+            for step_index in range(len(steps)):
+                hit = routed_cache.get((round_index, step_index))
+                if hit is not None:
+                    routed[step_index] = hit
+        missing = [i for i in range(len(steps)) if i not in routed]
+        if plan_round.bind_heavy is not None and missing:
+            # Heavy-hitter detection is execute-time statistics work;
+            # it is skipped when every step of the round replays from
+            # the routing cache (same data => same heavy sets, already
+            # baked into the cached decisions) -- such replayed
+            # executions report heavy_hitters as None.
+            from repro.algorithms.skewaware import detect_heavy_hitters
+
+            bind = plan_round.bind_heavy
+            heavy_hitters = detect_heavy_hitters(
+                bind.query,
+                environment,
+                dict(bind.shares),
+                backend=backend,
+                columnar=environment,
+            )
+            steps = tuple(
+                replace(step, heavy=heavy_hitters)
+                if isinstance(step, HeavyGridRoute)
+                else step
+                for step in steps
+            )
+        # run_round routes the missing steps inside the open round
+        # (correct profiler attribution) and fills them into `routed`.
+        engine.run_round(steps, environment, routed=routed)
+        if routed_cache is not None:
+            for step_index in missing:
+                routed_cache[(round_index, step_index)] = routed[step_index]
+
+        for view in plan_round.views:
+            materialised, counts = materialise_view(
+                view.name,
+                view.query,
+                simulator,
+                range(plan.signature.p),
+                backend,
+                domain_size=domain_size,
+                key_of=key_map_of(view.key_map),
+                profiler=profiler,
+            )
+            environment[view.name] = materialised
+            view_sizes[view.name] = len(materialised)
+            per_server_views[view.name] = tuple(counts)
+
+    answers: tuple[tuple[int, ...], ...] = ()
+    per_server: tuple[int, ...] = ()
+    finalize = plan.finalize
+    if isinstance(finalize, CollectAnswers):
+        answers, counts = collect_answers(
+            finalize.query,
+            simulator,
+            range(finalize.workers),
+            backend,
+            key_of=key_map_of(finalize.key_map),
+            profiler=profiler,
+        )
+        per_server = tuple(
+            list(counts) + [0] * (plan.signature.p - finalize.workers)
+        )
+    elif isinstance(finalize, FinalizeView):
+        view = environment[finalize.view]
+        schema = next(
+            spec.query.head
+            for plan_round in plan.rounds
+            for spec in plan_round.views
+            if spec.name == finalize.view
+        )
+        positions = [schema.index(variable) for variable in finalize.head]
+        answers = tuple(
+            sorted(
+                tuple(row[i] for i in positions) for row in view.rows()
+            )
+        )
+    return PlanExecution(
+        plan=plan,
+        simulator=simulator,
+        answers=answers,
+        per_server=per_server,
+        view_sizes=view_sizes,
+        per_server_views=per_server_views,
+        heavy_hitters=heavy_hitters,
+    )

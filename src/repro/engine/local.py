@@ -45,9 +45,51 @@ from repro.mpc.simulator import ColumnPool, MPCSimulator
 
 KeyOf = Callable[[str], str]
 
+#: Dispatch threshold of the segmented-vs-per-worker heuristic: the
+#: fleet-wide join is chosen when pooled rows per unit of span-table
+#: domain (``len(workers) * max key value``) reach this density.  The
+#: segmented join's fixed cost is its direct-address span tables,
+#: sized by that domain; when deliveries are sparse relative to it
+#: (tiny fragments -- e.g. C_3 at p=64, n=1e5: density ~0.19, where
+#: the per-worker loop measures ~1.4x faster) the tables dominate and
+#: the per-worker loop wins.  Measured crossover sits between C_3 at
+#: p=64 (0.19, per-worker faster) and C_3 at p=16 / L_4 at p=64
+#: (~0.5, segmented faster); the speedup gate's L_8 regime is >> 1.
+SEGMENTED_DENSITY_THRESHOLD = 0.3
+
 
 def _identity_key(name: str) -> str:
     return name
+
+
+def _prefer_segmented(
+    query: ConjunctiveQuery,
+    simulator: MPCSimulator,
+    workers: list[int],
+    key_of: KeyOf,
+) -> bool | None:
+    """Size heuristic: is the fleet-wide join worth its span tables?
+
+    Returns None when some atom has no delivery pool (the segmented
+    path is unavailable regardless), else the density decision
+    described at :data:`SEGMENTED_DENSITY_THRESHOLD`.  The inputs --
+    pooled row counts and column maxima -- are one vectorized pass
+    over data the join would touch anyway.
+    """
+    total_rows = 0
+    max_key = 1
+    for atom in query.atoms:
+        pool = simulator.relation_pool(key_of(atom.name))
+        if pool is None:
+            return None
+        total_rows += len(pool)
+        for column in pool.columns:
+            if len(column):
+                max_key = max(max_key, int(column.max()))
+    if total_rows == 0:
+        return True
+    density = total_rows / (max(1, len(workers)) * max_key)
+    return density >= SEGMENTED_DENSITY_THRESHOLD
 
 
 def _worker_fragments_columnar(
@@ -242,12 +284,19 @@ def _merged_answer_table(
     """Dispatch: segmented fleet-wide join, per-worker loop fallback.
 
     Args:
-        segmented: None (default) tries the segmented path and falls
-            back when pools are unavailable; True requires it (raises
-            if unavailable -- used by tests); False forces the
-            per-worker reference loop.
+        segmented: None (default) picks a path with the
+            :func:`_prefer_segmented` size heuristic (and falls back
+            to per-worker when pools are unavailable); True requires
+            the segmented path (raises if unavailable -- used by
+            tests); False forces the per-worker reference loop.
+            Either path returns identical answers and counts.
     """
     workers = list(workers)
+    if segmented is None:
+        if _prefer_segmented(query, simulator, workers, key_of) is False:
+            return merged_answer_table_per_worker(
+                query, simulator, workers, key_of
+            )
     if segmented is not False:
         result = fleet_answer_table(query, simulator, workers, key_of)
         if result is not None:

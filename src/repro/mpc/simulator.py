@@ -193,6 +193,38 @@ class MPCSimulator:
         self._received_bits = [0] * p
         self._received_tuples = [0] * p
 
+    def reset(
+        self,
+        input_bits: int | None = None,
+        enforce_capacity: bool | None = None,
+    ) -> None:
+        """Return the simulator to its just-constructed state.
+
+        The serving layer reuses one simulator across many plan
+        executions instead of allocating ``p`` mailboxes per request;
+        a reset drops every mailbox, delivery pool and report while
+        keeping the configuration.  Optionally rebinds the input size
+        (databases mutate between requests) and capacity enforcement.
+
+        An open round is aborted: a :class:`CapacityExceeded` raise
+        leaves the simulator mid-round by design (the algorithm died
+        there), and a reset is exactly how a serving layer recovers
+        the pooled simulator afterwards.
+        """
+        self._in_round = False
+        if input_bits is not None:
+            self.input_bits = input_bits
+        if enforce_capacity is not None:
+            self.enforce_capacity = enforce_capacity
+        self.report = SimulationReport(input_bits=self.input_bits)
+        for mailbox in self._mailboxes:
+            mailbox.clear()
+        self._round_index = 0
+        self._pools.clear()
+        self._merged_pools.clear()
+        self._row_delivered.clear()
+        self._reset_staging()
+
     # -- round lifecycle ----------------------------------------------------
 
     @property

@@ -1,0 +1,41 @@
+"""The serving layer: compile once, execute per request.
+
+The engine boundary (steps in, stats + mailboxes out) is the seam the
+whole package builds on: a :class:`~repro.serve.service.QueryService`
+is a long-lived process that accepts repeated ``execute(query)`` and
+``update(delta)`` calls over a mutating
+:class:`~repro.data.versioned.VersionedDatabase`, amortizing planning
+across requests:
+
+* a :class:`~repro.serve.cache.PlanCache` keyed by canonicalized
+  ``(query, eps, p, backend)`` -- isomorphic queries share one
+  compiled plan (:mod:`repro.core.isomorphism` supplies the witness
+  that rebinds relations and permutes answer columns);
+* a routing cache holding each plan step's pre-routed columns per
+  database version, so repeat executions skip the route phase
+  entirely and replay ship/deliver/local (loads and capacity checks
+  are recomputed, keeping cached and fresh runs bit-identical);
+* a result cache memoizing whole executions per (plan, rebind,
+  version) -- the repeated-query fast path, including cached
+  :class:`~repro.mpc.simulator.CapacityExceeded` failures;
+* simulator reuse: one :class:`~repro.mpc.simulator.MPCSimulator` per
+  configuration, reset between requests instead of reallocating ``p``
+  mailboxes;
+* per-request :class:`~repro.engine.profile.RoundProfiler` stats
+  aggregated into service-level counters.
+"""
+
+from repro.serve.cache import CacheRebind, PlanCache
+from repro.serve.service import (
+    QueryService,
+    ServiceResult,
+    ServiceStats,
+)
+
+__all__ = [
+    "CacheRebind",
+    "PlanCache",
+    "QueryService",
+    "ServiceResult",
+    "ServiceStats",
+]

@@ -1,0 +1,487 @@
+"""A long-lived query service over a mutating columnar database.
+
+:class:`QueryService` is the repeated-query serving loop the ROADMAP's
+heavy-traffic item asks for: construct it once over a database, then
+call :meth:`QueryService.execute` per request and
+:meth:`QueryService.update` when the data changes.  Three cache layers
+amortize work across requests, each guarded by the database version:
+
+1. **Plans** (:class:`~repro.serve.cache.PlanCache`): compilation --
+   covers, shares, grids, step lists -- runs once per isomorphism
+   class of (query, eps, p, backend).
+2. **Routing** : each plan step's routing decision
+   (:class:`~repro.engine.executor.RoutedStep`, the pre-hashed
+   destination columns) is cached per database version; replays skip
+   the route phase but re-run ship/deliver/local, so loads and
+   capacity behaviour are recomputed bit-identically.
+3. **Results**: whole executions are memoized per (plan, rebind,
+   version) -- the database is immutable between versions, so a
+   repeated query is answered without touching the simulator.  A
+   cached :class:`~repro.mpc.simulator.CapacityExceeded` is re-raised
+   the same way a fresh execution would raise it.
+
+Simulators are pooled per configuration and reset between requests
+(allocating ``p`` mailboxes per request is measurable at serving
+rates), and each execution's
+:class:`~repro.engine.profile.RoundProfiler` phases are aggregated
+into the service-level :class:`ServiceStats`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.backend import resolve_backend
+from repro.core.plans import build_plan
+from repro.core.query import ConjunctiveQuery, parse_query
+from repro.data.columnar import ColumnarDatabase, ColumnarRelation
+from repro.data.database import Database
+from repro.data.versioned import DatabaseDelta, VersionedDatabase
+from repro.engine import Plan, RoundProfiler, execute_plan, plan_config
+from repro.engine.profile import PHASES
+from repro.mpc.simulator import CapacityExceeded, MPCSimulator
+from repro.mpc.stats import SimulationReport
+from repro.serve.cache import (
+    CacheRebind,
+    PlanCache,
+    PlanCacheStats,
+    identity_rebind,
+)
+
+#: Per-algorithm default capacity constants (match the ``run_*``
+#: entry points so service executions are bit-identical to them).
+_DEFAULT_CAPACITY_C = {
+    "hypercube": 4.0,
+    "skewaware": 4.0,
+    "multiround": 8.0,
+}
+
+
+class _LRU:
+    """A minimal LRU store with predicate purging."""
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._entries: OrderedDict[Any, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Any) -> Any | None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: Any, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def purge(self, stale: Callable[[Any], bool]) -> int:
+        """Drop entries whose *key* satisfies ``stale``."""
+        victims = [key for key in self._entries if stale(key)]
+        for key in victims:
+            del self._entries[key]
+        return len(victims)
+
+
+class _ScopedRoutingCache:
+    """The ``(round, step) -> RoutedStep`` view one execution sees.
+
+    Scopes the service-wide routing store to one (plan variant,
+    database version) and counts hits/misses into the service stats.
+    """
+
+    def __init__(self, store: _LRU, scope: tuple, stats: "ServiceStats") -> None:
+        self._store = store
+        self._scope = scope
+        self._stats = stats
+
+    def get(self, key: tuple) -> Any | None:
+        value = self._store.get((self._scope, key))
+        if value is None:
+            self._stats.routing_misses += 1
+        else:
+            self._stats.routing_hits += 1
+        return value
+
+    def __setitem__(self, key: tuple, value: Any) -> None:
+        self._store.put((self._scope, key), value)
+
+
+@dataclass
+class ServiceStats:
+    """Service-level counters, aggregated across every request.
+
+    ``phase_seconds`` folds each execution's per-round
+    route/ship/deliver/local profile into running totals -- the
+    serving-time answer to "where does a request's time go".
+    """
+
+    requests: int = 0
+    executions: int = 0
+    result_hits: int = 0
+    routing_hits: int = 0
+    routing_misses: int = 0
+    updates: int = 0
+    answers_served: int = 0
+    capacity_failures: int = 0
+    phase_seconds: dict[str, float] = field(
+        default_factory=lambda: {phase: 0.0 for phase in PHASES}
+    )
+    plans: PlanCacheStats = field(default_factory=PlanCacheStats)
+
+    def add_profile(self, profiler: RoundProfiler) -> None:
+        """Fold one execution's phase timings into the totals."""
+        for phase in PHASES:
+            self.phase_seconds[phase] += profiler.phase_total(phase)
+
+
+@dataclass
+class ServiceResult:
+    """One request's outcome.
+
+    Attributes:
+        answers: sorted answer tuples in the *request* query's head
+            order.
+        per_server: per-worker answer counts of the canonical plan
+            execution (padded to ``p``).
+        report: the execution's communication statistics (shared with
+            other requests that hit the same cached result).
+        plan: the (possibly shared) compiled plan that served this.
+        version: the database version answered against.
+        plan_hit: the plan came from the cache.
+        result_hit: the whole execution was memoized.
+        heavy_hitters: heavy values bound during execution (skew-aware
+            plans only).
+    """
+
+    answers: tuple[tuple[int, ...], ...]
+    per_server: tuple[int, ...]
+    report: SimulationReport
+    plan: Plan
+    version: int
+    plan_hit: bool
+    result_hit: bool
+    heavy_hitters: dict[str, frozenset[int]] | None = None
+
+
+@dataclass
+class _Outcome:
+    """A memoized execution (answers in plan head order)."""
+
+    answers: tuple[tuple[int, ...], ...]
+    per_server: tuple[int, ...]
+    report: SimulationReport
+    heavy_hitters: dict[str, frozenset[int]] | None
+    error: CapacityExceeded | None = None
+
+
+class QueryService:
+    """Serve repeated conjunctive queries over one mutating database.
+
+    Args:
+        database: initial contents; wrapped in (or used as) a
+            :class:`~repro.data.versioned.VersionedDatabase`.
+        p: number of workers every request runs on.
+        algorithm: which compiler serves requests -- ``"hypercube"``
+            (default), ``"skewaware"`` or ``"multiround"``.
+        eps: space exponent; None lets each query use its own default
+            (HC's space exponent; multiround requires a value and
+            falls back to 0).
+        backend: compute backend, resolved once for every request.
+        seed: hash-family seed shared by all plans.
+        capacity_c: capacity constant; None picks the algorithm's
+            ``run_*`` default.
+        enforce_capacity: raise :class:`CapacityExceeded` on overload
+            (cached failures re-raise identically).
+        plan_cache_size / routing_cache_size / result_cache_size:
+            entry budgets of the three cache layers; a size of 0
+            disables that layer.
+        reuse_simulators: reset-and-reuse one simulator per MPC
+            configuration instead of allocating per request.
+        profile: collect per-request phase timings into
+            :attr:`stats` (a tiny overhead; disable for raw speed).
+    """
+
+    def __init__(
+        self,
+        database: Database
+        | ColumnarDatabase
+        | VersionedDatabase
+        | Mapping[str, ColumnarRelation],
+        p: int,
+        *,
+        algorithm: str = "hypercube",
+        eps: Fraction | float | None = None,
+        backend: str | None = None,
+        seed: int = 0,
+        capacity_c: float | None = None,
+        enforce_capacity: bool = False,
+        plan_cache_size: int = 128,
+        routing_cache_size: int = 512,
+        result_cache_size: int = 512,
+        reuse_simulators: bool = True,
+        profile: bool = True,
+    ) -> None:
+        if algorithm not in _DEFAULT_CAPACITY_C:
+            raise ValueError(
+                f"unknown serving algorithm {algorithm!r}; expected one "
+                f"of {sorted(_DEFAULT_CAPACITY_C)}"
+            )
+        self.backend = resolve_backend(backend)
+        if isinstance(database, VersionedDatabase):
+            self._database = database
+        else:
+            self._database = VersionedDatabase(database, backend=self.backend)
+        self.p = p
+        self.algorithm = algorithm
+        self.eps = None if eps is None else Fraction(eps)
+        self.seed = seed
+        self.capacity_c = (
+            _DEFAULT_CAPACITY_C[algorithm]
+            if capacity_c is None
+            else capacity_c
+        )
+        self.enforce_capacity = enforce_capacity
+        self.profile = profile
+        self.reuse_simulators = reuse_simulators
+
+        self.stats = ServiceStats()
+        self._plans = (
+            PlanCache(maxsize=plan_cache_size)
+            if plan_cache_size > 0
+            else None
+        )
+        if self._plans is not None:
+            self.stats.plans = self._plans.stats
+        self._routing = (
+            _LRU(routing_cache_size) if routing_cache_size > 0 else None
+        )
+        self._results = (
+            _LRU(result_cache_size) if result_cache_size > 0 else None
+        )
+        self._simulators: dict[tuple, MPCSimulator] = {}
+        self._params = (
+            algorithm,
+            self.eps,
+            p,
+            self.backend,
+            seed,
+            self.capacity_c,
+            enforce_capacity,
+        )
+
+    # -- read side ----------------------------------------------------------
+
+    @property
+    def database(self) -> VersionedDatabase:
+        """The service's versioned database."""
+        return self._database
+
+    @property
+    def version(self) -> int:
+        """Current database version."""
+        return self._database.version
+
+    def execute(
+        self,
+        query: str | ConjunctiveQuery,
+        profiler: RoundProfiler | None = None,
+    ) -> ServiceResult:
+        """Answer one query against the current database version.
+
+        Args:
+            query: query text (parsed here) or an already-built
+                :class:`~repro.core.query.ConjunctiveQuery`.
+            profiler: optional external profiler; phases are recorded
+                only when the request actually executes (a memoized
+                result has no phases to measure).
+
+        Returns:
+            A :class:`ServiceResult` with answers in the request's
+            head order.
+
+        Raises:
+            CapacityExceeded: when enforcement is on and the execution
+                (fresh or memoized) overflowed a worker.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        self.stats.requests += 1
+        if self._plans is not None:
+            plan, rebind, plan_hit = self._plans.get_or_compile(
+                query, self._params, self._compile
+            )
+        else:
+            plan = self._compile(query)
+            rebind = identity_rebind(query)
+            plan_hit = False
+            self.stats.plans.misses += 1
+        variant = (plan.signature.cache_key, rebind.relation_map)
+        version = self._database.version
+        outcome: _Outcome | None = None
+        if self._results is not None:
+            outcome = self._results.get((variant, version))
+        result_hit = outcome is not None
+        if outcome is None:
+            outcome = self._execute(plan, rebind, variant, version, profiler)
+            if self._results is not None:
+                self._results.put((variant, version), outcome)
+        else:
+            self.stats.result_hits += 1
+        if outcome.error is not None:
+            self.stats.capacity_failures += 1
+            raise outcome.error
+        answers = rebind.remap_answers(outcome.answers)
+        self.stats.answers_served += len(answers)
+        return ServiceResult(
+            answers=answers,
+            per_server=outcome.per_server,
+            report=outcome.report,
+            plan=plan,
+            version=version,
+            plan_hit=plan_hit,
+            result_hit=result_hit,
+            heavy_hitters=outcome.heavy_hitters,
+        )
+
+    # -- write side ---------------------------------------------------------
+
+    def update(
+        self,
+        inserts: Mapping[str, Iterable[Sequence[int]]] | None = None,
+        deletes: Mapping[str, Iterable[Sequence[int]]] | None = None,
+    ) -> int:
+        """Mutate the database; returns the new version.
+
+        Plans survive (they are data-independent); routing decisions
+        and memoized results of older versions are purged eagerly so
+        the caches never serve stale data even if version comparison
+        were skipped.
+        """
+        return self.apply_delta(DatabaseDelta.of(inserts, deletes))
+
+    def apply_delta(self, delta: DatabaseDelta) -> int:
+        """Apply a prepared delta; see :meth:`update`."""
+        version = self._database.apply_delta(delta)
+        self.stats.updates += 1
+        if self._routing is not None:
+            self._routing.purge(lambda key: key[0][1] != version)
+        if self._results is not None:
+            self._results.purge(lambda key: key[1] != version)
+        return version
+
+    # -- internals ----------------------------------------------------------
+
+    def _compile(self, query: ConjunctiveQuery) -> Plan:
+        if self.algorithm == "hypercube":
+            from repro.algorithms.hypercube import compile_hypercube
+
+            return compile_hypercube(
+                query,
+                self.p,
+                eps=self.eps,
+                seed=self.seed,
+                capacity_c=self.capacity_c,
+                enforce_capacity=self.enforce_capacity,
+                backend=self.backend,
+            )
+        if self.algorithm == "skewaware":
+            from repro.algorithms.skewaware import compile_skew_aware
+
+            return compile_skew_aware(
+                query,
+                self.p,
+                eps=self.eps,
+                seed=self.seed,
+                capacity_c=self.capacity_c,
+                enforce_capacity=self.enforce_capacity,
+                backend=self.backend,
+            )
+        from repro.algorithms.multiround import compile_multiround
+
+        logical = build_plan(
+            query, Fraction(0) if self.eps is None else self.eps
+        )
+        return compile_multiround(
+            logical,
+            self.p,
+            seed=self.seed,
+            capacity_c=self.capacity_c,
+            enforce_capacity=self.enforce_capacity,
+            backend=self.backend,
+        )
+
+    def _simulator_for(self, plan: Plan) -> MPCSimulator | None:
+        if not self.reuse_simulators:
+            return None
+        config = plan_config(plan)
+        key = (config.p, config.eps, config.c, config.backend)
+        simulator = self._simulators.get(key)
+        if simulator is None:
+            simulator = MPCSimulator(
+                config,
+                input_bits=self._database.total_bits,
+                enforce_capacity=plan.signature.enforce_capacity,
+            )
+            self._simulators[key] = simulator
+        return simulator
+
+    def _execute(
+        self,
+        plan: Plan,
+        rebind: CacheRebind,
+        variant: tuple,
+        version: int,
+        profiler: RoundProfiler | None,
+    ) -> _Outcome:
+        if profiler is None and self.profile:
+            profiler = RoundProfiler()
+        routed_cache = (
+            _ScopedRoutingCache(self._routing, (variant, version), self.stats)
+            if self._routing is not None
+            else None
+        )
+        relation_map = (
+            None if rebind.is_identity else dict(rebind.relation_map)
+        )
+        error: CapacityExceeded | None = None
+        try:
+            execution = execute_plan(
+                plan,
+                self._database.snapshot,
+                profiler=profiler,
+                simulator=self._simulator_for(plan),
+                routed_cache=routed_cache,
+                relation_map=relation_map,
+            )
+        except CapacityExceeded as exc:
+            error = exc
+            execution = None
+        self.stats.executions += 1
+        if profiler is not None:
+            self.stats.add_profile(profiler)
+        if error is not None:
+            # The report lives on the pooled simulator that raised;
+            # keep the failure itself, which carries worker/round/bits.
+            return _Outcome(
+                answers=(),
+                per_server=(),
+                report=SimulationReport(
+                    input_bits=self._database.total_bits
+                ),
+                heavy_hitters=None,
+                error=error,
+            )
+        return _Outcome(
+            answers=execution.answers,
+            per_server=execution.per_server,
+            report=execution.report,
+            heavy_hitters=execution.heavy_hitters,
+        )

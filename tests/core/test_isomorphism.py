@@ -105,3 +105,53 @@ class TestPaperContractionClaims:
 
         arm = spider_query(3).subquery(["R1", "S1"])
         assert are_isomorphic(arm, line_query(2))
+
+
+class TestQueryIsomorphismWitness:
+    """The full witness (variables + atoms) the plan cache relies on."""
+
+    def test_atom_mapping_pairs_structural_twins(self):
+        from repro.core.isomorphism import find_query_isomorphism
+
+        a = parse_query("S1(x,y), S2(y,z)")
+        b = parse_query("R(u,v), Q(v,w)")
+        witness = find_query_isomorphism(a, b)
+        assert witness is not None
+        assert witness.variables == {"x": "u", "y": "v", "z": "w"}
+        assert witness.atoms == {"S1": "R", "S2": "Q"}
+
+    def test_atom_mapping_respects_positions(self):
+        from repro.core.isomorphism import find_query_isomorphism
+
+        a = parse_query("S1(x,y), S2(y,z)")
+        b = parse_query("S2(a,b), S1(b,c)")
+        witness = find_query_isomorphism(a, b)
+        assert witness is not None
+        # Positional consistency: each left atom maps to the right
+        # atom whose variables are the mapped ones, in order.
+        for left_name, right_name in witness.atoms.items():
+            left_atom = a.atom(left_name)
+            right_atom = b.atom(right_name)
+            assert tuple(
+                witness.variables[v] for v in left_atom.variables
+            ) == right_atom.variables
+
+    def test_atom_mapping_is_a_bijection_on_cycles(self):
+        from repro.core.isomorphism import find_query_isomorphism
+
+        a = cycle_query(3)
+        b = parse_query("T3(u,v), T1(v,w), T2(w,u)")
+        witness = find_query_isomorphism(a, b)
+        assert witness is not None
+        assert sorted(witness.atoms.values()) == ["T1", "T2", "T3"]
+
+    def test_none_for_non_isomorphic(self):
+        from repro.core.isomorphism import find_query_isomorphism
+
+        assert (
+            find_query_isomorphism(line_query(3), star_query(3)) is None
+        )
+
+    def test_find_isomorphism_unchanged_by_witness_refactor(self):
+        a = parse_query("S1(x,y), S2(y,z)")
+        assert find_isomorphism(a, a) == {"x": "x", "y": "y", "z": "z"}

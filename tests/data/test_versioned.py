@@ -1,0 +1,100 @@
+"""Unit tests for the versioned mutating database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend import numpy_available
+from repro.core.query import parse_query
+from repro.data.columnar import ColumnarDatabase, ColumnarRelation
+from repro.data.database import DataError
+from repro.data.matching import matching_database
+from repro.data.versioned import DatabaseDelta, VersionedDatabase
+
+BACKENDS = ["pure"] + (["numpy"] if numpy_available() else [])
+
+VOCAB = parse_query("S1(x,y), S2(y,z)")
+
+
+def _versioned(backend="pure", n=20):
+    return VersionedDatabase(
+        matching_database(VOCAB, n=n, rng=1), backend=backend
+    )
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_wraps_row_database(self, backend):
+        versioned = _versioned(backend)
+        assert versioned.version == 0
+        assert versioned.backend == backend
+        assert isinstance(versioned.snapshot, ColumnarDatabase)
+        assert set(r.name for r in versioned) == {"S1", "S2"}
+        assert len(versioned) == 2
+        assert "S1" in versioned
+
+    def test_wraps_columnar_mapping(self):
+        relation = ColumnarRelation.from_rows(
+            "R", [(1, 2), (2, 3)], domain_size=5, backend="pure"
+        )
+        versioned = VersionedDatabase({"R": relation}, backend="pure")
+        assert versioned.domain_size == 5
+        assert versioned.total_bits == relation.size_bits
+
+
+class TestDeltas:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_insert_bumps_version_and_contents(self, backend):
+        versioned = _versioned(backend)
+        old_snapshot = versioned.snapshot
+        rows_before = set(old_snapshot["S1"].rows())
+        version = versioned.update(inserts={"S1": [(1, 2)]})
+        assert version == 1 and versioned.version == 1
+        assert set(versioned["S1"].rows()) == rows_before | {(1, 2)}
+        # Snapshots are immutable values: the old one is untouched.
+        assert set(old_snapshot["S1"].rows()) == rows_before
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_delete_is_idempotent(self, backend):
+        versioned = _versioned(backend)
+        row = next(iter(versioned["S1"].rows()))
+        versioned.update(deletes={"S1": [row]})
+        assert row not in set(versioned["S1"].rows())
+        versioned.update(deletes={"S1": [row]})  # absent: no error
+        assert versioned.version == 2
+
+    def test_insert_grows_domain_and_bits(self):
+        versioned = _versioned()
+        bits_before = versioned.total_bits
+        n = versioned.domain_size
+        versioned.update(inserts={"S1": [(n + 100, 1)]})
+        assert versioned.domain_size == n + 100
+        assert versioned.total_bits != bits_before
+
+    def test_new_relation_via_insert(self):
+        versioned = _versioned()
+        versioned.update(inserts={"R": [(1, 2, 3)]})
+        assert versioned["R"].arity == 3
+
+    def test_delete_from_unknown_relation_errors(self):
+        versioned = _versioned()
+        with pytest.raises(DataError, match="unknown"):
+            versioned.update(deletes={"nope": [(1,)]})
+
+    def test_empty_delta_still_bumps_version(self):
+        versioned = _versioned()
+        delta = DatabaseDelta.of()
+        assert delta.is_empty
+        assert versioned.apply_delta(delta) == 1
+
+    def test_ragged_insert_rejected(self):
+        versioned = _versioned()
+        with pytest.raises(DataError):
+            versioned.update(inserts={"S1": [(1, 2, 3)]})
+
+    def test_inserts_deduplicate_against_existing(self):
+        versioned = _versioned()
+        row = next(iter(versioned["S1"].rows()))
+        size = len(versioned["S1"])
+        versioned.update(inserts={"S1": [row]})
+        assert len(versioned["S1"]) == size

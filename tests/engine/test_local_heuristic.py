@@ -1,0 +1,141 @@
+"""The segmented-vs-per-worker size heuristic (engine/local.py).
+
+Both sides of the dispatch must be reachable, pick the path the
+density says, and return identical answers either way.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.engine.local as local
+from repro.backend import numpy_available
+from repro.core.query import parse_query
+from repro.data.matching import matching_database
+from repro.engine import GridSpec, HashRoute, RoundEngine, collect_answers
+from repro.mpc.model import MPCConfig
+from repro.mpc.routing import HashFamily
+from repro.mpc.simulator import MPCSimulator
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="numpy backend unavailable"
+)
+
+
+def _routed_round(n=50, p=8):
+    query = parse_query("S1(x,y), S2(y,z)")
+    database = matching_database(query, n=n, rng=3)
+    grid = GridSpec.from_shares(
+        query.variables,
+        {"x": 1, "y": p, "z": 1},
+        HashFamily(0),
+    )
+    config = MPCConfig(p=p, backend="numpy")
+    simulator = MPCSimulator(
+        config, input_bits=database.total_bits, enforce_capacity=False
+    )
+    from repro.data.columnar import columnar_database
+
+    RoundEngine(simulator).run_round(
+        [
+            HashRoute(relation=atom.name, atom=atom, grid=grid)
+            for atom in query.atoms
+        ],
+        columnar_database(database, "numpy"),
+    )
+    return query, simulator, list(range(p))
+
+
+class TestHeuristicDecision:
+    def test_dense_deliveries_prefer_segmented(self):
+        query, simulator, workers = _routed_round()
+        # Hash-partitioned deliveries of a matching database: total
+        # rows == 2n, max key == n, so density == 2/len(workers)...
+        # force the decision boundaries with the threshold itself.
+        assert (
+            local._prefer_segmented(
+                query, simulator, [0], local._identity_key
+            )
+            is True
+        )
+
+    def test_sparse_deliveries_prefer_per_worker(self):
+        query, simulator, workers = _routed_round()
+        assert (
+            local._prefer_segmented(
+                query, simulator, list(range(1000)), local._identity_key
+            )
+            is False
+        )
+
+    def test_missing_pools_return_none(self):
+        query, simulator, workers = _routed_round()
+        simulator.begin_round()
+        simulator.send(0, 0, "S1", [(1, 1)], 2)  # row-path delivery
+        simulator.end_round()
+        assert (
+            local._prefer_segmented(
+                query, simulator, workers, local._identity_key
+            )
+            is None
+        )
+
+
+class TestDispatch:
+    def _spy(self, monkeypatch):
+        calls = []
+        fleet = local.fleet_answer_table
+        per_worker = local.merged_answer_table_per_worker
+
+        def spy_fleet(*args, **kwargs):
+            calls.append("segmented")
+            return fleet(*args, **kwargs)
+
+        def spy_per_worker(*args, **kwargs):
+            calls.append("per-worker")
+            return per_worker(*args, **kwargs)
+
+        monkeypatch.setattr(local, "fleet_answer_table", spy_fleet)
+        monkeypatch.setattr(
+            local, "merged_answer_table_per_worker", spy_per_worker
+        )
+        return calls
+
+    def test_default_dispatch_segmented_side(self, monkeypatch):
+        query, simulator, workers = _routed_round()
+        calls = self._spy(monkeypatch)
+        monkeypatch.setattr(local, "SEGMENTED_DENSITY_THRESHOLD", 0.0)
+        answers, per_server = collect_answers(
+            query, simulator, workers, "numpy"
+        )
+        assert calls == ["segmented"]
+        reference = collect_answers(
+            query, simulator, workers, "numpy", segmented=False
+        )
+        assert (answers, per_server) == reference
+
+    def test_default_dispatch_per_worker_side(self, monkeypatch):
+        query, simulator, workers = _routed_round()
+        calls = self._spy(monkeypatch)
+        monkeypatch.setattr(
+            local, "SEGMENTED_DENSITY_THRESHOLD", float("inf")
+        )
+        answers, per_server = collect_answers(
+            query, simulator, workers, "numpy"
+        )
+        assert calls == ["per-worker"]
+        reference = collect_answers(
+            query, simulator, workers, "numpy", segmented=True
+        )
+        assert (answers, per_server) == reference
+
+    def test_both_sides_identical_at_real_threshold(self):
+        query, simulator, workers = _routed_round()
+        segmented = collect_answers(
+            query, simulator, workers, "numpy", segmented=True
+        )
+        per_worker = collect_answers(
+            query, simulator, workers, "numpy", segmented=False
+        )
+        default = collect_answers(query, simulator, workers, "numpy")
+        assert segmented == per_worker == default

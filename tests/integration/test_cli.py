@@ -191,3 +191,95 @@ class TestProfileFlag:
         output = capsys.readouterr().out
         assert code == 0
         assert "timing breakdown" not in output
+
+
+class TestServe:
+    def _script(self, tmp_path, lines):
+        path = tmp_path / "script.txt"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return str(path)
+
+    def test_run_update_stats_script(self, capsys, tmp_path):
+        script = self._script(
+            tmp_path,
+            [
+                "# comment and blank lines are skipped",
+                "",
+                "run S1(x,y), S2(y,z)",
+                "run S1(x,y), S2(y,z)",
+                "run S2(a,b), S1(b,c)",
+                "update S1 1,2 3,4",
+                "run S1(x,y), S2(y,z)",
+                "delete S1 1,2",
+                "stats",
+                "exit",
+            ],
+        )
+        code = main(
+            ["serve", "--script", script, "--n", "40", "--p", "4"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "serving" in output
+        assert "result:hit" in output       # repeated query memoized
+        assert "plan:hit result:miss" in output  # isomorphic variant
+        assert "v1: updated 2 rows in S1" in output
+        assert "v2: deleted 1 rows in S1" in output
+        assert "result hits" in output      # stats table
+        assert "plan misses (compiles)" in output
+
+    def test_errors_do_not_kill_the_loop(self, capsys, tmp_path):
+        script = self._script(
+            tmp_path,
+            [
+                "run garbage(",
+                "frobnicate",
+                "update",
+                "run S1(x,y)",
+                "exit",
+            ],
+        )
+        code = main(["serve", "--script", script, "--n", "20", "--p", "4"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert output.count("error:") == 3
+        assert "answers in" in output  # the valid query still ran
+
+    def test_update_reflects_in_answers(self, capsys, tmp_path):
+        script = self._script(
+            tmp_path,
+            [
+                "run S1(x,y)",
+                "update S1 7,9",
+                "run S1(x,y)",
+                "exit",
+            ],
+        )
+        code = main(["serve", "--script", script, "--n", "10", "--p", "2"])
+        output = capsys.readouterr().out
+        assert code == 0
+        counts = [
+            int(line.split()[0])
+            for line in output.splitlines()
+            if "answers in" in line
+        ]
+        assert counts[1] == counts[0] + 1
+
+    def test_bad_updates_report_errors_without_crashing(
+        self, capsys, tmp_path
+    ):
+        script = self._script(
+            tmp_path,
+            [
+                "delete Nope 1,2",      # unknown relation (DataError)
+                "update S1 1,2,3",      # wrong arity (DataError)
+                "update S1 0,1",        # value below domain (DataError)
+                "run S1(x,y)",
+                "exit",
+            ],
+        )
+        code = main(["serve", "--script", script, "--n", "20", "--p", "4"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert output.count("error:") == 3
+        assert "answers in" in output

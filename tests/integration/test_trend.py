@@ -1,0 +1,117 @@
+"""Tests for the benchmark trend gate (benchmarks/trend.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_TREND_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "..", "benchmarks", "trend.py"
+)
+
+
+@pytest.fixture(scope="module")
+def trend():
+    spec = importlib.util.spec_from_file_location("trend", _TREND_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write(directory, name, payload):
+    directory.mkdir(exist_ok=True)
+    (directory / name).write_text(json.dumps(payload), encoding="utf-8")
+
+
+class TestSpeedupFields:
+    def test_only_speedup_numerics_collected(self, trend):
+        fields = trend.speedup_fields(
+            {
+                "speedup": 5.0,
+                "segmented_speedup": 2,
+                "seconds": 1.0,
+                "speedup_note": "text",
+            }
+        )
+        assert fields == {"speedup": 5.0, "segmented_speedup": 2.0}
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self, trend):
+        regressions, notes = trend.compare(
+            {"BENCH_a.json": {"speedup": 5.0}},
+            {"BENCH_a.json": {"speedup": 4.5}},
+            tolerance=0.2,
+        )
+        assert regressions == []
+        assert any("BENCH_a.json:speedup" in note for note in notes)
+
+    def test_regression_beyond_tolerance_fails(self, trend):
+        regressions, _ = trend.compare(
+            {"BENCH_a.json": {"speedup": 5.0}},
+            {"BENCH_a.json": {"speedup": 3.9}},
+            tolerance=0.2,
+        )
+        assert len(regressions) == 1
+        assert "BENCH_a.json:speedup" in regressions[0]
+
+    def test_new_and_dropped_benchmarks_are_notes(self, trend):
+        regressions, notes = trend.compare(
+            {"BENCH_old.json": {"speedup": 2.0}},
+            {"BENCH_new.json": {"speedup": 9.0}},
+            tolerance=0.2,
+        )
+        assert regressions == []
+        assert any("previous run only" in note for note in notes)
+        assert any("new benchmark" in note for note in notes)
+
+
+class TestMain:
+    def test_missing_previous_directory_passes(self, trend, tmp_path, capsys):
+        current = tmp_path / "current"
+        _write(current, "BENCH_x.json", {"speedup": 4.0})
+        code = trend.main(
+            ["--previous", str(tmp_path / "missing"), "--current", str(current)]
+        )
+        assert code == 0
+        assert "baseline" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, trend, tmp_path, capsys):
+        previous = tmp_path / "previous"
+        current = tmp_path / "current"
+        _write(previous, "BENCH_x.json", {"speedup": 10.0})
+        _write(current, "BENCH_x.json", {"speedup": 5.0})
+        code = trend.main(
+            ["--previous", str(previous), "--current", str(current)]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_healthy_run_exits_zero(self, trend, tmp_path):
+        previous = tmp_path / "previous"
+        current = tmp_path / "current"
+        _write(previous, "BENCH_x.json", {"speedup": 10.0})
+        _write(current, "BENCH_x.json", {"speedup": 9.5})
+        assert (
+            trend.main(
+                ["--previous", str(previous), "--current", str(current)]
+            )
+            == 0
+        )
+
+    def test_unreadable_json_is_skipped(self, trend, tmp_path, capsys):
+        previous = tmp_path / "previous"
+        current = tmp_path / "current"
+        _write(previous, "BENCH_x.json", {"speedup": 1.0})
+        _write(current, "BENCH_x.json", {"speedup": 1.0})
+        (current / "BENCH_broken.json").write_text("{", encoding="utf-8")
+        assert (
+            trend.main(
+                ["--previous", str(previous), "--current", str(current)]
+            )
+            == 0
+        )
+        assert "skipping unreadable" in capsys.readouterr().out

@@ -15,22 +15,41 @@ A complete Python implementation of Beame, Koutris and Suciu,
   (:mod:`repro.data`), and
 * table/figure regeneration harnesses (:mod:`repro.analysis`).
 
-Quickstart::
+Quickstart -- the planner-backed Session front door::
 
-    from fractions import Fraction
-    from repro import core, data, algorithms
+    from repro import connect, core, data
 
     q = core.parse_query("C3(x,y,z) = S1(x,y), S2(y,z), S3(z,x)")
     print(core.covering_number(q))        # 3/2
     print(core.space_exponent(q))         # 1/3
 
-    db = data.matching_database(q, n=100, rng=0)
-    result = algorithms.run_hypercube(q, db, p=16)
+    session = connect(data.matching_database(q, n=100, rng=0), p=16)
+    statement = session.query(q)
+    print(statement.explain().format())   # chosen algorithm + why
+    result = statement.execute()          # planner picks the route
     print(len(result.answers), result.report.summary())
+
+The per-algorithm ``run_*`` entry points in :mod:`repro.algorithms`
+remain for parity testing and scripting but are deprecated for
+application code -- ``connect`` is the front door.
 """
 
-from repro import algorithms, analysis, core, data, lp, mpc
+from repro import algorithms, analysis, api, core, data, lp, mpc
+from repro.api import Result, Session, Statement, connect
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["algorithms", "analysis", "core", "data", "lp", "mpc", "__version__"]
+__all__ = [
+    "algorithms",
+    "analysis",
+    "api",
+    "core",
+    "data",
+    "lp",
+    "mpc",
+    "Result",
+    "Session",
+    "Statement",
+    "connect",
+    "__version__",
+]

@@ -191,7 +191,16 @@ def run_hypercube(
         An :class:`HCResult`; ``answers`` equals the true query answer
         on any database (HC never misses: every potential answer is
         assembled at exactly one grid point).
+
+    .. deprecated:: 1.1
+        Application code should use :func:`repro.connect` -- the
+        Session planner routes to this same compiler (bit-identically)
+        when one-round HC wins.  This shim stays for parity suites and
+        benchmarks that pin the algorithm on purpose.
     """
+    from repro.algorithms.registry import warn_legacy_entry_point
+
+    warn_legacy_entry_point("run_hypercube")
     plan = compile_hypercube(
         query,
         p,

@@ -210,7 +210,15 @@ def run_plan(
     Returns:
         A :class:`MultiRoundResult`; ``answers`` is exactly
         ``plan.query`` evaluated on ``database``.
+
+    .. deprecated:: 1.1
+        Application code should use :func:`repro.connect` -- the
+        Session planner builds the logical plan and routes here when
+        multi-round wins the cost duel.
     """
+    from repro.algorithms.registry import warn_legacy_entry_point
+
+    warn_legacy_entry_point("run_plan")
     physical = compile_multiround(
         plan,
         p,

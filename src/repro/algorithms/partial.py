@@ -163,7 +163,14 @@ def run_partial_hypercube(
         cover: optional vertex cover (defaults to optimal).
         capacity_c: capacity constant for accounting.
         backend: ``"pure"`` (default), ``"numpy"`` or ``"auto"``.
+
+    .. deprecated:: 1.1
+        Application code should use :func:`repro.connect` with
+        ``allow_partial=True`` and a pinned ``eps``.
     """
+    from repro.algorithms.registry import warn_legacy_entry_point
+
+    warn_legacy_entry_point("run_partial_hypercube")
     plan = compile_partial_hypercube(
         query,
         p,

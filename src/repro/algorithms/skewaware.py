@@ -242,7 +242,15 @@ def run_hypercube_skew_aware(
 
     Identical interface to :func:`repro.algorithms.hypercube.run_hypercube`;
     on skew-free inputs the two produce identical routing.
+
+    .. deprecated:: 1.1
+        Application code should use :func:`repro.connect` -- the
+        Session planner routes here automatically when the skew
+        sample finds heavy hitters.
     """
+    from repro.algorithms.registry import warn_legacy_entry_point
+
+    warn_legacy_entry_point("run_hypercube_skew_aware")
     plan = compile_skew_aware(
         query,
         p,

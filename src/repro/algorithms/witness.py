@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 
 from repro.algorithms.partial import run_partial_hypercube
+from repro.algorithms.registry import legacy_entry_points_allowed
 from repro.core.query import parse_query
 from repro.data.database import Database
 from repro.data.generators import witness_database
@@ -72,9 +73,10 @@ def run_witness_experiment(
         },
         domain_size=n,
     )
-    partial = run_partial_hypercube(
-        WITNESS_CHAIN, chain_db, p=p, eps=Fraction(eps), seed=seed
-    )
+    with legacy_entry_points_allowed():
+        partial = run_partial_hypercube(
+            WITNESS_CHAIN, chain_db, p=p, eps=Fraction(eps), seed=seed
+        )
 
     recovered = tuple(
         row

@@ -27,6 +27,7 @@ from repro.algorithms.components import run_dense_two_round, run_hash_to_min
 from repro.algorithms.hypercube import run_hypercube
 from repro.algorithms.multiround import run_plan
 from repro.algorithms.partial import run_partial_hypercube
+from repro.algorithms.registry import legacy_entry_points_allowed
 from repro.algorithms.witness import run_witness_experiment
 from repro.core.bounds import (
     cc_round_lower_bound,
@@ -67,9 +68,11 @@ def sweep_hc_load(
         loads = []
         for trial in range(trials):
             database = matching_database(query, n, rng=seed + trial)
-            result = run_hypercube(
-                query, database, p=p, seed=seed + trial, backend=backend
-            )
+            with legacy_entry_points_allowed():
+                result = run_hypercube(
+                    query, database, p=p, seed=seed + trial,
+                    backend=backend,
+                )
             loads.append(result.report.max_load_tuples)
         theory = (
             query.num_atoms * n / float(p) ** float(1 - eps)
@@ -107,9 +110,10 @@ def sweep_one_round_fraction(
         fractions = []
         for trial in range(trials):
             database = matching_database(query, n, rng=seed + 31 * trial)
-            result = run_partial_hypercube(
-                query, database, p=p, eps=eps, seed=seed + 17 * trial
-            )
+            with legacy_entry_points_allowed():
+                result = run_partial_hypercube(
+                    query, database, p=p, eps=eps, seed=seed + 17 * trial
+                )
             fractions.append(result.reported_fraction)
         theory = one_round_answer_fraction(query, eps, p)
         measured = statistics.mean(fractions)
@@ -151,7 +155,8 @@ def sweep_multiround_rounds(
         )
         for eps in eps_values:
             plan = build_plan(query, eps)
-            result = run_plan(plan, database, p=p, seed=seed)
+            with legacy_entry_points_allowed():
+                result = run_plan(plan, database, p=p, seed=seed)
             if result.answers != truth:
                 raise AssertionError(
                     f"plan execution wrong for L{k} at eps={eps}"

@@ -1,0 +1,22 @@
+"""The public API: one front door, a planner behind it.
+
+``repro.connect(database)`` opens a :class:`Session`;
+``session.query(text)`` prepares a :class:`Statement` supporting
+``.execute()``, ``.explain()`` and ``.stream()``.  A cost-based
+planner (:mod:`repro.planner`) picks the algorithm -- one-round
+HyperCube, skew-aware HC, a multi-round plan, or (opt-in) the
+below-threshold partial algorithm -- from the registry's declared
+cost models, bit-identically to calling the chosen ``compile_*`` /
+``run_*`` directly.
+
+The legacy per-algorithm entry points (``run_hypercube``,
+``run_plan``, ``run_hypercube_skew_aware``, ``run_partial_hypercube``)
+remain as thin compile+execute shims and are deprecated for
+application code in favour of this module; see the README's
+deprecation table.
+"""
+
+from repro.api.session import Result, Session, Statement, connect
+from repro.planner import Explain
+
+__all__ = ["Explain", "Result", "Session", "Statement", "connect"]

@@ -1,0 +1,496 @@
+"""The one front door: ``repro.connect(db)`` -> :class:`Session`.
+
+The paper is about *choosing* -- one round or many, which shares,
+full or partial answers -- so the public API no longer asks the
+caller to choose a ``run_*`` entry point.  A :class:`Session` wraps
+the serving stack (:class:`~repro.serve.service.QueryService` over a
+:class:`~repro.data.versioned.VersionedDatabase`) behind a planner:
+
+    session = repro.connect(database, p=16)
+    statement = session.query("S1(x,y), S2(y,z)")
+    answers = statement.execute().answers     # planner picks the route
+    print(statement.explain().format())       # ...and shows its work
+    for row in statement.stream():            # lazy row iteration
+        ...
+
+Every :class:`Statement` is lazy: nothing touches the data until
+``.execute()`` / ``.stream()`` (``.explain()`` reads only the cheap
+statistics profile).  Results are bit-identical to calling the chosen
+algorithm's ``run_*`` entry point directly -- the planner only decides
+*which* compiler runs, never *how*.
+
+Planner decisions and data profiles are cached per database version
+in bounded LRU stores, and the same ``Statement`` semantics are the
+wire protocol of the JSON-lines RPC server
+(:mod:`repro.serve.rpc`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.core.query import ConjunctiveQuery, parse_query
+from repro.data.columnar import ColumnarDatabase, ColumnarRelation
+from repro.data.database import Database
+from repro.data.versioned import DatabaseDelta, VersionedDatabase
+from repro.engine import Plan, RoundProfiler
+from repro.mpc.stats import SimulationReport
+from repro.planner import (
+    DataProfile,
+    Explain,
+    Planner,
+    PlannerChoice,
+    PlannerStats,
+    collect_profile,
+)
+from repro.planner.stats import SAMPLE_CAP
+from repro.serve.cache import LRUCache
+from repro.serve.service import QueryService, ServiceResult, ServiceStats
+
+#: Sentinel: "the session default", distinct from an explicit None.
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class Result:
+    """One executed statement's outcome.
+
+    Everything a :class:`~repro.serve.service.ServiceResult` carries,
+    plus the planner's :class:`~repro.planner.Explain` for the route
+    that produced it.  Iterating a result iterates its answer rows.
+    """
+
+    raw: ServiceResult
+    explain: Explain
+
+    @property
+    def answers(self) -> tuple[tuple[int, ...], ...]:
+        """Sorted answer tuples in the statement's head order."""
+        return self.raw.answers
+
+    @property
+    def algorithm(self) -> str:
+        """The compiler that served this result."""
+        return self.raw.algorithm
+
+    @property
+    def plan(self) -> Plan:
+        """The compiled plan that served this result."""
+        return self.raw.plan
+
+    @property
+    def report(self) -> SimulationReport:
+        """Communication statistics of the (possibly cached) run."""
+        return self.raw.report
+
+    @property
+    def per_server(self) -> tuple[int, ...]:
+        """Per-worker answer counts, zero-padded to ``p``."""
+        return self.raw.per_server
+
+    @property
+    def version(self) -> int:
+        """Database version the result was computed against."""
+        return self.raw.version
+
+    @property
+    def cached(self) -> bool:
+        """True when the whole execution was memoized."""
+        return self.raw.result_hit
+
+    @property
+    def heavy_hitters(self) -> dict[str, frozenset[int]] | None:
+        """Heavy values bound during execution (skew-aware routes)."""
+        return self.raw.heavy_hitters
+
+    @property
+    def view_sizes(self) -> dict[str, int]:
+        """Materialised intermediate-view sizes (multi-round routes)."""
+        return self.raw.view_sizes
+
+    def __len__(self) -> int:
+        return len(self.raw.answers)
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return iter(self.raw.answers)
+
+
+@dataclass(frozen=True)
+class Statement:
+    """A prepared query bound to a session -- the unit of execution.
+
+    Statements are immutable and lazy; build them with
+    :meth:`Session.query`.  The same object can be executed any number
+    of times (each execution answers against the database version
+    current at that moment).
+    """
+
+    session: "Session"
+    query: ConjunctiveQuery
+    eps: Fraction | None = None
+    algorithm: str | None = None
+    allow_partial: bool = False
+
+    @property
+    def text(self) -> str:
+        """Canonical text of the statement's query."""
+        return str(self.query)
+
+    def canonical_key(self) -> tuple:
+        """Hashable identity of this statement's semantics.
+
+        Two statements with equal keys, executed at the same database
+        version, return identical responses -- the coalescing key of
+        the RPC front end.
+        """
+        return (
+            str(self.query),
+            self.query.head,
+            self.eps,
+            self.algorithm,
+            self.allow_partial,
+        )
+
+    def plan(self) -> PlannerChoice:
+        """The planner's routing decision (cached per version)."""
+        return self.session._decide(self)
+
+    def explain(self) -> Explain:
+        """Why the planner routes this statement the way it does.
+
+        Reads only the statistics profile -- no execution happens.
+        """
+        return self.plan().explain
+
+    def describe_plan(self) -> dict:
+        """The compiled plan's structural summary (no execution).
+
+        Compiles through the session's plan cache (so a later
+        ``.execute()`` reuses the same plan) and returns
+        :meth:`repro.engine.plan.Plan.describe`.
+        """
+        choice = self.plan()
+        compiled = self.session.service.compile(
+            self.query, algorithm=choice.algorithm, eps=choice.eps
+        )
+        return compiled.describe()
+
+    def execute(self, profiler: RoundProfiler | None = None) -> Result:
+        """Execute the statement against the current version.
+
+        Raises:
+            QueryError: unknown relation / arity mismatch / no
+                eligible algorithm at the pinned ``eps``.
+            CapacityExceeded: when the session enforces capacity and
+                a worker overflowed.
+        """
+        return self.session._execute(self, profiler)
+
+    def stream(
+        self, batch_size: int = 1024
+    ) -> Iterator[tuple[int, ...]]:
+        """Iterate answer rows lazily.
+
+        Execution happens on the first ``next()``; rows are then
+        yielded in ``batch_size`` chunks from the (already memoized)
+        result, so abandoning the iterator early costs nothing extra.
+        The RPC server streams results to clients in the same batch
+        granularity.
+        """
+        if batch_size < 1:
+            raise ValueError(f"need batch_size >= 1, got {batch_size}")
+        result = self.execute()
+        for start in range(0, len(result.answers), batch_size):
+            yield from result.answers[start:start + batch_size]
+
+
+class Session:
+    """A long-lived connection to one (mutating) database.
+
+    The only public way in is :func:`repro.connect`.  A session owns:
+
+    * a :class:`~repro.serve.service.QueryService` (plan / routing /
+      result caches over a versioned database);
+    * a :class:`~repro.planner.Planner` choosing the compiler for
+      every statement from the registry's declared cost models;
+    * bounded LRU caches of planner decisions and data profiles, keyed
+      by database version.
+
+    Args:
+        database: initial contents (row database, columnar database,
+            mapping of columnar relations, or an existing
+            :class:`~repro.data.versioned.VersionedDatabase`).
+        p: number of workers every statement runs on.
+        backend: compute backend (``"pure"`` / ``"numpy"`` /
+            ``"auto"``).
+        seed: hash-family seed shared by all plans.
+        eps: session-default space exponent (None = per-statement
+            automatic).
+        algorithm: session-default algorithm pin (None = cost-based
+            planner); statements can still override per query.
+        capacity_c: capacity constant override (None = each chosen
+            algorithm's own default).
+        enforce_capacity: raise on worker overload.
+        plan_cache_size / routing_cache_size / result_cache_size:
+            entry budgets of the service's cache layers (0 disables).
+        decision_cache_size / profile_cache_size: entry budgets of the
+            planner-decision and data-profile caches (0 disables,
+            like the service cache sizes).
+        sample_cap: stride-sample relations beyond this many rows when
+            profiling.
+        reuse_simulators / profile: forwarded to the service.
+    """
+
+    def __init__(
+        self,
+        database: Database
+        | ColumnarDatabase
+        | VersionedDatabase
+        | Mapping[str, ColumnarRelation],
+        *,
+        p: int = 16,
+        backend: str | None = None,
+        seed: int = 0,
+        eps: Fraction | float | None = None,
+        algorithm: str | None = None,
+        capacity_c: float | None = None,
+        enforce_capacity: bool = False,
+        plan_cache_size: int = 128,
+        routing_cache_size: int = 512,
+        result_cache_size: int = 512,
+        decision_cache_size: int = 256,
+        profile_cache_size: int = 64,
+        sample_cap: int = SAMPLE_CAP,
+        reuse_simulators: bool = True,
+        profile: bool = True,
+    ) -> None:
+        self._service = QueryService(
+            database,
+            p,
+            algorithm="hypercube",
+            eps=None,
+            backend=backend,
+            seed=seed,
+            capacity_c=capacity_c,
+            enforce_capacity=enforce_capacity,
+            plan_cache_size=plan_cache_size,
+            routing_cache_size=routing_cache_size,
+            result_cache_size=result_cache_size,
+            reuse_simulators=reuse_simulators,
+            profile=profile,
+        )
+        self.default_eps = None if eps is None else Fraction(eps)
+        if algorithm is not None:
+            from repro.algorithms.registry import get_algorithm
+
+            get_algorithm(algorithm)  # raises QueryError on unknown names
+        self.default_algorithm = algorithm
+        self.planner_stats = PlannerStats()
+        self._planner = Planner(
+            p, self._service.backend, stats=self.planner_stats
+        )
+        self._decisions = (
+            LRUCache(decision_cache_size)
+            if decision_cache_size > 0
+            else None
+        )
+        self._profiles = (
+            LRUCache(profile_cache_size) if profile_cache_size > 0 else None
+        )
+        self._sample_cap = sample_cap
+
+    # -- construction of statements -----------------------------------------
+
+    def query(
+        self,
+        query: str | ConjunctiveQuery,
+        *,
+        eps: Any = _UNSET,
+        algorithm: str | None = None,
+        allow_partial: bool = False,
+    ) -> Statement:
+        """Prepare a statement (nothing executes yet).
+
+        Args:
+            query: query text (parsed here) or a prebuilt
+                :class:`~repro.core.query.ConjunctiveQuery`.
+            eps: pinned space exponent for this statement; unset means
+                the session default, ``None`` means automatic.
+            algorithm: pinned registry algorithm (skips the cost duel;
+                ``"hypercube"``, ``"skewaware"``, ``"multiround"``,
+                ``"partial"``).  ``None`` falls back to the session's
+                ``algorithm`` default (itself None = planner).
+            allow_partial: permit the inexact below-threshold
+                algorithm to win the duel (needs a pinned ``eps``
+                below the query's space exponent to ever matter).
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        statement_eps = (
+            self.default_eps if eps is _UNSET
+            else None if eps is None
+            else Fraction(eps)
+        )
+        return Statement(
+            session=self,
+            query=query,
+            eps=statement_eps,
+            algorithm=(
+                self.default_algorithm if algorithm is None else algorithm
+            ),
+            allow_partial=allow_partial,
+        )
+
+    def execute(self, query: str | ConjunctiveQuery, **options: Any) -> Result:
+        """Shorthand for ``session.query(...).execute()``."""
+        return self.query(query, **options).execute()
+
+    def explain(self, query: str | ConjunctiveQuery, **options: Any) -> Explain:
+        """Shorthand for ``session.query(...).explain()``."""
+        return self.query(query, **options).explain()
+
+    # -- write side ---------------------------------------------------------
+
+    def update(
+        self,
+        inserts: Mapping[str, Iterable[Sequence[int]]] | None = None,
+        deletes: Mapping[str, Iterable[Sequence[int]]] | None = None,
+    ) -> int:
+        """Mutate the database; returns the new version.
+
+        Stale planner decisions and profiles are purged eagerly (they
+        are version-keyed, so this is belt and braces like the
+        service's own cache purge).
+        """
+        return self.apply_delta(DatabaseDelta.of(inserts, deletes))
+
+    def apply_delta(self, delta: DatabaseDelta) -> int:
+        """Apply a prepared delta; see :meth:`update`."""
+        version = self._service.apply_delta(delta)
+        if self._decisions is not None:
+            self._decisions.purge(lambda key: key[-1] != version)
+        if self._profiles is not None:
+            self._profiles.purge(lambda key: key[-1] != version)
+        return version
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def service(self) -> QueryService:
+        """The underlying query service (caches, simulators, stats)."""
+        return self._service
+
+    @property
+    def database(self) -> VersionedDatabase:
+        """The session's versioned database."""
+        return self._service.database
+
+    @property
+    def version(self) -> int:
+        """Current database version."""
+        return self._service.version
+
+    @property
+    def p(self) -> int:
+        """Worker count of every statement."""
+        return self._service.p
+
+    @property
+    def backend(self) -> str:
+        """Resolved compute backend."""
+        return self._service.backend
+
+    @property
+    def stats(self) -> ServiceStats:
+        """Service-level counters (cache hits, evictions, phases)."""
+        return self._service.stats
+
+    def close(self) -> None:
+        """Release cached state (the session stays usable)."""
+        if self._decisions is not None:
+            self._decisions.purge(lambda key: True)
+        if self._profiles is not None:
+            self._profiles.purge(lambda key: True)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- internals ----------------------------------------------------------
+
+    def _profile(self, query: ConjunctiveQuery, version: int) -> DataProfile:
+        key = (str(query), version)
+        profile = (
+            self._profiles.get(key) if self._profiles is not None else None
+        )
+        if profile is None:
+            profile = collect_profile(
+                query,
+                self._service.database.snapshot,
+                backend=self._service.backend,
+                sample_cap=self._sample_cap,
+                version=version,
+            )
+            if self._profiles is not None:
+                self._profiles.put(key, profile)
+        return profile
+
+    def _decide(self, statement: Statement) -> PlannerChoice:
+        version = self._service.version
+        key = statement.canonical_key() + (version,)
+        choice = (
+            self._decisions.get(key)
+            if self._decisions is not None
+            else None
+        )
+        if choice is not None:
+            self.planner_stats.decision_cache_hits += 1
+            return choice
+        self._service.validate(statement.query)
+        profile = self._profile(statement.query, version)
+        choice = self._planner.choose(
+            statement.query,
+            profile,
+            eps=statement.eps,
+            algorithm=statement.algorithm,
+            allow_partial=statement.allow_partial,
+        )
+        if self._decisions is not None:
+            self._decisions.put(key, choice)
+        return choice
+
+    def _execute(
+        self, statement: Statement, profiler: RoundProfiler | None
+    ) -> Result:
+        choice = self._decide(statement)
+        raw = self._service.execute(
+            statement.query,
+            profiler,
+            algorithm=choice.algorithm,
+            eps=choice.eps,
+        )
+        return Result(raw=raw, explain=choice.explain)
+
+
+def connect(
+    database: Database
+    | ColumnarDatabase
+    | VersionedDatabase
+    | Mapping[str, ColumnarRelation],
+    **options: Any,
+) -> Session:
+    """Open a :class:`Session` over ``database``.
+
+    The front door of the public API::
+
+        import repro
+        session = repro.connect(db, p=16, backend="numpy")
+        result = session.query("S1(x,y), S2(y,z)").execute()
+
+    All keyword options are :class:`Session` parameters.
+    """
+    return Session(database, **options)

@@ -20,17 +20,32 @@ Commands:
   generate a skewed database (heavy hitter on every first attribute)
   and race plain HC against the skew-aware executor, printing heavy
   hitters, max loads and imbalance; honours ``--backend``.
+* ``query "S1(x,y), S2(y,z)" --n 200 --p 16`` -- the planner-backed
+  front door: generate a database, open a :class:`repro.api.Session`
+  and let the cost-based planner pick the algorithm (pin one with
+  ``--algorithm``, pin the budget with ``--eps``); prints the chosen
+  route and verifies the answers against the exact join.
+* ``explain "S1(x,y), S2(y,z)"`` -- the planner's full report for a
+  statement (chosen algorithm, shares, predicted rounds/load vs the
+  paper's bounds, every candidate's bid) without executing it.
 * ``serve --vocab "S1(x,y), S2(y,z), S3(z,x)" --n 200 --p 16`` --
   start a long-lived :class:`~repro.serve.service.QueryService` over
   a generated matching database and read commands from stdin (or
   ``--script FILE``): ``run <query>``, ``update <rel> <v,v> ...``,
   ``delete <rel> <v,v> ...``, ``stats``, ``exit``.  Repeated and
   isomorphic queries are served from the plan/result caches; the
-  ``stats`` command prints the service-level counters.
+  ``stats`` command prints the service-level counters.  With
+  ``--tcp PORT`` the same database is served to the network instead,
+  over the asyncio JSON-lines RPC protocol of
+  :mod:`repro.serve.rpc` (planner-routed, with cross-request
+  coalescing); ``--plan-cache-size`` / ``--routing-cache-size`` /
+  ``--result-cache-size`` bound the cache layers in both modes.
 * ``tables`` -- regenerate Table 1 and Table 2 of the paper.
 
-``run``, ``run-plan`` and ``skew`` accept ``--profile``, which prints
-a per-round route/ship/deliver/local-eval wall-clock breakdown -- the
+``run``, ``run-plan`` and ``skew`` execute through the algorithm
+registry (:mod:`repro.algorithms.registry`) -- the same compilers the
+planner chooses from -- and accept ``--profile``, which prints a
+per-round route/ship/deliver/local-eval wall-clock breakdown -- the
 numbers that show where an execution actually spends its time.
 """
 
@@ -99,24 +114,24 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    from repro.algorithms.hypercube import run_hypercube
     from repro.algorithms.localjoin import evaluate_query
-    from repro.data.matching import matching_database
-
+    from repro.algorithms.registry import compile_with
     from repro.backend import resolve_backend
+    from repro.data.matching import matching_database
+    from repro.engine import execute_plan
 
     query = parse_query(args.query)
     database = matching_database(query, n=args.n, rng=args.seed)
     backend = resolve_backend(args.backend)
     profiler = _new_profiler(args)
-    result = run_hypercube(
-        query, database, p=args.p, seed=args.seed, backend=backend,
-        profiler=profiler,
+    plan = compile_with(
+        "hypercube", query, args.p, seed=args.seed, backend=backend
     )
+    execution = execute_plan(plan, database, profiler=profiler)
     truth = evaluate_query(
         query, {name: database[name].tuples for name in database.relations}
     )
-    verified = result.answers == truth
+    verified = execution.answers == truth
     print(format_table(
         ["property", "value"],
         [
@@ -124,11 +139,12 @@ def cmd_run(args: argparse.Namespace) -> int:
             ["n (domain)", args.n],
             ["p (servers)", args.p],
             ["backend", backend],
-            ["shares", result.allocation.shares],
-            ["answers", len(result.answers)],
+            ["shares", plan.allocation.shares],
+            ["answers", len(execution.answers)],
             ["verified vs exact join", verified],
-            ["max load (tuples)", result.report.max_load_tuples],
-            ["replication rate", f"{result.report.replication_rate:.3f}"],
+            ["max load (tuples)", execution.report.max_load_tuples],
+            ["replication rate",
+             f"{execution.report.replication_rate:.3f}"],
         ],
     ))
     _print_profile(profiler, f"HC timing breakdown ({backend})")
@@ -147,23 +163,25 @@ def cmd_plan(args: argparse.Namespace) -> int:
 
 def cmd_run_plan(args: argparse.Namespace) -> int:
     from repro.algorithms.localjoin import evaluate_query
-    from repro.algorithms.multiround import run_plan
+    from repro.algorithms.registry import compile_with
     from repro.backend import resolve_backend
     from repro.data.matching import matching_database
+    from repro.engine import execute_plan
 
     query = parse_query(args.query)
     plan = build_plan(query, args.eps)
     database = matching_database(query, n=args.n, rng=args.seed)
     backend = resolve_backend(args.backend)
     profiler = _new_profiler(args)
-    result = run_plan(
-        plan, database, p=args.p, seed=args.seed, backend=backend,
-        profiler=profiler,
+    physical = compile_with(
+        "multiround", query, args.p, eps=args.eps, seed=args.seed,
+        backend=backend,
     )
+    execution = execute_plan(physical, database, profiler=profiler)
     truth = evaluate_query(
         query, {name: database[name].tuples for name in database.relations}
     )
-    verified = result.answers == truth
+    verified = execution.answers == truth
     rows = [
         ["query", str(query)],
         ["eps (space exponent)", args.eps],
@@ -171,15 +189,16 @@ def cmd_run_plan(args: argparse.Namespace) -> int:
         ["p (servers)", args.p],
         ["backend", backend],
         ["plan depth", plan.depth],
-        ["rounds used", result.rounds_used],
-        ["answers", len(result.answers)],
+        ["rounds used", execution.report.num_rounds],
+        ["answers", len(execution.answers)],
         ["verified vs exact join", verified],
-        ["max load (tuples)", result.report.max_load_tuples],
-        ["replication rate", f"{result.report.replication_rate:.3f}"],
+        ["max load (tuples)", execution.report.max_load_tuples],
+        ["replication rate",
+         f"{execution.report.replication_rate:.3f}"],
     ]
     rows.extend(
         [f"view |{view}|", size]
-        for view, size in sorted(result.view_sizes.items())
+        for view, size in sorted(execution.view_sizes.items())
     )
     print(format_table(["property", "value"], rows))
     _print_profile(profiler, f"plan timing breakdown ({backend})")
@@ -187,11 +206,11 @@ def cmd_run_plan(args: argparse.Namespace) -> int:
 
 
 def cmd_skew(args: argparse.Namespace) -> int:
-    from repro.algorithms.hypercube import run_hypercube
     from repro.algorithms.localjoin import evaluate_query
-    from repro.algorithms.skewaware import run_hypercube_skew_aware
+    from repro.algorithms.registry import compile_with
     from repro.backend import resolve_backend
     from repro.data.generators import skewed_database
+    from repro.engine import execute_plan
 
     query = parse_query(args.query)
     database = skewed_database(
@@ -200,12 +219,18 @@ def cmd_skew(args: argparse.Namespace) -> int:
     backend = resolve_backend(args.backend)
     plain_profiler = _new_profiler(args)
     aware_profiler = _new_profiler(args)
-    plain = run_hypercube(
-        query, database, p=args.p, seed=args.seed, backend=backend,
+    plain = execute_plan(
+        compile_with(
+            "hypercube", query, args.p, seed=args.seed, backend=backend
+        ),
+        database,
         profiler=plain_profiler,
     )
-    aware = run_hypercube_skew_aware(
-        query, database, p=args.p, seed=args.seed, backend=backend,
+    aware = execute_plan(
+        compile_with(
+            "skewaware", query, args.p, seed=args.seed, backend=backend
+        ),
+        database,
         profiler=aware_profiler,
     )
     truth = evaluate_query(
@@ -214,7 +239,7 @@ def cmd_skew(args: argparse.Namespace) -> int:
     verified = aware.answers == truth and plain.answers == truth
     heavy = {
         variable: sorted(values)
-        for variable, values in aware.heavy_hitters.items()
+        for variable, values in (aware.heavy_hitters or {}).items()
         if values
     }
     print(format_table(
@@ -243,6 +268,112 @@ def cmd_skew(args: argparse.Namespace) -> int:
     _print_profile(plain_profiler, f"plain HC timing breakdown ({backend})")
     _print_profile(aware_profiler, f"skew-aware timing breakdown ({backend})")
     return 0 if verified else 1
+
+
+def _generated_database(query, args: argparse.Namespace):
+    """The database ``query``/``explain`` run against.
+
+    A random matching database by default; ``--skewed`` funnels
+    ``--heavy-fraction`` of every relation into one heavy value so the
+    planner's skew routing is observable from the command line.
+    """
+    if getattr(args, "skewed", False):
+        from repro.data.generators import skewed_database
+
+        return skewed_database(
+            query,
+            n=args.n,
+            rng=args.seed,
+            heavy_fraction=args.heavy_fraction,
+        )
+    from repro.data.matching import matching_database
+
+    return matching_database(query, n=args.n, rng=args.seed)
+
+
+def _session_for(query, args: argparse.Namespace):
+    from repro.api import connect
+    from repro.backend import resolve_backend
+
+    return connect(
+        _generated_database(query, args),
+        p=args.p,
+        backend=resolve_backend(args.backend),
+        seed=args.seed,
+    )
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from repro.algorithms.localjoin import evaluate_query
+    from repro.api import connect
+    from repro.backend import resolve_backend
+
+    query = parse_query(args.query)
+    database = _generated_database(query, args)
+    session = connect(
+        database,
+        p=args.p,
+        backend=resolve_backend(args.backend),
+        seed=args.seed,
+    )
+    statement = session.query(
+        query,
+        eps=args.eps,
+        algorithm=args.algorithm,
+        allow_partial=args.allow_partial,
+    )
+    result = statement.execute()
+    explain = result.explain
+    rows = [
+        ["query", str(query)],
+        ["n (domain)", args.n],
+        ["p (servers)", args.p],
+        ["backend", session.backend],
+        ["chosen algorithm", result.algorithm
+         + (" (pinned)" if args.algorithm else "")],
+        ["eps effective", explain.eps_effective
+         if explain.eps_effective is not None else "per-query"],
+        ["predicted rounds / load",
+         f"{explain.predicted_rounds} / {explain.predicted_load:.1f}"],
+        ["answers", len(result.answers)],
+    ]
+    if result.algorithm != "partial":
+        truth = evaluate_query(
+            query,
+            {
+                name: database[name].tuples
+                for name in database.relations
+            },
+        )
+        verified = result.answers == truth
+        rows.append(["verified vs exact join", verified])
+    else:
+        verified = True
+        rows.append(["verified vs exact join", "n/a (partial answers)"])
+    rows.append(["max load (tuples)", result.report.max_load_tuples])
+    if result.heavy_hitters:
+        rows.append(
+            ["heavy hitters",
+             {v: sorted(values)
+              for v, values in result.heavy_hitters.items() if values}
+             or "none"]
+        )
+    print(format_table(["property", "value"], rows))
+    print("\n(`repro explain` prints the full planner report)")
+    return 0 if verified else 1
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    session = _session_for(query, args)
+    explain = session.explain(
+        query,
+        eps=args.eps,
+        algorithm=args.algorithm,
+        allow_partial=args.allow_partial,
+    )
+    print(explain.format())
+    return 0
 
 
 def _serve_handle(service, line: str, out) -> bool:
@@ -301,6 +432,9 @@ def _serve_handle(service, line: str, out) -> bool:
                 ["result hits", stats.result_hits],
                 ["routing hits / misses",
                  f"{stats.routing_hits} / {stats.routing_misses}"],
+                ["evictions (plan / routing / result)",
+                 f"{stats.plans.evictions} / {stats.routing_evictions}"
+                 f" / {stats.result_evictions}"],
                 ["updates", stats.updates],
                 ["answers served", stats.answers_served],
                 ["capacity failures", stats.capacity_failures],
@@ -321,28 +455,73 @@ def _serve_handle(service, line: str, out) -> bool:
         CapacityExceeded,
     ) as error:
         print(f"error: {error}", file=out)
+    except Exception as error:  # noqa: BLE001 -- the REPL must survive
+        # Anything unexpected still comes back as one structured line
+        # (with the type, since the message alone may be cryptic).
+        print(f"error: {error.__class__.__name__}: {error}", file=out)
     return True
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.backend import resolve_backend
     from repro.data.matching import matching_database
-    from repro.serve import QueryService
 
     vocab = parse_query(args.vocab)
     database = matching_database(vocab, n=args.n, rng=args.seed)
     backend = resolve_backend(args.backend)
+    cache_sizes = dict(
+        plan_cache_size=args.plan_cache_size,
+        routing_cache_size=args.routing_cache_size,
+        result_cache_size=args.result_cache_size,
+    )
+
+    if args.tcp is not None:
+        import asyncio
+
+        from repro.api import connect
+        from repro.serve.rpc import serve_tcp
+
+        session = connect(
+            database,
+            p=args.p,
+            backend=backend,
+            eps=args.eps,
+            algorithm=args.algorithm,
+            seed=args.seed,
+            **cache_sizes,
+        )
+        routing = (
+            f"pinned to {args.algorithm}"
+            if args.algorithm
+            else "planner-routed"
+        )
+        print(
+            f"serving {vocab} over n={args.n} matching database "
+            f"(p={args.p}, backend={backend}, {routing})"
+        )
+        try:
+            asyncio.run(
+                serve_tcp(session, host=args.host, port=args.tcp)
+            )
+        except KeyboardInterrupt:
+            print("rpc server stopped")
+        return 0
+
+    from repro.serve import QueryService
+
+    algorithm = args.algorithm or "hypercube"
     service = QueryService(
         database,
         p=args.p,
         backend=backend,
-        algorithm=args.algorithm,
+        algorithm=algorithm,
         eps=args.eps,
         seed=args.seed,
+        **cache_sizes,
     )
     print(
         f"serving {vocab} over n={args.n} matching database "
-        f"(p={args.p}, backend={backend}, algorithm={args.algorithm})"
+        f"(p={args.p}, backend={backend}, algorithm={algorithm})"
     )
     if args.script:
         with open(args.script, encoding="utf-8") as stream:
@@ -463,6 +642,63 @@ def build_parser() -> argparse.ArgumentParser:
     add_execution_options(run_plan)
     run_plan.set_defaults(handler=cmd_run_plan)
 
+    def add_planner_options(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument("query")
+        subparser.add_argument(
+            "--eps",
+            type=_parse_eps,
+            default=None,
+            help="pin the space exponent (default: planner-automatic)",
+        )
+        subparser.add_argument(
+            "--algorithm",
+            choices=["hypercube", "skewaware", "multiround", "partial"],
+            default=None,
+            help="pin the algorithm instead of letting the planner pick",
+        )
+        subparser.add_argument(
+            "--allow-partial",
+            action="store_true",
+            help="let the inexact below-threshold algorithm win when "
+            "--eps is pinned under the query's space exponent",
+        )
+        subparser.add_argument(
+            "--skewed",
+            action="store_true",
+            help="generate a skewed database instead of a matching one",
+        )
+        subparser.add_argument(
+            "--heavy-fraction",
+            type=float,
+            default=0.5,
+            help="skew strength for --skewed",
+        )
+        subparser.add_argument("--n", type=int, default=200,
+                               help="domain size")
+        subparser.add_argument("--p", type=int, default=16,
+                               help="number of servers")
+        subparser.add_argument("--seed", type=int, default=0)
+        subparser.add_argument(
+            "--backend",
+            choices=["auto", "pure", "numpy"],
+            default="pure",
+            help="execution engine",
+        )
+
+    query_cmd = commands.add_parser(
+        "query",
+        help="execute a query through the planner-backed Session API",
+    )
+    add_planner_options(query_cmd)
+    query_cmd.set_defaults(handler=cmd_query)
+
+    explain_cmd = commands.add_parser(
+        "explain",
+        help="print the planner's routing report without executing",
+    )
+    add_planner_options(explain_cmd)
+    explain_cmd.set_defaults(handler=cmd_explain)
+
     skew = commands.add_parser(
         "skew",
         help="race plain vs skew-aware HC on a skewed database",
@@ -490,8 +726,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--algorithm",
         choices=["hypercube", "skewaware", "multiround"],
-        default="hypercube",
-        help="which compiler serves requests",
+        default=None,
+        help="pin the compiler serving requests (REPL default: "
+        "hypercube; --tcp default: the cost-based planner)",
     )
     serve.add_argument(
         "--eps",
@@ -502,6 +739,31 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--script",
         help="file with one command per line instead of stdin",
+    )
+    serve.add_argument(
+        "--tcp",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the asyncio JSON-lines RPC protocol on PORT "
+        "(planner-routed; 0 picks a free port) instead of the REPL",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for --tcp",
+    )
+    serve.add_argument(
+        "--plan-cache-size", type=int, default=128,
+        help="plan-cache entry budget (0 disables)",
+    )
+    serve.add_argument(
+        "--routing-cache-size", type=int, default=512,
+        help="routing-cache entry budget (0 disables)",
+    )
+    serve.add_argument(
+        "--result-cache-size", type=int, default=512,
+        help="result-cache entry budget (0 disables)",
     )
     serve.add_argument("--n", type=int, default=200, help="domain size")
     serve.add_argument("--p", type=int, default=16, help="number of servers")

@@ -213,6 +213,80 @@ class Plan:
         """Static round count (0 for fixpoint plans)."""
         return len(self.rounds)
 
+    def describe(self) -> dict:
+        """Explain metadata: a JSON-friendly structural summary.
+
+        The execution-side half of an explain report -- what the
+        compiled program actually looks like (the planner's
+        :class:`~repro.planner.Explain` covers the *why*).  Includes
+        per-round step types and grids, view materialisations,
+        heavy-hitter binding points, the finalize spec and the share
+        vector.
+        """
+        rounds: list[dict] = []
+        for plan_round in self.rounds:
+            steps: list[dict] = []
+            for step in plan_round.steps:
+                entry: dict = {
+                    "type": type(step).__name__,
+                    "relation": step.relation,
+                }
+                if step.destination is not None:
+                    entry["mailbox"] = step.destination
+                grid = getattr(step, "grid", None)
+                if grid is None:
+                    inner = getattr(step, "inner", None)
+                    grid = getattr(inner, "grid", None)
+                if grid is not None:
+                    entry["grid"] = dict(
+                        zip(grid.variables, grid.dimensions)
+                    )
+                virtual = getattr(step, "virtual_size", None)
+                if virtual is not None:
+                    entry["virtual_grid_points"] = virtual
+                steps.append(entry)
+            round_entry: dict = {"steps": steps}
+            if plan_round.views:
+                round_entry["views"] = [
+                    view.name for view in plan_round.views
+                ]
+            if plan_round.bind_heavy is not None:
+                round_entry["binds_heavy_hitters"] = True
+            rounds.append(round_entry)
+        finalize: dict | None = None
+        if isinstance(self.finalize, CollectAnswers):
+            finalize = {
+                "type": "CollectAnswers",
+                "workers": self.finalize.workers,
+            }
+        elif isinstance(self.finalize, FinalizeView):
+            finalize = {
+                "type": "FinalizeView",
+                "view": self.finalize.view,
+                "head": list(self.finalize.head),
+            }
+        signature = self.signature
+        return {
+            "algorithm": signature.algorithm,
+            "query": signature.query_text,
+            "eps": str(signature.eps),
+            "p": signature.p,
+            "backend": signature.backend,
+            "seed": signature.seed,
+            "rounds": rounds,
+            "num_rounds": self.num_rounds,
+            "finalize": finalize,
+            "shares": dict(self.allocation.shares)
+            if self.allocation is not None
+            else None,
+            "fixpoint": {
+                "relation_prefix": self.fixpoint.relation_prefix,
+                "max_rounds": self.fixpoint.max_rounds,
+            }
+            if self.fixpoint is not None
+            else None,
+        }
+
     def relations(self) -> tuple[str, ...]:
         """Source relations the plan reads from the database.
 

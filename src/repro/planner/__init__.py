@@ -1,0 +1,33 @@
+"""The cost-based planner behind the Session front door.
+
+Splits into two halves:
+
+* :mod:`repro.planner.stats` -- cheap, data-dependent statistics: a
+  :class:`DataProfile` of relation cardinalities and skew samples
+  (heavy-hitter detection under the query's own HyperCube shares).
+* :mod:`repro.planner.planner` -- the data-independent choice: every
+  registered algorithm's declared cost model
+  (:mod:`repro.algorithms.registry`) bids under the profile and the
+  cheapest eligible bid wins, with a full :class:`Explain` report of
+  the duel (chosen algorithm, shares, predicted rounds/load, the
+  paper's bounds, every candidate's reason).
+"""
+
+from repro.planner.planner import (
+    Candidate,
+    Explain,
+    Planner,
+    PlannerChoice,
+    PlannerStats,
+)
+from repro.planner.stats import DataProfile, collect_profile
+
+__all__ = [
+    "Candidate",
+    "DataProfile",
+    "Explain",
+    "Planner",
+    "PlannerChoice",
+    "PlannerStats",
+    "collect_profile",
+]

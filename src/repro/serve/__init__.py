@@ -25,7 +25,8 @@ across requests:
   aggregated into service-level counters.
 """
 
-from repro.serve.cache import CacheRebind, PlanCache
+from repro.serve.cache import CacheRebind, LRUCache, PlanCache
+from repro.serve.rpc import RpcServer, RpcStats, serve_tcp
 from repro.serve.service import (
     QueryService,
     ServiceResult,
@@ -34,8 +35,12 @@ from repro.serve.service import (
 
 __all__ = [
     "CacheRebind",
+    "LRUCache",
     "PlanCache",
     "QueryService",
+    "RpcServer",
+    "RpcStats",
     "ServiceResult",
     "ServiceStats",
+    "serve_tcp",
 ]

@@ -24,11 +24,56 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable
 
 from repro.core.isomorphism import find_query_isomorphism
 from repro.core.query import ConjunctiveQuery
 from repro.engine.plan import Plan
+
+
+class LRUCache:
+    """A minimal LRU store with predicate purging.
+
+    The bounded store behind the service's routing/result caches and
+    the session's planner-decision/profile caches.  ``on_evict`` (when
+    given) is called once per size-cap eviction -- the hook
+    :class:`~repro.serve.service.ServiceStats` counts cache pressure
+    through.  Predicate purges (version invalidation) are not
+    evictions.
+    """
+
+    def __init__(
+        self, maxsize: int, on_evict: Callable[[], None] | None = None
+    ) -> None:
+        if maxsize < 1:
+            raise ValueError(f"need maxsize >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[Any, Any] = OrderedDict()
+        self._on_evict = on_evict
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Any) -> Any | None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: Any, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            if self._on_evict is not None:
+                self._on_evict()
+
+    def purge(self, stale: Callable[[Any], bool]) -> int:
+        """Drop entries whose *key* satisfies ``stale``."""
+        victims = [key for key in self._entries if stale(key)]
+        for key in victims:
+            del self._entries[key]
+        return len(victims)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,468 @@
+"""An asyncio JSON-lines RPC front end over a :class:`Session`.
+
+The ROADMAP's network front end: ``repro serve --tcp PORT`` (or
+:class:`RpcServer` embedded) exposes the Session/Statement API over a
+newline-delimited JSON protocol.  One request per line, one (or, for
+streamed queries, several) response lines back, every response tagged
+with the request's ``id``:
+
+    -> {"id": 1, "op": "query", "q": "S1(x,y), S2(y,z)"}
+    <- {"id": 1, "ok": true, "count": 40, "answers": [[1,2,3], ...],
+        "algorithm": "hypercube", "version": 0, ...}
+
+Operations:
+
+``query``
+    Execute a statement.  Fields: ``q`` (query text), optional
+    ``eps`` (fraction string like ``"1/2"`` or a number),
+    ``algorithm`` (registry name), ``allow_partial`` (bool),
+    ``stream`` (bool: send ``{"id", "batch"}`` lines of at most
+    ``batch`` rows each, then a final ``done`` summary without the
+    answers inlined).
+``explain``
+    The planner's report for a statement, without executing it.
+``update`` / ``delete``
+    Mutate one relation: ``relation`` plus ``rows`` (list of rows).
+``stats``
+    Service + planner + RPC counters.
+``ping``
+    Liveness probe.
+
+Malformed JSON, unknown operations, bad queries and execution errors
+all come back as structured ``{"ok": false, "error": ...}`` lines --
+the connection (and the server) always survives a bad request.
+
+**Concurrency and coalescing.**  Statement executions (and updates)
+run on a single worker thread, keeping the underlying session
+strictly serialized while the event loop keeps accepting, parsing and
+responding -- so many closed-loop clients pipeline instead of queueing
+on the network.  Identical canonicalized statements arriving while one
+is already in flight *coalesce*: they await the same execution future
+and each gets the shared result (counted in ``RpcStats.coalesced``).
+This is the cross-request batching the ROADMAP asks for -- the dual
+of the result cache, which only helps *after* an execution finishes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any
+
+from typing import TYPE_CHECKING
+
+from repro.core.query import QueryError
+from repro.data.database import DataError
+from repro.mpc.simulator import CapacityExceeded
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a cycle)
+    from repro.api.session import Session, Statement
+
+#: Maximum request-line length (updates ship rows inline).
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+#: Default rows per ``batch`` line of a streamed query.
+DEFAULT_BATCH_ROWS = 1024
+
+
+@dataclass
+class RpcStats:
+    """Counters of one server's lifetime."""
+
+    connections: int = 0
+    requests: int = 0
+    errors: int = 0
+    coalesced: int = 0
+    streamed_batches: int = 0
+    by_op: dict[str, int] = field(default_factory=dict)
+
+    def count(self, op: str) -> None:
+        self.requests += 1
+        self.by_op[op] = self.by_op.get(op, 0) + 1
+
+
+def _parse_eps(value: Any) -> Fraction | None:
+    """``eps`` from the wire: None, a number, or a fraction string."""
+    if value is None:
+        return None
+    try:
+        return Fraction(str(value))
+    except (ValueError, ZeroDivisionError) as error:
+        raise QueryError(f"invalid eps {value!r}: {error}") from None
+
+
+def _parse_rows(value: Any) -> list[tuple[int, ...]]:
+    if not isinstance(value, list) or not value:
+        raise QueryError("'rows' must be a non-empty list of rows")
+    try:
+        return [tuple(int(v) for v in row) for row in value]
+    except (TypeError, ValueError) as error:
+        raise QueryError(f"bad row in 'rows': {error}") from None
+
+
+class RpcServer:
+    """The JSON-lines server; one instance wraps one session.
+
+    Args:
+        session: the planner-backed session every request executes
+            against.
+        host / port: bind address (port 0 picks a free port; read the
+            bound one from :attr:`address` after :meth:`start`).
+        coalesce: share in-flight executions between identical
+            concurrent statements (on by default).
+    """
+
+    def __init__(
+        self,
+        session: "Session",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        coalesce: bool = True,
+    ) -> None:
+        self.session = session
+        self.host = host
+        self.port = port
+        self.coalesce = coalesce
+        self.stats = RpcStats()
+        self._server: asyncio.AbstractServer | None = None
+        # One worker: the session below is not thread-safe, and a
+        # strict execution order keeps version-at-submit equal to
+        # version-at-execute for the coalescing key.
+        self._pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-rpc"
+        )
+        self._inflight: dict[tuple, asyncio.Future] = {}
+        self._clients: set[asyncio.Task] = set()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The actually-bound (host, port)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound address."""
+        self._server = await asyncio.start_server(
+            self._client, self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (:meth:`start` first)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting, drain client handlers, release the worker."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._clients):
+            task.cancel()
+        if self._clients:
+            await asyncio.gather(*self._clients, return_exceptions=True)
+        self._clients.clear()
+        self._pool.shutdown(wait=True)
+
+    async def __aenter__(self) -> "RpcServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    # -- connection handling ------------------------------------------------
+
+    async def _client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._clients.add(task)
+            task.add_done_callback(self._clients.discard)
+        self.stats.connections += 1
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    ValueError,
+                ):  # over-long line: unrecoverable framing, drop client
+                    await self._send(
+                        writer,
+                        {"ok": False, "error": "request line too long"},
+                    )
+                    break
+                if not line:
+                    break
+                text = line.decode("utf-8", errors="replace").strip()
+                if not text:
+                    continue
+                await self._serve_line(text, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _serve_line(
+        self, text: str, writer: asyncio.StreamWriter
+    ) -> None:
+        request_id: Any = None
+        try:
+            request = json.loads(text)
+            if not isinstance(request, dict):
+                raise QueryError("request must be a JSON object")
+            request_id = request.get("id")
+            op = request.get("op")
+            if not isinstance(op, str):
+                raise QueryError("missing 'op'")
+            self.stats.count(op)
+            for response in await self._dispatch(op, request):
+                if request_id is not None:
+                    response.setdefault("id", request_id)
+                await self._send(writer, response)
+        except json.JSONDecodeError as error:
+            self.stats.errors += 1
+            await self._send(
+                writer,
+                {"ok": False, "error": f"invalid json: {error}"},
+            )
+        except (QueryError, DataError, ValueError, KeyError) as error:
+            self.stats.errors += 1
+            await self._send(writer, self._error(request_id, error))
+        except CapacityExceeded as error:
+            self.stats.errors += 1
+            await self._send(writer, self._error(request_id, error))
+        except Exception as error:  # noqa: BLE001 -- the loop must live
+            self.stats.errors += 1
+            await self._send(writer, self._error(request_id, error))
+
+    @staticmethod
+    def _error(request_id: Any, error: Exception) -> dict:
+        message = str(error) or error.__class__.__name__
+        response = {
+            "ok": False,
+            "error": message,
+            "error_type": error.__class__.__name__,
+        }
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, payload: dict) -> None:
+        writer.write(json.dumps(payload, separators=(",", ":")).encode())
+        writer.write(b"\n")
+        await writer.drain()
+
+    # -- operations ---------------------------------------------------------
+
+    async def _dispatch(self, op: str, request: dict) -> list[dict]:
+        if op == "ping":
+            return [{"ok": True, "pong": True}]
+        if op == "query":
+            return await self._op_query(request)
+        if op == "explain":
+            return [await self._op_explain(request)]
+        if op in ("update", "delete"):
+            return [await self._op_update(op, request)]
+        if op == "stats":
+            return [self._op_stats()]
+        raise QueryError(
+            f"unknown op {op!r} "
+            "(query / explain / update / delete / stats / ping)"
+        )
+
+    def _statement(self, request: dict) -> "Statement":
+        q = request.get("q")
+        if not isinstance(q, str) or not q.strip():
+            raise QueryError("missing query text 'q'")
+        algorithm = request.get("algorithm")
+        if algorithm is not None and not isinstance(algorithm, str):
+            raise QueryError("'algorithm' must be a string")
+        return self.session.query(
+            q,
+            eps=_parse_eps(request.get("eps")),
+            algorithm=algorithm,
+            allow_partial=bool(request.get("allow_partial", False)),
+        )
+
+    async def _op_query(self, request: dict) -> list[dict]:
+        statement = self._statement(request)
+        start = time.perf_counter()
+        result, coalesced = await self._execute(statement)
+        elapsed_ms = (time.perf_counter() - start) * 1000
+        summary = {
+            "ok": True,
+            "count": len(result.answers),
+            "version": result.version,
+            "algorithm": result.algorithm,
+            "plan_hit": result.raw.plan_hit,
+            "result_hit": result.raw.result_hit,
+            "coalesced": coalesced,
+            "elapsed_ms": round(elapsed_ms, 3),
+        }
+        if not request.get("stream"):
+            summary["answers"] = [list(row) for row in result.answers]
+            return [summary]
+        batch_rows = int(request.get("batch", DEFAULT_BATCH_ROWS))
+        if batch_rows < 1:
+            raise QueryError(f"need batch >= 1, got {batch_rows}")
+        lines: list[dict] = []
+        for index in range(0, len(result.answers), batch_rows):
+            lines.append(
+                {
+                    "batch": [
+                        list(row)
+                        for row in result.answers[index:index + batch_rows]
+                    ]
+                }
+            )
+        self.stats.streamed_batches += len(lines)
+        summary["done"] = True
+        summary["batches"] = len(lines)
+        lines.append(summary)
+        return lines
+
+    async def _op_explain(self, request: dict) -> dict:
+        statement = self._statement(request)
+        loop = asyncio.get_running_loop()
+        explain = await loop.run_in_executor(self._pool, statement.explain)
+        response = {"ok": True, "explain": explain.to_dict()}
+        if request.get("plan"):
+            response["plan"] = await loop.run_in_executor(
+                self._pool, statement.describe_plan
+            )
+        return response
+
+    async def _op_update(self, op: str, request: dict) -> dict:
+        relation = request.get("relation")
+        if not isinstance(relation, str) or not relation:
+            raise QueryError(f"{op} needs a 'relation'")
+        rows = _parse_rows(request.get("rows"))
+        delta = {relation: rows}
+        loop = asyncio.get_running_loop()
+        version = await loop.run_in_executor(
+            self._pool,
+            lambda: self.session.update(
+                inserts=delta if op == "update" else None,
+                deletes=delta if op == "delete" else None,
+            ),
+        )
+        return {
+            "ok": True,
+            "version": version,
+            "rows": len(rows),
+            "relation": relation,
+        }
+
+    def _op_stats(self) -> dict:
+        service = self.session.stats
+        planner = self.session.planner_stats
+        return {
+            "ok": True,
+            "rpc": {
+                "connections": self.stats.connections,
+                "requests": self.stats.requests,
+                "errors": self.stats.errors,
+                "coalesced": self.stats.coalesced,
+                "streamed_batches": self.stats.streamed_batches,
+                "by_op": dict(self.stats.by_op),
+            },
+            "service": {
+                "requests": service.requests,
+                "executions": service.executions,
+                "result_hits": service.result_hits,
+                "routing_hits": service.routing_hits,
+                "routing_misses": service.routing_misses,
+                "routing_evictions": service.routing_evictions,
+                "result_evictions": service.result_evictions,
+                "plan_hits": service.plans.hits,
+                "plan_isomorphic_hits": service.plans.isomorphic_hits,
+                "plan_misses": service.plans.misses,
+                "plan_evictions": service.plans.evictions,
+                "updates": service.updates,
+                "answers_served": service.answers_served,
+                "capacity_failures": service.capacity_failures,
+            },
+            "planner": {
+                "decisions": planner.decisions,
+                "pinned": planner.pinned,
+                "decision_cache_hits": planner.decision_cache_hits,
+                "by_algorithm": dict(planner.by_algorithm or {}),
+            },
+            "version": self.session.version,
+        }
+
+    # -- execution with cross-request coalescing ----------------------------
+
+    async def _execute(self, statement: "Statement"):
+        loop = asyncio.get_running_loop()
+        if not self.coalesce:
+            return (
+                await loop.run_in_executor(self._pool, statement.execute),
+                False,
+            )
+        key = (statement.canonical_key(), self.session.version)
+        future = self._inflight.get(key)
+        if future is not None:
+            self.stats.coalesced += 1
+            return await asyncio.shield(future), True
+        future = loop.run_in_executor(self._pool, statement.execute)
+        self._inflight[key] = future
+        try:
+            return await asyncio.shield(future), False
+        finally:
+            if self._inflight.get(key) is future:
+                del self._inflight[key]
+
+
+async def serve_tcp(
+    session: "Session",
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    *,
+    coalesce: bool = True,
+    ready: "asyncio.Event | None" = None,
+    announce=print,
+) -> None:
+    """Run an :class:`RpcServer` until cancelled (the CLI entry).
+
+    Args:
+        session: the session to serve.
+        host / port: bind address.
+        coalesce: share in-flight identical statements.
+        ready: optional event set once the socket is bound (tests).
+        announce: called with a human-readable "listening" line.
+    """
+    server = RpcServer(session, host, port, coalesce=coalesce)
+    bound_host, bound_port = await server.start()
+    if announce is not None:
+        announce(
+            f"repro rpc: listening on {bound_host}:{bound_port} "
+            "(JSON lines; ops: query / explain / update / delete / "
+            "stats / ping)"
+        )
+    if ready is not None:
+        ready.set()
+    try:
+        await server.serve_forever()
+    finally:
+        await server.close()

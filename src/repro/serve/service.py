@@ -29,14 +29,13 @@ into the service-level :class:`ServiceStats`.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
+from repro.algorithms.registry import algorithm_names, compile_with, get_algorithm
 from repro.backend import resolve_backend
-from repro.core.plans import build_plan
-from repro.core.query import ConjunctiveQuery, parse_query
+from repro.core.query import ConjunctiveQuery, QueryError, parse_query
 from repro.data.columnar import ColumnarDatabase, ColumnarRelation
 from repro.data.database import Database
 from repro.data.versioned import DatabaseDelta, VersionedDatabase
@@ -46,48 +45,19 @@ from repro.mpc.simulator import CapacityExceeded, MPCSimulator
 from repro.mpc.stats import SimulationReport
 from repro.serve.cache import (
     CacheRebind,
+    LRUCache,
     PlanCache,
     PlanCacheStats,
     identity_rebind,
 )
 
-#: Per-algorithm default capacity constants (match the ``run_*``
-#: entry points so service executions are bit-identical to them).
-_DEFAULT_CAPACITY_C = {
-    "hypercube": 4.0,
-    "skewaware": 4.0,
-    "multiround": 8.0,
-}
+#: Sentinel distinguishing "use the service default" from an explicit
+#: per-request ``eps=None`` (which means "the query's own exponent").
+_UNSET = object()
 
-
-class _LRU:
-    """A minimal LRU store with predicate purging."""
-
-    def __init__(self, maxsize: int) -> None:
-        self.maxsize = maxsize
-        self._entries: OrderedDict[Any, Any] = OrderedDict()
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def get(self, key: Any) -> Any | None:
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-        return entry
-
-    def put(self, key: Any, value: Any) -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-
-    def purge(self, stale: Callable[[Any], bool]) -> int:
-        """Drop entries whose *key* satisfies ``stale``."""
-        victims = [key for key in self._entries if stale(key)]
-        for key in victims:
-            del self._entries[key]
-        return len(victims)
+#: Backwards-compatible alias; the store itself lives in
+#: :mod:`repro.serve.cache` now.
+_LRU = LRUCache
 
 
 class _ScopedRoutingCache:
@@ -128,6 +98,8 @@ class ServiceStats:
     result_hits: int = 0
     routing_hits: int = 0
     routing_misses: int = 0
+    routing_evictions: int = 0
+    result_evictions: int = 0
     updates: int = 0
     answers_served: int = 0
     capacity_failures: int = 0
@@ -159,6 +131,8 @@ class ServiceResult:
         result_hit: the whole execution was memoized.
         heavy_hitters: heavy values bound during execution (skew-aware
             plans only).
+        view_sizes: materialised intermediate-view sizes (multi-round
+            plans only; empty otherwise).
     """
 
     answers: tuple[tuple[int, ...], ...]
@@ -169,6 +143,12 @@ class ServiceResult:
     plan_hit: bool
     result_hit: bool
     heavy_hitters: dict[str, frozenset[int]] | None = None
+    view_sizes: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def algorithm(self) -> str:
+        """The compiler that produced the served plan."""
+        return self.plan.signature.algorithm
 
 
 @dataclass
@@ -180,6 +160,7 @@ class _Outcome:
     report: SimulationReport
     heavy_hitters: dict[str, frozenset[int]] | None
     error: CapacityExceeded | None = None
+    view_sizes: dict[str, int] = field(default_factory=dict)
 
 
 class QueryService:
@@ -229,10 +210,10 @@ class QueryService:
         reuse_simulators: bool = True,
         profile: bool = True,
     ) -> None:
-        if algorithm not in _DEFAULT_CAPACITY_C:
+        if algorithm not in algorithm_names():
             raise ValueError(
                 f"unknown serving algorithm {algorithm!r}; expected one "
-                f"of {sorted(_DEFAULT_CAPACITY_C)}"
+                f"of {list(algorithm_names())}"
             )
         self.backend = resolve_backend(backend)
         if isinstance(database, VersionedDatabase):
@@ -243,8 +224,12 @@ class QueryService:
         self.algorithm = algorithm
         self.eps = None if eps is None else Fraction(eps)
         self.seed = seed
+        # None = each algorithm's run_* default (resolved per request,
+        # so per-request algorithm overrides stay bit-identical to
+        # their direct entry points).
+        self._capacity_override = capacity_c
         self.capacity_c = (
-            _DEFAULT_CAPACITY_C[algorithm]
+            get_algorithm(algorithm).default_capacity_c
             if capacity_c is None
             else capacity_c
         )
@@ -261,20 +246,44 @@ class QueryService:
         if self._plans is not None:
             self.stats.plans = self._plans.stats
         self._routing = (
-            _LRU(routing_cache_size) if routing_cache_size > 0 else None
+            _LRU(routing_cache_size, self._count_routing_eviction)
+            if routing_cache_size > 0
+            else None
         )
         self._results = (
-            _LRU(result_cache_size) if result_cache_size > 0 else None
+            _LRU(result_cache_size, self._count_result_eviction)
+            if result_cache_size > 0
+            else None
         )
         self._simulators: dict[tuple, MPCSimulator] = {}
-        self._params = (
+
+    def _count_routing_eviction(self) -> None:
+        self.stats.routing_evictions += 1
+
+    def _count_result_eviction(self) -> None:
+        self.stats.result_evictions += 1
+
+    def _request_params(
+        self,
+        algorithm: str,
+        eps: Fraction | None,
+        capacity_c: float | None,
+    ) -> tuple:
+        """The compile-parameter tuple of one request."""
+        if capacity_c is None:
+            capacity_c = (
+                get_algorithm(algorithm).default_capacity_c
+                if self._capacity_override is None
+                else self._capacity_override
+            )
+        return (
             algorithm,
-            self.eps,
-            p,
+            eps,
+            self.p,
             self.backend,
-            seed,
-            self.capacity_c,
-            enforce_capacity,
+            self.seed,
+            capacity_c,
+            self.enforce_capacity,
         )
 
     # -- read side ----------------------------------------------------------
@@ -289,10 +298,69 @@ class QueryService:
         """Current database version."""
         return self._database.version
 
+    def validate(self, query: ConjunctiveQuery) -> None:
+        """Check the query is answerable against the current schema.
+
+        Raises:
+            QueryError: for an atom over a relation the database does
+                not hold, or whose arity disagrees with the stored
+                relation -- the structured error the REPL and RPC
+                front ends surface instead of a downstream traceback.
+        """
+        snapshot = self._database.snapshot
+        for atom in query.atoms:
+            if atom.name not in snapshot:
+                raise QueryError(
+                    f"unknown relation {atom.name!r}; database holds "
+                    f"{sorted(snapshot.relations)}"
+                )
+            stored = snapshot[atom.name].arity
+            if stored != atom.arity:
+                raise QueryError(
+                    f"arity mismatch for {atom.name}: query uses "
+                    f"{atom.arity}, database stores {stored}"
+                )
+
+    def compile(
+        self,
+        query: str | ConjunctiveQuery,
+        *,
+        algorithm: str | None = None,
+        eps: Any = _UNSET,
+        capacity_c: float | None = None,
+    ) -> Plan:
+        """The plan a request with these parameters would execute.
+
+        Shares the plan cache with :meth:`execute` (an explain never
+        compiles what a later execute would recompile, and vice
+        versa).  Overrides behave exactly like :meth:`execute`'s.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        self.validate(query)
+        algorithm = self.algorithm if algorithm is None else algorithm
+        get_algorithm(algorithm)
+        request_eps = (
+            self.eps if eps is _UNSET
+            else None if eps is None
+            else Fraction(eps)
+        )
+        params = self._request_params(algorithm, request_eps, capacity_c)
+        if self._plans is None:
+            return self._compile(query, params)
+        plan, _, _ = self._plans.get_or_compile(
+            query, params, lambda canonical: self._compile(canonical, params)
+        )
+        return plan
+
     def execute(
         self,
         query: str | ConjunctiveQuery,
         profiler: RoundProfiler | None = None,
+        *,
+        algorithm: str | None = None,
+        eps: Any = _UNSET,
+        capacity_c: float | None = None,
     ) -> ServiceResult:
         """Answer one query against the current database version.
 
@@ -302,24 +370,49 @@ class QueryService:
             profiler: optional external profiler; phases are recorded
                 only when the request actually executes (a memoized
                 result has no phases to measure).
+            algorithm: per-request compiler override (a registry name;
+                the Session planner's hook).  Defaults to the
+                service-wide algorithm.
+            eps: per-request space exponent override; ``None`` means
+                "the query's own default".  Defaults to the
+                service-wide setting.
+            capacity_c: per-request capacity constant override;
+                defaults to the service-wide setting (itself the
+                algorithm's ``run_*`` default when never set).
 
         Returns:
             A :class:`ServiceResult` with answers in the request's
             head order.
 
         Raises:
+            QueryError: malformed query text, unknown relation or
+                arity mismatch (see :meth:`validate`), or an unknown
+                ``algorithm``.
             CapacityExceeded: when enforcement is on and the execution
                 (fresh or memoized) overflowed a worker.
         """
         if isinstance(query, str):
             query = parse_query(query)
+        self.validate(query)
+        algorithm = self.algorithm if algorithm is None else algorithm
+        get_algorithm(algorithm)  # raises QueryError on unknown names
+        request_eps = (
+            self.eps if eps is _UNSET
+            else None if eps is None
+            else Fraction(eps)
+        )
+        params = self._request_params(algorithm, request_eps, capacity_c)
         self.stats.requests += 1
+
+        def compiler(canonical: ConjunctiveQuery) -> Plan:
+            return self._compile(canonical, params)
+
         if self._plans is not None:
             plan, rebind, plan_hit = self._plans.get_or_compile(
-                query, self._params, self._compile
+                query, params, compiler
             )
         else:
-            plan = self._compile(query)
+            plan = compiler(query)
             rebind = identity_rebind(query)
             plan_hit = False
             self.stats.plans.misses += 1
@@ -349,6 +442,7 @@ class QueryService:
             plan_hit=plan_hit,
             result_hit=result_hit,
             heavy_hitters=outcome.heavy_hitters,
+            view_sizes=outcome.view_sizes,
         )
 
     # -- write side ---------------------------------------------------------
@@ -379,43 +473,18 @@ class QueryService:
 
     # -- internals ----------------------------------------------------------
 
-    def _compile(self, query: ConjunctiveQuery) -> Plan:
-        if self.algorithm == "hypercube":
-            from repro.algorithms.hypercube import compile_hypercube
-
-            return compile_hypercube(
-                query,
-                self.p,
-                eps=self.eps,
-                seed=self.seed,
-                capacity_c=self.capacity_c,
-                enforce_capacity=self.enforce_capacity,
-                backend=self.backend,
-            )
-        if self.algorithm == "skewaware":
-            from repro.algorithms.skewaware import compile_skew_aware
-
-            return compile_skew_aware(
-                query,
-                self.p,
-                eps=self.eps,
-                seed=self.seed,
-                capacity_c=self.capacity_c,
-                enforce_capacity=self.enforce_capacity,
-                backend=self.backend,
-            )
-        from repro.algorithms.multiround import compile_multiround
-
-        logical = build_plan(
-            query, Fraction(0) if self.eps is None else self.eps
-        )
-        return compile_multiround(
-            logical,
-            self.p,
-            seed=self.seed,
-            capacity_c=self.capacity_c,
-            enforce_capacity=self.enforce_capacity,
-            backend=self.backend,
+    def _compile(self, query: ConjunctiveQuery, params: tuple) -> Plan:
+        """Compile through the algorithm registry, one call per miss."""
+        algorithm, eps, p, backend, seed, capacity_c, enforce = params
+        return compile_with(
+            algorithm,
+            query,
+            p,
+            eps=eps,
+            seed=seed,
+            capacity_c=capacity_c,
+            enforce_capacity=enforce,
+            backend=backend,
         )
 
     def _simulator_for(self, plan: Plan) -> MPCSimulator | None:
@@ -484,4 +553,5 @@ class QueryService:
             per_server=execution.per_server,
             report=execution.report,
             heavy_hitters=execution.heavy_hitters,
+            view_sizes=execution.view_sizes or {},
         )

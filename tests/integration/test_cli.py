@@ -283,3 +283,156 @@ class TestServe:
         assert code == 0
         assert output.count("error:") == 3
         assert "answers in" in output
+
+
+class TestQueryCommand:
+    """The planner-backed front door from the command line."""
+
+    def test_matching_database_routes_to_hypercube(self, capsys):
+        code = main(["query", "S1(x,y), S2(y,z)", "--n", "80", "--p", "8"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "chosen algorithm         hypercube" in output
+        assert "verified vs exact join   True" in output
+
+    def test_skewed_database_routes_to_skew_aware(self, capsys):
+        code = main(
+            ["query", "S1(x,y), S2(y,z)", "--skewed", "--n", "150"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "skewaware" in output
+        assert "verified vs exact join   True" in output
+
+    def test_long_chain_routes_to_multiround(self, capsys):
+        code = main(
+            [
+                "query",
+                "S1(a,b), S2(b,c), S3(c,d), S4(d,e), S5(e,f), S6(f,g)",
+                "--n", "60",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "multiround" in output
+        assert "verified vs exact join   True" in output
+
+    def test_algorithm_pin(self, capsys):
+        code = main(
+            ["query", "S1(x,y), S2(y,z)", "--algorithm", "multiround",
+             "--n", "40"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "multiround (pinned)" in output
+
+    def test_partial_route_with_low_eps(self, capsys):
+        code = main(
+            ["query", "S1(x,y), S2(y,z), S3(z,x)", "--eps", "0",
+             "--allow-partial", "--n", "60"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "partial" in output
+        assert "n/a (partial answers)" in output
+
+    def test_malformed_query_errors_cleanly(self, capsys):
+        code = main(["query", "S1(x", "--n", "20"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExplainCommand:
+    def test_report_shows_bids_and_bounds(self, capsys):
+        code = main(["explain", "S1(x,y), S2(y,z)", "--n", "60"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "planner bids (chosen first)" in output
+        assert "tau* (covering number)" in output
+        assert "space exponent (Thm 1.1)" in output
+        assert "hypercube" in output and "multiround" in output
+
+    def test_pinned_eps_changes_the_choice(self, capsys):
+        code = main(
+            ["explain", "S1(x,y), S2(y,z), S3(z,x)", "--eps", "0",
+             "--n", "60"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "chosen algorithm                   multiround" in output
+        assert "Theorem 3.3" in output  # HC's ineligibility reason
+
+
+class TestServeErrorRegressions:
+    """Regression: bad statements must never kill the REPL loop.
+
+    An arity-mismatched query used to escape the error handling as a
+    raw IndexError traceback (killing the whole process); an unknown
+    relation surfaced as a bare KeyError repr.  Both now come back as
+    structured ``error:`` lines and the loop keeps serving.
+    """
+
+    def _script(self, tmp_path, lines):
+        path = tmp_path / "script.txt"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return str(path)
+
+    @pytest.mark.parametrize("algorithm", ["hypercube", "multiround"])
+    def test_arity_mismatch_reports_error_and_loop_survives(
+        self, capsys, tmp_path, algorithm
+    ):
+        script = self._script(
+            tmp_path,
+            [
+                "run S1(x,y,z)",     # arity 3 vs stored arity 2
+                "run S1(x)",         # arity 1 vs stored arity 2
+                "run S1(x,y)",       # still serving after the errors
+                "exit",
+            ],
+        )
+        code = main(
+            ["serve", "--script", script, "--n", "20", "--p", "4",
+             "--algorithm", algorithm]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert output.count("error: arity mismatch for S1") == 2
+        assert "answers in" in output
+
+    def test_unknown_relation_reports_structured_error(
+        self, capsys, tmp_path
+    ):
+        script = self._script(
+            tmp_path,
+            ["run S1(x,y), S9(y,z)", "run S1(x,y)", "exit"],
+        )
+        code = main(["serve", "--script", script, "--n", "20", "--p", "4"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "error: unknown relation 'S9'" in output
+        assert "answers in" in output
+
+    def test_stats_reports_eviction_counters(self, capsys, tmp_path):
+        script = self._script(
+            tmp_path, ["run S1(x,y)", "stats", "exit"]
+        )
+        code = main(
+            ["serve", "--script", script, "--n", "20", "--p", "4",
+             "--plan-cache-size", "2", "--result-cache-size", "2"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "evictions (plan / routing / result)" in output
+
+
+class TestServeTcpFlag:
+    def test_parser_accepts_tcp_options(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--tcp", "0", "--host", "127.0.0.1",
+             "--plan-cache-size", "64"]
+        )
+        assert args.tcp == 0
+        assert args.host == "127.0.0.1"
+        assert args.plan_cache_size == 64

@@ -1,0 +1,329 @@
+"""The asyncio JSON-lines RPC server: protocol, errors, coalescing."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro import connect
+from repro.core.query import parse_query
+from repro.data.matching import matching_database
+from repro.serve.rpc import RpcServer
+
+VOCAB = parse_query("S1(x,y), S2(y,z), S3(z,x)")
+
+
+def _session(n=60, **kwargs):
+    return connect(matching_database(VOCAB, n=n, rng=7), p=8, **kwargs)
+
+
+class _Client:
+    """A tiny line-oriented JSON client for the tests."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def open(cls, server):
+        host, port = server.address
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def send_text(self, text: str) -> None:
+        self.writer.write(text.encode() + b"\n")
+        await self.writer.drain()
+
+    async def recv(self) -> dict:
+        line = await asyncio.wait_for(self.reader.readline(), timeout=10)
+        assert line, "server closed the connection"
+        return json.loads(line)
+
+    async def call(self, request: dict) -> dict:
+        await self.send_text(json.dumps(request))
+        return await self.recv()
+
+    async def close(self) -> None:
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+def rpc_test(coroutine):
+    """Run one async test body under a fresh event loop."""
+    return asyncio.run(coroutine)
+
+
+class TestProtocol:
+    def test_query_update_stats_roundtrip(self):
+        async def body():
+            async with RpcServer(_session()) as server:
+                client = await _Client.open(server)
+                response = await client.call(
+                    {"id": 1, "op": "query", "q": "S1(x,y), S2(y,z)"}
+                )
+                assert response["ok"] and response["id"] == 1
+                assert response["count"] == 60
+                assert response["algorithm"] == "hypercube"
+                assert len(response["answers"]) == 60
+                assert response["version"] == 0
+
+                response = await client.call(
+                    {
+                        "id": 2,
+                        "op": "update",
+                        "relation": "S1",
+                        "rows": [[7, 9]],
+                    }
+                )
+                assert response["ok"] and response["version"] == 1
+
+                response = await client.call(
+                    {"id": 3, "op": "query", "q": "S1(x,y)"}
+                )
+                assert response["count"] == 61
+
+                response = await client.call({"op": "stats"})
+                assert response["rpc"]["requests"] == 4
+                assert response["service"]["updates"] == 1
+                assert response["planner"]["decisions"] >= 2
+                assert response["version"] == 1
+
+                assert (await client.call({"op": "ping"}))["pong"]
+                await client.close()
+
+        rpc_test(body())
+
+    def test_explain_op_reports_the_route(self):
+        async def body():
+            async with RpcServer(_session()) as server:
+                client = await _Client.open(server)
+                response = await client.call(
+                    {
+                        "op": "explain",
+                        "q": "S1(x,y), S2(y,z)",
+                        "plan": True,
+                    }
+                )
+                assert response["ok"]
+                explain = response["explain"]
+                assert explain["algorithm"] == "hypercube"
+                assert explain["shares"]["y"] == 8
+                assert len(explain["candidates"]) == 4
+                assert response["plan"]["num_rounds"] == 1
+                # explain never executes
+                stats = await client.call({"op": "stats"})
+                assert stats["service"]["executions"] == 0
+                await client.close()
+
+        rpc_test(body())
+
+    def test_eps_and_algorithm_travel_over_the_wire(self):
+        async def body():
+            async with RpcServer(_session()) as server:
+                client = await _Client.open(server)
+                pinned = await client.call(
+                    {
+                        "op": "query",
+                        "q": "S1(x,y), S2(y,z)",
+                        "algorithm": "multiround",
+                    }
+                )
+                assert pinned["algorithm"] == "multiround"
+                partial = await client.call(
+                    {
+                        "op": "query",
+                        "q": "S1(x,y), S2(y,z), S3(z,x)",
+                        "eps": "0",
+                        "allow_partial": True,
+                    }
+                )
+                assert partial["algorithm"] == "partial"
+                await client.close()
+
+        rpc_test(body())
+
+    def test_streamed_query_sends_batches_then_summary(self):
+        async def body():
+            async with RpcServer(_session()) as server:
+                client = await _Client.open(server)
+                await client.send_text(
+                    json.dumps(
+                        {
+                            "id": 9,
+                            "op": "query",
+                            "q": "S1(x,y)",
+                            "stream": True,
+                            "batch": 16,
+                        }
+                    )
+                )
+                rows = []
+                while True:
+                    line = await client.recv()
+                    if "batch" in line:
+                        assert line["id"] == 9
+                        assert len(line["batch"]) <= 16
+                        rows.extend(tuple(r) for r in line["batch"])
+                        continue
+                    assert line["ok"] and line["done"]
+                    assert line["count"] == len(rows) == 60
+                    assert "answers" not in line
+                    break
+                await client.close()
+
+        rpc_test(body())
+
+
+class TestErrors:
+    """Every failure is a structured line; the loop always survives."""
+
+    @pytest.mark.parametrize(
+        "request_line, fragment",
+        [
+            ("this is not json", "invalid json"),
+            (json.dumps({"op": "frobnicate"}), "unknown op"),
+            (json.dumps({"op": "query"}), "missing query text"),
+            (json.dumps({"op": "query", "q": "S1(x"}), "malformed"),
+            (
+                json.dumps({"op": "query", "q": "S1(x,y), S9(y,z)"}),
+                "unknown relation",
+            ),
+            (
+                json.dumps({"op": "query", "q": "S1(x,y,z)"}),
+                "arity mismatch",
+            ),
+            (
+                json.dumps({"op": "query", "q": "S1(x,y)", "eps": "1/0"}),
+                "invalid eps",
+            ),
+            (
+                json.dumps(
+                    {"op": "query", "q": "S1(x,y)", "algorithm": "nope"}
+                ),
+                "unknown algorithm",
+            ),
+            (json.dumps({"op": "update", "relation": "S1"}), "rows"),
+            (
+                json.dumps(
+                    {"op": "delete", "relation": "Nope", "rows": [[1, 2]]}
+                ),
+                "Nope",
+            ),
+        ],
+    )
+    def test_bad_requests_return_structured_errors(
+        self, request_line, fragment
+    ):
+        async def body():
+            async with RpcServer(_session()) as server:
+                client = await _Client.open(server)
+                await client.send_text(request_line)
+                response = await client.recv()
+                assert response["ok"] is False
+                assert fragment in response["error"]
+                # the connection survived: a good request still works
+                follow_up = await client.call(
+                    {"op": "query", "q": "S1(x,y)"}
+                )
+                assert follow_up["ok"] and follow_up["count"] == 60
+                await client.close()
+
+        rpc_test(body())
+
+    def test_error_responses_echo_the_request_id(self):
+        async def body():
+            async with RpcServer(_session()) as server:
+                client = await _Client.open(server)
+                response = await client.call(
+                    {"id": 42, "op": "query", "q": "S9(x,y)"}
+                )
+                assert response["id"] == 42
+                assert response["error_type"] == "QueryError"
+                await client.close()
+
+        rpc_test(body())
+
+    def test_capacity_failures_are_structured(self):
+        async def body():
+            session = connect(
+                matching_database(VOCAB, n=40, rng=7),
+                p=8,
+                capacity_c=0.001,
+                enforce_capacity=True,
+            )
+            async with RpcServer(session) as server:
+                client = await _Client.open(server)
+                response = await client.call(
+                    {"op": "query", "q": "S1(x,y), S2(y,z)"}
+                )
+                assert response["ok"] is False
+                assert response["error_type"] == "CapacityExceeded"
+                await client.close()
+
+        rpc_test(body())
+
+
+class TestCoalescing:
+    def test_concurrent_identical_statements_share_one_execution(self):
+        async def body():
+            async with RpcServer(_session(n=120)) as server:
+                async def one():
+                    client = await _Client.open(server)
+                    response = await client.call(
+                        {"op": "query", "q": "S1(x,y), S2(y,z)"}
+                    )
+                    await client.close()
+                    return response
+
+                responses = await asyncio.gather(*[one() for _ in range(8)])
+                counts = {r["count"] for r in responses}
+                assert counts == {120}
+                flags = sorted(r["coalesced"] for r in responses)
+                assert flags.count(True) == server.stats.coalesced
+                # at least some requests piggybacked on the in-flight
+                # execution or its memoized result
+                executions = server.session.stats.executions
+                assert executions == 1
+
+        rpc_test(body())
+
+    def test_coalescing_can_be_disabled(self):
+        async def body():
+            async with RpcServer(_session(), coalesce=False) as server:
+                async def one():
+                    client = await _Client.open(server)
+                    response = await client.call(
+                        {"op": "query", "q": "S1(x,y), S2(y,z)"}
+                    )
+                    await client.close()
+                    return response["coalesced"]
+
+                flags = await asyncio.gather(*[one() for _ in range(4)])
+                assert not any(flags)
+                assert server.stats.coalesced == 0
+
+        rpc_test(body())
+
+    def test_distinct_statements_do_not_coalesce(self):
+        async def body():
+            async with RpcServer(_session()) as server:
+                async def one(text):
+                    client = await _Client.open(server)
+                    response = await client.call(
+                        {"op": "query", "q": text}
+                    )
+                    await client.close()
+                    return response
+
+                responses = await asyncio.gather(
+                    one("S1(x,y)"), one("S2(x,y)"), one("S3(x,y)")
+                )
+                assert all(r["ok"] for r in responses)
+                assert not any(r["coalesced"] for r in responses)
+
+        rpc_test(body())

@@ -277,3 +277,69 @@ class TestDisabledCaches:
         assert not iso.plan_hit
         assert service.stats.plans.misses == 3
         assert first.answers == repeat.answers
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestPerRequestOverrides:
+    """The Session planner's hook: per-request algorithm/eps."""
+
+    def test_algorithm_override_matches_dedicated_service(self, backend):
+        database = _database()
+        mixed = QueryService(database, p=8, backend=backend)
+        dedicated = QueryService(
+            database, p=8, backend=backend, algorithm="multiround"
+        )
+        query = "S1(x,y), S2(y,z)"
+        overridden = mixed.execute(query, algorithm="multiround")
+        reference = dedicated.execute(query)
+        assert overridden.algorithm == "multiround"
+        assert overridden.answers == reference.answers
+        assert overridden.per_server == reference.per_server
+        assert (
+            overridden.plan.signature.cache_key
+            == reference.plan.signature.cache_key
+        )
+
+    def test_override_uses_the_algorithms_own_capacity_default(
+        self, backend
+    ):
+        service = QueryService(_database(), p=8, backend=backend)
+        hc = service.execute("S1(x,y)")
+        mr = service.execute("S1(x,y)", algorithm="multiround")
+        assert hc.plan.signature.capacity_c == 4.0
+        assert mr.plan.signature.capacity_c == 8.0
+
+    def test_distinct_overrides_cache_separately(self, backend):
+        service = QueryService(_database(), p=8, backend=backend)
+        query = "S1(x,y), S2(y,z)"
+        service.execute(query)
+        service.execute(query, algorithm="multiround")
+        assert service.stats.plans.misses == 2
+        service.execute(query)
+        service.execute(query, algorithm="multiround")
+        assert service.stats.plans.misses == 2  # both now cached
+        assert service.stats.result_hits == 2
+
+    def test_compile_shares_the_plan_cache_with_execute(self, backend):
+        service = QueryService(_database(), p=8, backend=backend)
+        plan = service.compile("S1(x,y), S2(y,z)")
+        assert service.stats.plans.misses == 1
+        result = service.execute("S1(x,y), S2(y,z)")
+        assert result.plan is plan
+        assert service.stats.plans.misses == 1
+
+    def test_unknown_override_raises_query_error(self, backend):
+        from repro.core.query import QueryError
+
+        service = QueryService(_database(), p=8, backend=backend)
+        with pytest.raises(QueryError, match="unknown algorithm"):
+            service.execute("S1(x,y)", algorithm="quantum")
+
+    def test_validation_rejects_bad_schemas(self, backend):
+        from repro.core.query import QueryError
+
+        service = QueryService(_database(), p=8, backend=backend)
+        with pytest.raises(QueryError, match="unknown relation"):
+            service.execute("S9(x,y)")
+        with pytest.raises(QueryError, match="arity mismatch"):
+            service.execute("S1(x,y,z)")

@@ -32,11 +32,16 @@ def speedup_fields(payload: dict) -> dict[str, float]:
 
     Any numeric top-level field whose name contains ``speedup`` is a
     claim worth trending (``speedup``, ``segmented_speedup``, ...).
+    Booleans are excluded even though ``bool`` is an ``int``: a flag
+    like ``speedup_gated`` is metadata, and trending it would turn a
+    True -> False transition into a fake 1.0x -> 0.0x regression.
     """
     return {
         key: float(value)
         for key, value in payload.items()
-        if "speedup" in key and isinstance(value, (int, float))
+        if "speedup" in key
+        and isinstance(value, (int, float))
+        and not isinstance(value, bool)
     }
 
 

@@ -241,6 +241,19 @@ class Session:
         sample_cap: stride-sample relations beyond this many rows when
             profiling.
         reuse_simulators / profile: forwarded to the service.
+        workers: executor process count for statement fan-out.  1 (the
+            default) keeps everything in this process.  With ``N >= 2``
+            the session spawns ``N`` worker processes, each holding a
+            full planner-backed session over a shared-memory snapshot
+            of the database, and ``.execute()`` calls dispatch to idle
+            workers -- so independent statements from concurrent
+            threads genuinely run in parallel.  Results are
+            bit-identical to in-process execution (same data, same
+            seed, same deterministic planner); updates broadcast to
+            every worker behind a barrier; if workers die the session
+            falls back to in-process execution.  Requires the numpy
+            backend for zero-copy snapshots (pure-backend relations
+            ship by value).
     """
 
     def __init__(
@@ -265,6 +278,7 @@ class Session:
         sample_cap: int = SAMPLE_CAP,
         reuse_simulators: bool = True,
         profile: bool = True,
+        workers: int = 1,
     ) -> None:
         self._service = QueryService(
             database,
@@ -300,6 +314,33 @@ class Session:
             LRUCache(profile_cache_size) if profile_cache_size > 0 else None
         )
         self._sample_cap = sample_cap
+        self.workers = workers
+        self._fanout: Any = None
+        if workers >= 2:
+            from repro.engine.parallel.fanout import SessionWorkerPool
+
+            # The worker sessions replay these options verbatim, so
+            # their planner/caches behave identically to this one.
+            options = dict(
+                p=p,
+                backend=backend,
+                seed=seed,
+                eps=eps,
+                algorithm=algorithm,
+                capacity_c=capacity_c,
+                enforce_capacity=enforce_capacity,
+                plan_cache_size=plan_cache_size,
+                routing_cache_size=routing_cache_size,
+                result_cache_size=result_cache_size,
+                decision_cache_size=decision_cache_size,
+                profile_cache_size=profile_cache_size,
+                sample_cap=sample_cap,
+                reuse_simulators=reuse_simulators,
+                profile=profile,
+            )
+            self._fanout = SessionWorkerPool(
+                self._service.database, options, workers
+            )
 
     # -- construction of statements -----------------------------------------
 
@@ -373,6 +414,15 @@ class Session:
             self._decisions.purge(lambda key: key[-1] != version)
         if self._profiles is not None:
             self._profiles.purge(lambda key: key[-1] != version)
+        if self._fanout is not None and self._fanout.usable:
+            from repro.engine.parallel.fanout import FanoutBroken
+
+            try:
+                self._fanout.apply_delta(delta, version)
+            except FanoutBroken:
+                # Workers diverged or died: later queries fall back to
+                # in-process execution (usable is now False).
+                pass
         return version
 
     # -- introspection ------------------------------------------------------
@@ -407,12 +457,24 @@ class Session:
         """Service-level counters (cache hits, evictions, phases)."""
         return self._service.stats
 
+    @property
+    def fanout(self) -> Any:
+        """The statement fan-out pool, or None (introspection/stats)."""
+        return self._fanout
+
     def close(self) -> None:
-        """Release cached state (the session stays usable)."""
+        """Release cached state, worker processes and shared segments.
+
+        The session stays usable for in-process execution.
+        """
         if self._decisions is not None:
             self._decisions.purge(lambda key: True)
         if self._profiles is not None:
             self._profiles.purge(lambda key: True)
+        if self._fanout is not None:
+            self._fanout.close()
+            self._fanout = None
+        self._service.close()
 
     def __enter__(self) -> "Session":
         return self
@@ -466,6 +528,24 @@ class Session:
     def _execute(
         self, statement: Statement, profiler: RoundProfiler | None
     ) -> Result:
+        if (
+            self._fanout is not None
+            and self._fanout.usable
+            and profiler is None  # profiled runs stay local: the
+            # caller wants *this* process's phase timings.
+        ):
+            from repro.engine.parallel.fanout import FanoutBroken
+
+            try:
+                raw, explain = self._fanout.execute(
+                    statement.query,
+                    statement.eps,
+                    statement.algorithm,
+                    statement.allow_partial,
+                )
+                return Result(raw=raw, explain=explain)
+            except FanoutBroken:
+                pass  # degrade to in-process execution below.
         choice = self._decide(statement)
         raw = self._service.execute(
             statement.query,

@@ -127,7 +127,19 @@ def cmd_run(args: argparse.Namespace) -> int:
     plan = compile_with(
         "hypercube", query, args.p, seed=args.seed, backend=backend
     )
-    execution = execute_plan(plan, database, profiler=profiler)
+    parallel = None
+    workers = getattr(args, "workers", 1)
+    if workers >= 2 and backend == "numpy":
+        from repro.engine.parallel import ParallelContext
+
+        parallel = ParallelContext(workers, min_rows=0)
+    try:
+        execution = execute_plan(
+            plan, database, profiler=profiler, parallel=parallel
+        )
+    finally:
+        if parallel is not None:
+            parallel.close()
     truth = evaluate_query(
         query, {name: database[name].tuples for name in database.relations}
     )
@@ -145,7 +157,16 @@ def cmd_run(args: argparse.Namespace) -> int:
             ["max load (tuples)", execution.report.max_load_tuples],
             ["replication rate",
              f"{execution.report.replication_rate:.3f}"],
-        ],
+        ]
+        + (
+            [
+                ["route workers", workers],
+                ["parallel rounds", parallel.parallel_rounds],
+                ["fallback rounds", parallel.fallback_rounds],
+            ]
+            if parallel is not None
+            else []
+        ),
     ))
     _print_profile(profiler, f"HC timing breakdown ({backend})")
     return 0 if verified else 1
@@ -438,6 +459,8 @@ def _serve_handle(service, line: str, out) -> bool:
                 ["updates", stats.updates],
                 ["answers served", stats.answers_served],
                 ["capacity failures", stats.capacity_failures],
+                ["parallel rounds", stats.parallel_rounds],
+                ["fallback rounds", stats.fallback_rounds],
             ]
             rows.extend(
                 [f"{phase} seconds", f"{seconds:.4f}"]
@@ -488,6 +511,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             eps=args.eps,
             algorithm=args.algorithm,
             seed=args.seed,
+            workers=args.workers,
             **cache_sizes,
         )
         routing = (
@@ -497,7 +521,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
         print(
             f"serving {vocab} over n={args.n} matching database "
-            f"(p={args.p}, backend={backend}, {routing})"
+            f"(p={args.p}, backend={backend}, {routing}, "
+            f"workers={args.workers})"
         )
         try:
             asyncio.run(
@@ -505,6 +530,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             )
         except KeyboardInterrupt:
             print("rpc server stopped")
+        finally:
+            session.close()
         return 0
 
     from repro.serve import QueryService
@@ -517,21 +544,26 @@ def cmd_serve(args: argparse.Namespace) -> int:
         algorithm=algorithm,
         eps=args.eps,
         seed=args.seed,
+        workers=args.workers,
         **cache_sizes,
     )
     print(
         f"serving {vocab} over n={args.n} matching database "
-        f"(p={args.p}, backend={backend}, algorithm={algorithm})"
+        f"(p={args.p}, backend={backend}, algorithm={algorithm}, "
+        f"workers={args.workers})"
     )
-    if args.script:
-        with open(args.script, encoding="utf-8") as stream:
-            for line in stream:
+    try:
+        if args.script:
+            with open(args.script, encoding="utf-8") as stream:
+                for line in stream:
+                    if not _serve_handle(service, line, sys.stdout):
+                        break
+        else:
+            for line in sys.stdin:
                 if not _serve_handle(service, line, sys.stdout):
                     break
-    else:
-        for line in sys.stdin:
-            if not _serve_handle(service, line, sys.stdout):
-                break
+    finally:
+        service.close()
     return 0
 
 
@@ -619,6 +651,13 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="print a per-round route/ship/deliver/local-eval "
             "wall-clock breakdown after the run",
+        )
+        subparser.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="executor processes for the parallel route phase "
+            "(numpy backend only; 1 = fully in-process)",
         )
 
     run = commands.add_parser("run", help="run HyperCube on a random matching DB")
@@ -764,6 +803,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--result-cache-size", type=int, default=512,
         help="result-cache entry budget (0 disables)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="executor processes: with --tcp, statements fan out "
+        "across N worker processes (and N dispatch threads); in the "
+        "REPL, the route phase of large rounds runs on N processes. "
+        "1 (default) keeps everything in-process",
     )
     serve.add_argument("--n", type=int, default=200, help="domain size")
     serve.add_argument("--p", type=int, default=16, help="number of servers")

@@ -86,12 +86,17 @@ class VersionedDatabase:
         backend: column storage backend; relations are converted once
             here so every later snapshot (and every plan execution
             over it) reads the same arrays.
+        initial_version: version number of the initial contents.
+            Defaults to 0; a parallel executor process reconstructing
+            the parent's database mid-life passes the parent's current
+            version so version-stamped results agree across processes.
     """
 
     def __init__(
         self,
         database: Database | ColumnarDatabase | Mapping[str, ColumnarRelation],
         backend: str | None = None,
+        initial_version: int = 0,
     ) -> None:
         self._backend = resolve_backend(backend)
         if isinstance(database, Mapping):
@@ -109,7 +114,7 @@ class VersionedDatabase:
         self._snapshot = ColumnarDatabase(
             relations=relations, domain_size=domain
         )
-        self._version = 0
+        self._version = initial_version
 
     # -- read side ----------------------------------------------------------
 

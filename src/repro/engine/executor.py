@@ -330,6 +330,7 @@ def execute_plan(
     routed_cache: MutableMapping[tuple[int, int], RoutedStep] | None = None,
     relation_map: Mapping[str, str] | None = None,
     input_bits: int | None = None,
+    parallel: Any = None,
 ) -> PlanExecution:
     """Execute a compiled plan against a database.
 
@@ -356,6 +357,14 @@ def execute_plan(
         input_bits: override for the capacity bound's ``N`` (callers
             with bespoke input accounting, e.g. the cartesian-grid
             baseline).
+        parallel: optional
+            :class:`~repro.engine.parallel.engine.ParallelContext`;
+            when given (and usable) rounds execute on a
+            :class:`~repro.engine.parallel.engine.ParallelRoundEngine`
+            that fans shardable route phases out across the context's
+            process pool.  Answers, loads and capacity behaviour are
+            bit-identical to the in-process engine; non-shardable
+            steps and small sources fall back transparently.
 
     Returns:
         A :class:`PlanExecution` with answers, loads and views.
@@ -382,7 +391,14 @@ def execute_plan(
     if input_bits is None:
         input_bits = _database_bits(database, sources)
     simulator = plan_simulator(plan, input_bits, simulator)
-    engine = RoundEngine(simulator, profiler=profiler)
+    if parallel is not None and parallel.usable:
+        from repro.engine.parallel.engine import ParallelRoundEngine
+
+        engine: RoundEngine = ParallelRoundEngine(
+            simulator, parallel, profiler=profiler
+        )
+    else:
+        engine = RoundEngine(simulator, profiler=profiler)
 
     domain_size = getattr(database, "domain_size", None)
     if domain_size is None:

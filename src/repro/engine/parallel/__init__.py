@@ -1,0 +1,62 @@
+"""Process-parallel execution: shared-memory columns, shard pools,
+and statement fan-out.
+
+Public surface:
+
+* :class:`~repro.engine.parallel.shm.SharedColumnStore` /
+  :func:`~repro.engine.parallel.shm.attach_columns` -- zero-copy int64
+  column transport over ``multiprocessing.shared_memory``.
+* :class:`~repro.engine.parallel.engine.ParallelContext` /
+  :class:`~repro.engine.parallel.engine.ParallelRoundEngine` -- the
+  in-engine route-shard fan-out (pass a context to
+  :func:`repro.engine.executor.execute_plan` via ``parallel=``).
+* :class:`~repro.engine.parallel.fanout.SessionWorkerPool` -- the
+  statement-level fan-out the RPC front end uses: each worker process
+  holds a full session over a shared snapshot.
+"""
+
+from repro.engine.parallel.engine import (
+    DEFAULT_MIN_ROWS,
+    ParallelContext,
+    ParallelRoundEngine,
+)
+from repro.engine.parallel.pool import PoolBroken, ShardPool
+from repro.engine.parallel.shm import (
+    DatabaseExport,
+    SegmentHandle,
+    SharedColumnStore,
+    SharedMemoryUnavailable,
+    attach_columns,
+    attach_snapshot,
+    detach_all,
+    export_snapshot,
+    segment_exists,
+)
+
+__all__ = [
+    "DEFAULT_MIN_ROWS",
+    "DatabaseExport",
+    "ParallelContext",
+    "ParallelRoundEngine",
+    "PoolBroken",
+    "SegmentHandle",
+    "SessionWorkerPool",
+    "ShardPool",
+    "SharedColumnStore",
+    "SharedMemoryUnavailable",
+    "attach_columns",
+    "attach_snapshot",
+    "detach_all",
+    "export_snapshot",
+    "segment_exists",
+]
+
+
+def __getattr__(name: str):
+    # fanout imports serve/api modules; loaded lazily so the engine
+    # package does not pull the serving stack in at import time.
+    if name == "SessionWorkerPool":
+        from repro.engine.parallel.fanout import SessionWorkerPool
+
+        return SessionWorkerPool
+    raise AttributeError(name)

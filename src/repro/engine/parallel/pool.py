@@ -1,0 +1,125 @@
+"""The persistent spawn-based process pool executing route shards.
+
+One :class:`ShardPool` wraps a
+:class:`concurrent.futures.ProcessPoolExecutor` built on the ``spawn``
+start method -- fork would duplicate the parent's arbitrary state
+(open sockets, numpy thread pools, a possibly multi-gigabyte heap)
+into every worker; spawn gives each executor a clean interpreter that
+reads its inputs exclusively through shared-memory segments.
+
+Workers are long-lived: the first task pays the interpreter + import
+cost, every later task reuses the warm process and its cached segment
+attachments (:mod:`repro.engine.parallel.shm` maps each segment once
+per process).  Task payloads are tiny -- a routing step, a segment
+handle and a ``[start, end)`` row range -- and results return the
+shard's destination/row-index arrays (pickled numpy buffers) plus the
+shard's filtered columns only when filtering actually dropped rows.
+
+A worker death (OOM kill, segfault) surfaces as
+:class:`PoolBroken`; the owning :class:`~repro.engine.parallel.engine.ParallelContext`
+catches it, falls back to in-process routing and never trusts the
+pool again until rebuilt -- a crashed pool degrades to the
+single-process engine instead of failing the query.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Sequence
+
+from repro.engine.parallel.shm import SegmentHandle, attach_columns
+
+
+class PoolBroken(RuntimeError):
+    """The process pool lost a worker and cannot be trusted further."""
+
+
+def route_shard_task(
+    step: Any,
+    handle: SegmentHandle,
+    start: int,
+    end: int,
+    p: int,
+) -> dict:
+    """Route rows ``[start, end)`` of a shared source (worker side).
+
+    Returns a dict with:
+
+    * ``destinations`` / ``row_indices`` -- the shard's routing
+      decision, row indices *shard-local* (the parent offsets them by
+      the cumulative filtered row count of earlier shards);
+    * ``kept`` -- the shard's post-filter row count;
+    * ``columns`` -- the filtered shard columns, or None when the step
+      kept every row (the parent then reuses its own zero-copy slice);
+    * ``seconds`` -- worker-side wall clock (per-shard profiling).
+    """
+    began = time.perf_counter()
+    source = attach_columns(handle)
+    shard = tuple(column[start:end] for column in source)
+    columns, destinations, row_indices = step.route_columns(shard, p)
+    shard_rows = end - start
+    kept = len(columns[0]) if columns else 0
+    return {
+        "destinations": destinations,
+        "row_indices": row_indices,
+        "kept": kept,
+        "columns": None if kept == shard_rows else columns,
+        "seconds": time.perf_counter() - began,
+    }
+
+
+class ShardPool:
+    """A lazily-started persistent pool of route-shard executors."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"need workers >= 1, got {workers}")
+        self.workers = workers
+        self._executor: ProcessPoolExecutor | None = None
+        self.broken = False
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            import multiprocessing
+
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+        return self._executor
+
+    def route_shards(
+        self,
+        step: Any,
+        handle: SegmentHandle,
+        bounds: Sequence[tuple[int, int]],
+        p: int,
+    ) -> list[dict]:
+        """Run one step's shards concurrently; results in shard order.
+
+        Raises:
+            PoolBroken: a worker died; the pool is marked broken and
+                shut down (the caller falls back to serial routing).
+        """
+        if self.broken:
+            raise PoolBroken("shard pool previously lost a worker")
+        executor = self._ensure()
+        futures = [
+            executor.submit(route_shard_task, step, handle, start, end, p)
+            for start, end in bounds
+        ]
+        try:
+            return [future.result() for future in futures]
+        except BrokenProcessPool as error:
+            self.broken = True
+            self.close()
+            raise PoolBroken(str(error)) from error
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        executor = self._executor
+        self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)

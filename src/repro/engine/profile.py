@@ -25,10 +25,19 @@ PHASES = ("route", "ship", "deliver", "local")
 
 
 class RoundProfiler:
-    """Accumulates per-(round, phase) wall-clock seconds."""
+    """Accumulates per-(round, phase) wall-clock seconds.
+
+    When the parallel engine fans a round's route phase out over a
+    process pool, each shard's worker-side seconds are recorded
+    separately (:meth:`add_shard`), so ``--profile`` can show both the
+    parent's wall clock for the phase and how evenly the shards split
+    the work under it.
+    """
 
     def __init__(self) -> None:
         self.rounds: dict[int, dict[str, float]] = {}
+        #: round index -> list of (shard index, worker-side seconds).
+        self.shards: dict[int, list[tuple[int, float]]] = {}
 
     def add(self, round_index: int, phase: str, seconds: float) -> None:
         """Record ``seconds`` against one round's phase."""
@@ -43,6 +52,21 @@ class RoundProfiler:
             yield
         finally:
             self.add(round_index, phase, time.perf_counter() - start)
+
+    def add_shard(
+        self, round_index: int, shard_index: int, seconds: float
+    ) -> None:
+        """Record one shard's worker-side route seconds for a round."""
+        self.shards.setdefault(round_index, []).append(
+            (shard_index, seconds)
+        )
+
+    def shard_seconds(self, round_index: int) -> tuple[float, ...]:
+        """Worker-side seconds of each shard of one round, in order."""
+        return tuple(
+            seconds
+            for _, seconds in sorted(self.shards.get(round_index, []))
+        )
 
     def phase_total(self, phase: str) -> float:
         """Total seconds spent in one phase across all rounds."""
@@ -74,8 +98,27 @@ class RoundProfiler:
             + [f"{self.phase_total(phase):.4f}" for phase in PHASES]
             + [f"{self.total_seconds:.4f}"]
         )
-        return format_table(
+        table = format_table(
             ["round"] + [f"{phase} (s)" for phase in PHASES] + ["sum (s)"],
             rows,
             title=title,
+        )
+        if not self.shards:
+            return table
+        shard_rows = []
+        for round_index in sorted(self.shards):
+            timings = self.shard_seconds(round_index)
+            shard_rows.append(
+                [
+                    round_index,
+                    len(timings),
+                    f"{min(timings):.4f}",
+                    f"{max(timings):.4f}",
+                    f"{sum(timings):.4f}",
+                ]
+            )
+        return table + "\n" + format_table(
+            ["round", "shards", "min (s)", "max (s)", "sum (s)"],
+            shard_rows,
+            title="per-shard route timing",
         )

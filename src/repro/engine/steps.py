@@ -154,6 +154,28 @@ class RoutingStep:
         """
         return False
 
+    @property
+    def shardable(self) -> bool:
+        """Whether row-sharded routing reproduces this step exactly.
+
+        The parallel engine splits a source into contiguous row shards,
+        runs :meth:`route_columns` per shard in worker processes and
+        concatenates the shard decisions (offsetting ``row_indices`` by
+        each shard's filtered start).  That is faithful only when the
+        step's routing decision for a row depends on nothing but the
+        row's own content -- i.e. ``route_columns(cols[a:b])`` equals
+        the ``[a:b)`` restriction of ``route_columns(cols)`` up to
+        per-receiver order.  Content-free steps that look at the global
+        row index (:class:`RoundRobinGrid`) and steps that group rows
+        across the whole relation (:class:`HeavyGridRoute`'s signature
+        grouping) must stay False and fall back to in-process routing.
+
+        Defaults to False for the same reason
+        :attr:`preserves_source_order` does: a forgotten override only
+        loses parallelism, never correctness.
+        """
+        return False
+
     def destinations(self, row: Sequence[int], index: int, p: int) -> list[int]:
         """Worker ranks receiving ``row`` (the scalar reference path).
 
@@ -235,6 +257,11 @@ class HashRoute(RoutingStep):
     @property
     def preserves_source_order(self) -> bool:
         """Replication is a repeat of ascending row indices."""
+        return True
+
+    @property
+    def shardable(self) -> bool:
+        """Hashing is pure row content; shards route independently."""
         return True
 
     def _pinned(self) -> dict[str, int]:
@@ -547,6 +574,11 @@ class RemapRanks(RoutingStep):
         targets = list(self.mapping.values())
         return len(targets) == len(set(targets))
 
+    @property
+    def shardable(self) -> bool:
+        """Rank remapping is per-row; shardability is the inner step's."""
+        return self.inner.shardable
+
     def destinations(self, row: Sequence[int], index: int, p: int) -> list[int]:
         mapping = self.mapping
         return [
@@ -581,6 +613,11 @@ class Broadcast(RoutingStep):
         """Each worker's block is one ascending ``arange`` tile."""
         return True
 
+    @property
+    def shardable(self) -> bool:
+        """Replication to all workers is content- and index-free."""
+        return True
+
     def destinations(self, row: Sequence[int], index: int, p: int) -> list[int]:
         return list(range(p))
 
@@ -605,6 +642,11 @@ class ToServer(RoutingStep):
     @property
     def preserves_source_order(self) -> bool:
         """Rows ship in source order to a single worker."""
+        return True
+
+    @property
+    def shardable(self) -> bool:
+        """A constant destination shards trivially."""
         return True
 
     def destinations(self, row: Sequence[int], index: int, p: int) -> list[int]:

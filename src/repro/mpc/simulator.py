@@ -151,6 +151,27 @@ class ColumnPool:
         """Number of rows delivered to one worker."""
         return int(self.offsets[worker + 1]) - int(self.offsets[worker])
 
+    def shard(self, lo: int, hi: int) -> "ColumnPool":
+        """The sub-pool of workers ``[lo, hi)`` (zero-copy slices).
+
+        Rows stay worker-grouped and the offset index is rebased to
+        the shard, so the result is itself a valid pool over
+        ``hi - lo`` workers: a parallel consumer can hand each
+        executor process one contiguous worker range and evaluate it
+        with the exact same segmented code that runs fleet-wide.
+        """
+        if not 0 <= lo <= hi <= self.num_workers:
+            raise ValueError(
+                f"shard [{lo}, {hi}) outside [0, {self.num_workers})"
+            )
+        start = int(self.offsets[lo])
+        end = int(self.offsets[hi])
+        return ColumnPool(
+            columns=tuple(column[start:end] for column in self.columns),
+            offsets=self.offsets[lo : hi + 1] - start,
+            source_sorted=self.source_sorted,
+        )
+
 
 class MPCSimulator:
     """A synchronous network of ``p`` workers plus input servers.
@@ -569,6 +590,31 @@ class MPCSimulator:
             merged = self._merge_pools(pools)
             self._merged_pools[relation] = merged
         return merged
+
+    def relation_pool_shards(
+        self, relation: str, num_shards: int
+    ) -> list[tuple[int, int, ColumnPool]] | None:
+        """One relation's pool split into contiguous worker shards.
+
+        Returns ``[(lo, hi, shard pool), ...]`` covering workers
+        ``[0, p)`` in at most ``num_shards`` near-equal contiguous
+        ranges (empty ranges are skipped), or None exactly when
+        :meth:`relation_pool` would return None.  Each shard is a
+        zero-copy view over the merged pool, so handing shards to
+        executor processes shares pages instead of copying rows.
+        """
+        pool = self.relation_pool(relation)
+        if pool is None:
+            return None
+        p = pool.num_workers
+        if num_shards < 1:
+            raise ValueError(f"need num_shards >= 1, got {num_shards}")
+        per_shard = -(-p // num_shards)  # ceil division
+        shards = []
+        for lo in range(0, p, per_shard):
+            hi = min(lo + per_shard, p)
+            shards.append((lo, hi, pool.shard(lo, hi)))
+        return shards
 
     def _merge_pools(self, pools: list[ColumnPool]) -> ColumnPool:
         """Merge several rounds' pools into one worker-grouped pool.

@@ -32,12 +32,29 @@ Malformed JSON, unknown operations, bad queries and execution errors
 all come back as structured ``{"ok": false, "error": ...}`` lines --
 the connection (and the server) always survives a bad request.
 
-**Concurrency and coalescing.**  Statement executions (and updates)
-run on a single worker thread, keeping the underlying session
-strictly serialized while the event loop keeps accepting, parsing and
-responding -- so many closed-loop clients pipeline instead of queueing
-on the network.  Identical canonicalized statements arriving while one
-is already in flight *coalesce*: they await the same execution future
+**Concurrency and coalescing.**  The session object is not
+thread-safe: its planner/profile caches, plan cache and pooled
+simulators are all unsynchronized, and the coalescing key pairs each
+statement with the version current at submit -- which must still be
+the version at execute.  Control operations (explain, update, stats)
+therefore always run on a single worker thread.  Query dispatch is
+governed by ``workers``:
+
+* ``workers=1`` (the safe default): queries share the same single
+  thread, keeping the session strictly serialized while the event
+  loop keeps accepting, parsing and responding -- many closed-loop
+  clients pipeline instead of queueing on the network.
+* ``workers=N >= 2`` (requires a session built with fan-out, i.e.
+  ``connect(db, workers=N)``): queries run on ``N`` dispatcher
+  threads.  This is safe *only* because a fan-out session's query
+  path never touches the shared session state -- each statement is
+  shipped whole to an idle worker process holding its own session
+  over the shared-memory snapshot.  Updates still serialize on the
+  control thread and broadcast behind an all-workers barrier, so
+  version-at-submit still equals version-at-execute.
+
+Identical canonicalized statements arriving while one is already in
+flight *coalesce* in both modes: they await the same execution future
 and each gets the shared result (counted in ``RpcStats.coalesced``).
 This is the cross-request batching the ROADMAP asks for -- the dual
 of the result cache, which only helps *after* an execution finishes.
@@ -114,6 +131,13 @@ class RpcServer:
             bound one from :attr:`address` after :meth:`start`).
         coalesce: share in-flight executions between identical
             concurrent statements (on by default).
+        workers: query-dispatch thread count.  Defaults to the
+            session's fan-out width (its ``workers`` option) so
+            ``connect(db, workers=N)`` + ``RpcServer(session)`` just
+            works; pass explicitly to override.  Clamped to 1 when
+            the session has no usable fan-out pool -- dispatching a
+            thread-unsafe session from several threads is never
+            allowed (see the module docstring for the contract).
     """
 
     def __init__(
@@ -123,6 +147,7 @@ class RpcServer:
         port: int = 0,
         *,
         coalesce: bool = True,
+        workers: int | None = None,
     ) -> None:
         self.session = session
         self.host = host
@@ -130,11 +155,29 @@ class RpcServer:
         self.coalesce = coalesce
         self.stats = RpcStats()
         self._server: asyncio.AbstractServer | None = None
-        # One worker: the session below is not thread-safe, and a
-        # strict execution order keeps version-at-submit equal to
-        # version-at-execute for the coalescing key.
+        # One control worker, always: explain/update/stats touch the
+        # session's unsynchronized caches, and a strict execution
+        # order keeps version-at-submit equal to version-at-execute
+        # for the coalescing key.
         self._pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-rpc"
+        )
+        if workers is None:
+            workers = getattr(session, "workers", 1)
+        fanout = getattr(session, "fanout", None)
+        if fanout is None or not fanout.usable:
+            workers = 1  # no fan-out pool: single-threaded is the
+            # only safe dispatch (the hardcoded pre-parallel default).
+        self.workers = workers
+        # Query dispatch: the fan-out query path never touches shared
+        # session state, so with a fan-out session N threads may each
+        # drive one executor process concurrently.
+        self._query_pool = (
+            ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-rpc-q"
+            )
+            if workers > 1
+            else self._pool
         )
         self._inflight: dict[tuple, asyncio.Future] = {}
         self._clients: set[asyncio.Task] = set()
@@ -174,6 +217,8 @@ class RpcServer:
         if self._clients:
             await asyncio.gather(*self._clients, return_exceptions=True)
         self._clients.clear()
+        if self._query_pool is not self._pool:
+            self._query_pool.shutdown(wait=True)
         self._pool.shutdown(wait=True)
 
     async def __aenter__(self) -> "RpcServer":
@@ -402,6 +447,7 @@ class RpcServer:
                 "answers_served": service.answers_served,
                 "capacity_failures": service.capacity_failures,
             },
+            "parallel": self._parallel_stats(),
             "planner": {
                 "decisions": planner.decisions,
                 "pinned": planner.pinned,
@@ -411,13 +457,32 @@ class RpcServer:
             "version": self.session.version,
         }
 
+    def _parallel_stats(self) -> dict:
+        """Where parallel dispatch actually engaged (or didn't)."""
+        service = self.session.stats
+        fanout = getattr(self.session, "fanout", None)
+        return {
+            "dispatch_threads": self.workers,
+            "fanout_workers": (
+                fanout.workers if fanout is not None else 0
+            ),
+            "fanout_usable": bool(fanout is not None and fanout.usable),
+            "fanout_queries": (
+                fanout.queries if fanout is not None else 0
+            ),
+            "parallel_rounds": service.parallel_rounds,
+            "fallback_rounds": service.fallback_rounds,
+        }
+
     # -- execution with cross-request coalescing ----------------------------
 
     async def _execute(self, statement: "Statement"):
         loop = asyncio.get_running_loop()
         if not self.coalesce:
             return (
-                await loop.run_in_executor(self._pool, statement.execute),
+                await loop.run_in_executor(
+                    self._query_pool, statement.execute
+                ),
                 False,
             )
         key = (statement.canonical_key(), self.session.version)
@@ -425,7 +490,7 @@ class RpcServer:
         if future is not None:
             self.stats.coalesced += 1
             return await asyncio.shield(future), True
-        future = loop.run_in_executor(self._pool, statement.execute)
+        future = loop.run_in_executor(self._query_pool, statement.execute)
         self._inflight[key] = future
         try:
             return await asyncio.shield(future), False
@@ -440,6 +505,7 @@ async def serve_tcp(
     port: int = 8765,
     *,
     coalesce: bool = True,
+    workers: int | None = None,
     ready: "asyncio.Event | None" = None,
     announce=print,
 ) -> None:
@@ -449,16 +515,19 @@ async def serve_tcp(
         session: the session to serve.
         host / port: bind address.
         coalesce: share in-flight identical statements.
+        workers: query-dispatch thread count (see :class:`RpcServer`;
+            None follows the session's fan-out width).
         ready: optional event set once the socket is bound (tests).
         announce: called with a human-readable "listening" line.
     """
-    server = RpcServer(session, host, port, coalesce=coalesce)
+    server = RpcServer(session, host, port, coalesce=coalesce, workers=workers)
     bound_host, bound_port = await server.start()
     if announce is not None:
         announce(
             f"repro rpc: listening on {bound_host}:{bound_port} "
-            "(JSON lines; ops: query / explain / update / delete / "
-            "stats / ping)"
+            f"({server.workers} dispatch thread"
+            f"{'s' if server.workers != 1 else ''}; JSON lines; ops: "
+            "query / explain / update / delete / stats / ping)"
         )
     if ready is not None:
         ready.set()

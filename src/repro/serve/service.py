@@ -103,6 +103,11 @@ class ServiceStats:
     updates: int = 0
     answers_served: int = 0
     capacity_failures: int = 0
+    #: Rounds whose route phase fanned out across the process pool /
+    #: rounds that routed fresh but in-process (parallel serving only;
+    #: both stay 0 when the service runs single-process).
+    parallel_rounds: int = 0
+    fallback_rounds: int = 0
     phase_seconds: dict[str, float] = field(
         default_factory=lambda: {phase: 0.0 for phase in PHASES}
     )
@@ -188,6 +193,16 @@ class QueryService:
             configuration instead of allocating per request.
         profile: collect per-request phase timings into
             :attr:`stats` (a tiny overhead; disable for raw speed).
+        workers: executor process count for the in-engine parallel
+            route phase.  1 (the default) keeps execution fully
+            in-process; >= 2 builds a
+            :class:`~repro.engine.parallel.engine.ParallelContext`
+            lazily on first execution (numpy backend only -- the pure
+            backend routes row-at-a-time and always stays serial).
+            Answers, loads and capacity behaviour are bit-identical
+            either way.
+        parallel_min_rows: sources below this row count route
+            in-process even when ``workers >= 2``.
     """
 
     def __init__(
@@ -209,6 +224,8 @@ class QueryService:
         result_cache_size: int = 512,
         reuse_simulators: bool = True,
         profile: bool = True,
+        workers: int = 1,
+        parallel_min_rows: int | None = None,
     ) -> None:
         if algorithm not in algorithm_names():
             raise ValueError(
@@ -256,6 +273,62 @@ class QueryService:
             else None
         )
         self._simulators: dict[tuple, MPCSimulator] = {}
+        self.workers = workers
+        self._parallel_min_rows = parallel_min_rows
+        self._parallel: Any = None
+        self._parallel_failed = False
+
+    def _parallel_context(self) -> Any:
+        """The lazily-built in-engine parallel context, or None.
+
+        Built on first use so single-process services (and pure
+        backend ones) never pay spawn costs; a context whose pool
+        breaks stays usable=False and execution degrades to the serial
+        engine for the rest of the service's life.
+        """
+        from repro.backend import NUMPY
+
+        if (
+            self.workers < 2
+            or self.backend != NUMPY
+            or self._parallel_failed
+        ):
+            return None
+        if self._parallel is None:
+            from repro.engine.parallel.engine import (
+                DEFAULT_MIN_ROWS,
+                ParallelContext,
+            )
+
+            try:
+                self._parallel = ParallelContext(
+                    self.workers,
+                    min_rows=(
+                        DEFAULT_MIN_ROWS
+                        if self._parallel_min_rows is None
+                        else self._parallel_min_rows
+                    ),
+                )
+            except Exception:  # noqa: BLE001 - parallel is optional
+                self._parallel_failed = True
+                return None
+        return self._parallel
+
+    def close(self) -> None:
+        """Release parallel resources (pool processes, shared segments).
+
+        The service stays usable -- later executions run (or rebuild
+        the context) as configured.  Idempotent.
+        """
+        if self._parallel is not None:
+            self._parallel.close()
+            self._parallel = None
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     def _count_routing_eviction(self) -> None:
         self.stats.routing_evictions += 1
@@ -521,6 +594,7 @@ class QueryService:
             None if rebind.is_identity else dict(rebind.relation_map)
         )
         error: CapacityExceeded | None = None
+        parallel = self._parallel_context()
         try:
             execution = execute_plan(
                 plan,
@@ -529,10 +603,15 @@ class QueryService:
                 simulator=self._simulator_for(plan),
                 routed_cache=routed_cache,
                 relation_map=relation_map,
+                parallel=parallel,
             )
         except CapacityExceeded as exc:
             error = exc
             execution = None
+        finally:
+            if parallel is not None:
+                self.stats.parallel_rounds = parallel.parallel_rounds
+                self.stats.fallback_rounds = parallel.fallback_rounds
         self.stats.executions += 1
         if profiler is not None:
             self.stats.add_profile(profiler)

@@ -38,6 +38,19 @@ class TestSpeedupFields:
         )
         assert fields == {"speedup": 5.0, "segmented_speedup": 2.0}
 
+    def test_bench_parallel_payload_is_trended(self, trend):
+        # The multi-process benchmark's perf claim rides the same
+        # convention: its parallel_speedup field must be collected.
+        fields = trend.speedup_fields(
+            {
+                "parallel_speedup": 3.4,
+                "single_seconds": 2.0,
+                "multi_seconds": 0.6,
+                "speedup_gated": True,  # bool is not a perf claim
+            }
+        )
+        assert fields == {"parallel_speedup": 3.4}
+
 
 class TestCompare:
     def test_within_tolerance_passes(self, trend):

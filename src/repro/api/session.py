@@ -27,6 +27,7 @@ wire protocol of the JSON-lines RPC server
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Any, Iterable, Iterator, Mapping, Sequence
@@ -172,9 +173,10 @@ class Statement:
         :meth:`repro.engine.plan.Plan.describe`.
         """
         choice = self.plan()
-        compiled = self.session.service.compile(
-            self.query, algorithm=choice.algorithm, eps=choice.eps
-        )
+        with self.session._lock:
+            compiled = self.session.service.compile(
+                self.query, algorithm=choice.algorithm, eps=choice.eps
+            )
         return compiled.describe()
 
     def execute(self, profiler: RoundProfiler | None = None) -> Result:
@@ -217,6 +219,15 @@ class Session:
       every statement from the registry's declared cost models;
     * bounded LRU caches of planner decisions and data profiles, keyed
       by database version.
+
+    Thread safety: the fan-out query path (``workers >= 2``) may be
+    driven from any number of threads at once -- each statement ships
+    whole to a worker process owning its own state.  Every in-process
+    path (planning, compiling, executing, updating) serializes on one
+    internal lock, so concurrent callers -- including dispatcher
+    threads degrading to local execution after the fan-out pool broke
+    -- run single-file instead of corrupting the unsynchronized
+    caches and pooled simulators.
 
     Args:
         database: initial contents (row database, columnar database,
@@ -280,6 +291,16 @@ class Session:
         profile: bool = True,
         workers: int = 1,
     ) -> None:
+        # Serializes every touch of the unsynchronized underlying
+        # state: the service's plan/routing/result caches and pooled
+        # simulators, the planner's decision/profile LRUs.  The
+        # fan-out query path never takes it (workers own their state),
+        # which is what lets N RPC dispatcher threads drive a fan-out
+        # session concurrently -- but the moment any of them falls
+        # back to in-process execution (pool died mid-serve), this
+        # lock is what keeps the fallback single-file.  RLock because
+        # the locked paths nest (_execute -> _decide -> _profile).
+        self._lock = threading.RLock()
         self._service = QueryService(
             database,
             p,
@@ -408,22 +429,34 @@ class Session:
         return self.apply_delta(DatabaseDelta.of(inserts, deletes))
 
     def apply_delta(self, delta: DatabaseDelta) -> int:
-        """Apply a prepared delta; see :meth:`update`."""
-        version = self._service.apply_delta(delta)
-        if self._decisions is not None:
-            self._decisions.purge(lambda key: key[-1] != version)
-        if self._profiles is not None:
-            self._profiles.purge(lambda key: key[-1] != version)
-        if self._fanout is not None and self._fanout.usable:
-            from repro.engine.parallel.fanout import FanoutBroken
+        """Apply a prepared delta; see :meth:`update`.
 
-            try:
-                self._fanout.apply_delta(delta, version)
-            except FanoutBroken:
-                # Workers diverged or died: later queries fall back to
-                # in-process execution (usable is now False).
-                pass
+        With fan-out workers the delta broadcasts behind a full
+        barrier and this session's version bumps only *after* every
+        worker already applied it -- so a statement that observes the
+        new version can never reach a worker still at the old one
+        (the version-at-submit == version-at-execute contract the RPC
+        coalescing key relies on).  A worker that dies or diverges
+        mid-broadcast marks the pool broken (later queries fall back
+        to in-process execution) but never loses the parent's delta.
+        """
+        fanout = self._fanout
+        if fanout is not None and fanout.usable:
+            version = fanout.apply_delta(
+                delta, lambda: self._apply_local_delta(delta)
+            )
+        else:
+            version = self._apply_local_delta(delta)
+        with self._lock:
+            if self._decisions is not None:
+                self._decisions.purge(lambda key: key[-1] != version)
+            if self._profiles is not None:
+                self._profiles.purge(lambda key: key[-1] != version)
         return version
+
+    def _apply_local_delta(self, delta: DatabaseDelta) -> int:
+        with self._lock:
+            return self._service.apply_delta(delta)
 
     # -- introspection ------------------------------------------------------
 
@@ -467,14 +500,16 @@ class Session:
 
         The session stays usable for in-process execution.
         """
-        if self._decisions is not None:
-            self._decisions.purge(lambda key: True)
-        if self._profiles is not None:
-            self._profiles.purge(lambda key: True)
+        with self._lock:
+            if self._decisions is not None:
+                self._decisions.purge(lambda key: True)
+            if self._profiles is not None:
+                self._profiles.purge(lambda key: True)
         if self._fanout is not None:
             self._fanout.close()
             self._fanout = None
-        self._service.close()
+        with self._lock:
+            self._service.close()
 
     def __enter__(self) -> "Session":
         return self
@@ -485,45 +520,49 @@ class Session:
     # -- internals ----------------------------------------------------------
 
     def _profile(self, query: ConjunctiveQuery, version: int) -> DataProfile:
-        key = (str(query), version)
-        profile = (
-            self._profiles.get(key) if self._profiles is not None else None
-        )
-        if profile is None:
-            profile = collect_profile(
-                query,
-                self._service.database.snapshot,
-                backend=self._service.backend,
-                sample_cap=self._sample_cap,
-                version=version,
+        with self._lock:
+            key = (str(query), version)
+            profile = (
+                self._profiles.get(key)
+                if self._profiles is not None
+                else None
             )
-            if self._profiles is not None:
-                self._profiles.put(key, profile)
-        return profile
+            if profile is None:
+                profile = collect_profile(
+                    query,
+                    self._service.database.snapshot,
+                    backend=self._service.backend,
+                    sample_cap=self._sample_cap,
+                    version=version,
+                )
+                if self._profiles is not None:
+                    self._profiles.put(key, profile)
+            return profile
 
     def _decide(self, statement: Statement) -> PlannerChoice:
-        version = self._service.version
-        key = statement.canonical_key() + (version,)
-        choice = (
-            self._decisions.get(key)
-            if self._decisions is not None
-            else None
-        )
-        if choice is not None:
-            self.planner_stats.decision_cache_hits += 1
+        with self._lock:
+            version = self._service.version
+            key = statement.canonical_key() + (version,)
+            choice = (
+                self._decisions.get(key)
+                if self._decisions is not None
+                else None
+            )
+            if choice is not None:
+                self.planner_stats.decision_cache_hits += 1
+                return choice
+            self._service.validate(statement.query)
+            profile = self._profile(statement.query, version)
+            choice = self._planner.choose(
+                statement.query,
+                profile,
+                eps=statement.eps,
+                algorithm=statement.algorithm,
+                allow_partial=statement.allow_partial,
+            )
+            if self._decisions is not None:
+                self._decisions.put(key, choice)
             return choice
-        self._service.validate(statement.query)
-        profile = self._profile(statement.query, version)
-        choice = self._planner.choose(
-            statement.query,
-            profile,
-            eps=statement.eps,
-            algorithm=statement.algorithm,
-            allow_partial=statement.allow_partial,
-        )
-        if self._decisions is not None:
-            self._decisions.put(key, choice)
-        return choice
 
     def _execute(
         self, statement: Statement, profiler: RoundProfiler | None
@@ -546,13 +585,18 @@ class Session:
                 return Result(raw=raw, explain=explain)
             except FanoutBroken:
                 pass  # degrade to in-process execution below.
-        choice = self._decide(statement)
-        raw = self._service.execute(
-            statement.query,
-            profiler,
-            algorithm=choice.algorithm,
-            eps=choice.eps,
-        )
+        # In-process path: serialized.  When the fan-out pool breaks
+        # at runtime, several RPC dispatcher threads can land here
+        # concurrently; the lock keeps them off the unsynchronized
+        # plan cache and pooled simulators one at a time.
+        with self._lock:
+            choice = self._decide(statement)
+            raw = self._service.execute(
+                statement.query,
+                profiler,
+                algorithm=choice.algorithm,
+                eps=choice.eps,
+            )
         return Result(raw=raw, explain=choice.explain)
 
 

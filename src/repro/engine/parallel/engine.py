@@ -41,6 +41,7 @@ answering on one core rather than failing.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any
 
 from repro.backend import NUMPY
@@ -63,6 +64,13 @@ DEFAULT_MIN_ROWS = 4096
 #: segment is released (ephemeral per-query views would otherwise
 #: accumulate segments for the context's whole lifetime).
 _SEGMENT_CACHE_LIMIT = 32
+
+#: How many recently-released segment names the context replays to
+#: shard workers (each dispatch carries the current list; workers
+#: ignore names they hold no mapping for).  Old entries simply fall
+#: off -- the workers' own bounded attachment cache covers anything
+#: displaced before every worker saw it.
+_EVICTION_LOG_LIMIT = 4 * _SEGMENT_CACHE_LIMIT
 
 
 class ParallelContext:
@@ -93,6 +101,8 @@ class ParallelContext:
         #: id(columns) -> (columns strong ref, handle), insertion-ordered
         #: so eviction is oldest-first.
         self._handles: dict[int, tuple[Any, SegmentHandle]] = {}
+        #: Released segment names still to be broadcast to workers.
+        self._evicted: deque[str] = deque(maxlen=_EVICTION_LOG_LIMIT)
         self._closed = False
 
     @property
@@ -111,8 +121,16 @@ class ParallelContext:
         while len(self._handles) > _SEGMENT_CACHE_LIMIT:
             oldest = next(iter(self._handles))
             _, evicted = self._handles.pop(oldest)
-            self.store.release(evicted)
+            if self.store.release(evicted):
+                # The segment is gone in the parent; tell the workers
+                # with the next dispatch so their mmaps stop pinning
+                # the (now unlinked) physical pages.
+                self._evicted.append(evicted.name)
         return handle
+
+    def evicted_names(self) -> tuple[str, ...]:
+        """Recently-released segment names to replay to shard workers."""
+        return tuple(self._evicted)
 
     def close(self) -> None:
         """Release the pool and unlink every published segment."""
@@ -209,7 +227,8 @@ class ParallelRoundEngine(RoundEngine):
         p = self.simulator.num_workers
         try:
             results = self.context.pool.route_shards(
-                step, handle, bounds, p
+                step, handle, bounds, p,
+                detach=self.context.evicted_names(),
             )
         except PoolBroken:
             return None

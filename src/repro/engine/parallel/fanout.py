@@ -33,7 +33,11 @@ an idle-worker queue):
   exact worker/bits/round payload.
 * ``update`` -- apply one delta; the parent broadcasts updates to
   *every* worker behind a full barrier (all workers idle), so no
-  query can ever observe a torn version.  Updated relations become
+  query can ever observe a torn version.  Workers apply the delta
+  first and the parent's version bump is the *last* step inside the
+  barrier, so a statement that observes the new parent version can
+  only ever reach workers already at that version (see
+  :meth:`SessionWorkerPool.apply_delta`).  Updated relations become
   worker-local copies (copy-on-write against the shared snapshot).
 * ``stats`` / ``close`` -- introspection and shutdown; ``close``
   replies with the worker's peak RSS so process-tree memory
@@ -213,6 +217,8 @@ class SessionWorkerPool:
         self.broken = False
         self._closed = False
         self.queries = 0
+        #: Guards ``queries``: N dispatcher threads bump it.
+        self._stats_lock = threading.Lock()
         self._store = SharedColumnStore(prefix="reprofan")
         worker_options = dict(options)
         worker_options["workers"] = 1
@@ -313,7 +319,8 @@ class SessionWorkerPool:
             ) from error
         finally:
             self._idle.put(index)
-        self.queries += 1
+        with self._stats_lock:
+            self.queries += 1
         if kind == "result":
             return value
         _raise_worker_error(kind, value)
@@ -329,37 +336,58 @@ class SessionWorkerPool:
         for index in indices:
             self._idle.put(index)
 
-    def apply_delta(self, delta: Any, expected_version: int) -> None:
-        """Broadcast one update to every worker (full barrier).
+    def apply_delta(self, delta: Any, apply_parent: Any) -> int:
+        """Broadcast one update to the workers, then publish the parent's.
 
-        Raises:
-            FanoutBroken: a worker died or reported a version other
-                than ``expected_version`` (the parent applied the same
-                delta; any disagreement means divergence, and a
-                diverged pool must not serve).
+        The barrier is the version contract: every worker is held
+        idle, the delta goes to the *workers* first, and
+        ``apply_parent`` -- a callable applying the same delta to the
+        owning session's service and returning its new version -- runs
+        *last*, still inside the barrier.  Any thread that reads the
+        bumped parent version afterwards can therefore only reach
+        workers already at that version; a query dispatched just
+        before the bump may execute one version fresh (query and
+        update were concurrent, so either serialization is legal), but
+        a stale result can never be published under the new version.
+
+        ``apply_parent`` is always invoked exactly once, even when
+        workers die or diverge mid-broadcast -- the parent must never
+        lose a delta.  Such failures mark the pool broken (``usable``
+        -> False; the owning session falls back to in-process
+        execution) instead of raising.  Returns the parent's new
+        version.
         """
         if not self.usable:
-            raise FanoutBroken("fan-out pool is broken or closed")
+            return apply_parent()
         indices = self._acquire_all()
         try:
-            for index in indices:
-                self._connections[index].send(("update", delta))
-            for index in indices:
-                kind, value = self._connections[index].recv()
-                if kind == "error" or (
-                    kind == "version" and value != expected_version
-                ):
-                    self.broken = True
-                    raise FanoutBroken(
-                        f"fan-out worker {index} diverged on update: "
-                        f"{kind} {value!r} (expected version "
-                        f"{expected_version})"
-                    )
-        except (EOFError, OSError, BrokenPipeError) as error:
-            self.broken = True
-            raise FanoutBroken(
-                f"fan-out worker died during update: {error}"
-            ) from error
+            failure = None
+            worker_versions: list[int] = []
+            try:
+                for index in indices:
+                    self._connections[index].send(("update", delta))
+                for index in indices:
+                    kind, value = self._connections[index].recv()
+                    if kind == "version":
+                        worker_versions.append(value)
+                    else:
+                        failure = (
+                            f"fan-out worker {index} failed update: "
+                            f"{kind} {value!r}"
+                        )
+            except (EOFError, OSError, BrokenPipeError) as error:
+                failure = f"fan-out worker died during update: {error}"
+            version = apply_parent()
+            if failure is None and any(
+                worker != version for worker in worker_versions
+            ):
+                failure = (
+                    f"fan-out workers diverged on update: "
+                    f"{worker_versions!r} != parent version {version}"
+                )
+            if failure is not None:
+                self.broken = True
+            return version
         finally:
             self._release_all(indices)
 

@@ -29,7 +29,11 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Sequence
 
-from repro.engine.parallel.shm import SegmentHandle, attach_columns
+from repro.engine.parallel.shm import (
+    SegmentHandle,
+    attach_columns,
+    detach_names,
+)
 
 
 class PoolBroken(RuntimeError):
@@ -42,8 +46,15 @@ def route_shard_task(
     start: int,
     end: int,
     p: int,
+    detach: Sequence[str] = (),
 ) -> dict:
     """Route rows ``[start, end)`` of a shared source (worker side).
+
+    ``detach`` lists segment names the parent has released since --
+    this worker drops any cached mappings of them before attaching, so
+    unlinked segments stop pinning physical pages here (the bounded
+    attachment cache in :mod:`repro.engine.parallel.shm` is the
+    backstop for workers that receive no further tasks).
 
     Returns a dict with:
 
@@ -56,6 +67,8 @@ def route_shard_task(
     * ``seconds`` -- worker-side wall clock (per-shard profiling).
     """
     began = time.perf_counter()
+    if detach:
+        detach_names(detach)
     source = attach_columns(handle)
     shard = tuple(column[start:end] for column in source)
     columns, destinations, row_indices = step.route_columns(shard, p)
@@ -96,8 +109,14 @@ class ShardPool:
         handle: SegmentHandle,
         bounds: Sequence[tuple[int, int]],
         p: int,
+        detach: Sequence[str] = (),
     ) -> list[dict]:
         """Run one step's shards concurrently; results in shard order.
+
+        ``detach`` is forwarded to every task (see
+        :func:`route_shard_task`): the parent's recently-released
+        segment names, so whichever workers pick the tasks up drop
+        their stale mappings first.
 
         Raises:
             PoolBroken: a worker died; the pool is marked broken and
@@ -107,7 +126,9 @@ class ShardPool:
             raise PoolBroken("shard pool previously lost a worker")
         executor = self._ensure()
         futures = [
-            executor.submit(route_shard_task, step, handle, start, end, p)
+            executor.submit(
+                route_shard_task, step, handle, start, end, p, detach
+            )
             for start, end in bounds
         ]
         try:

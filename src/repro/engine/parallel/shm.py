@@ -66,26 +66,53 @@ def _require_shared_memory():
     return _shared_memory
 
 
+_TRACK_SUPPORTED: bool | None = None
+
+
+def _supports_untracked_attach() -> bool:
+    """Whether ``SharedMemory(track=False)`` exists (Python >= 3.13)."""
+    global _TRACK_SUPPORTED
+    if _TRACK_SUPPORTED is None:
+        import inspect
+
+        shared = _require_shared_memory()
+        try:
+            parameters = inspect.signature(shared.SharedMemory).parameters
+            _TRACK_SUPPORTED = "track" in parameters
+        except (TypeError, ValueError):  # pragma: no cover - builtins
+            _TRACK_SUPPORTED = False
+    return _TRACK_SUPPORTED
+
+
 def _attach_untracked(name: str) -> Any:
     """Open an existing segment without resource-tracker registration.
 
-    On Python 3.11 every ``SharedMemory(name=...)`` attach registers
-    the segment with the attaching process's resource tracker (there
-    is no ``track=False`` yet); spawn children share the parent's
-    tracker, so attach-then-unregister would strip the *parent's*
-    registration and the parent's eventual unlink would double
-    unregister.  Ownership here is strictly parental, so attaches
-    suppress registration altogether.
+    On Python 3.13+ ``SharedMemory(name=..., track=False)`` does this
+    natively.  Before that, every attach registers the segment with
+    the attaching process's resource tracker; spawn children share the
+    parent's tracker, so attach-then-unregister would strip the
+    *parent's* registration and the parent's eventual unlink would
+    double unregister.  Ownership here is strictly parental, so
+    attaches suppress registration by patching
+    ``resource_tracker.register`` out for the duration of the attach.
+    The patch is process-global, so it (and every ``SharedMemory``
+    creation in this module) runs under :data:`_ATTACH_LOCK` -- a
+    concurrent create in another thread must never land while
+    registration is disabled, or its segment would silently escape the
+    tracker.
     """
     from multiprocessing import resource_tracker
 
     shared = _require_shared_memory()
-    original = resource_tracker.register
-    resource_tracker.register = lambda *args, **kwargs: None
-    try:
-        return shared.SharedMemory(name=name)
-    finally:
-        resource_tracker.register = original
+    if _supports_untracked_attach():
+        return shared.SharedMemory(name=name, track=False)
+    with _ATTACH_LOCK:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
 
 
 @dataclass(frozen=True)
@@ -110,30 +137,94 @@ class SegmentHandle:
         return sum(self.lengths) * ITEMSIZE
 
 
-#: Process-local cache of attached mappings: segment name -> SharedMemory.
-#: Each segment is mapped at most once per process no matter how many
-#: tasks read it, and the mapping outlives any individual view (numpy
-#: views over ``shm.buf`` do not keep the SharedMemory object alive on
-#: their own).
+#: Process-local cache of attached mappings: segment name -> SharedMemory,
+#: insertion-ordered least-recently-used first.  Each segment is mapped
+#: at most once per process no matter how many tasks read it, and the
+#: mapping outlives any individual view (numpy views over ``shm.buf``
+#: do not keep the SharedMemory object alive on their own).  The cache
+#: is bounded: a long-running shard worker churning distinct per-query
+#: column tuples must not accumulate mappings -- and therefore physical
+#: pages of segments the parent already unlinked -- for its whole
+#: lifetime.
 _ATTACHED: dict[str, Any] = {}
-_ATTACH_LOCK = threading.Lock()
+#: RLock: :func:`attach_columns` holds it while calling
+#: :func:`_attach_untracked`, which takes it again around the
+#: resource-tracker patch on pre-3.13 Pythons.
+_ATTACH_LOCK = threading.RLock()
+
+#: Mapping-cache bound; matches the parent-side segment cache so a
+#: worker holds at most as many mappings as the parent keeps published.
+_ATTACH_LIMIT = 32
+
+#: Names whose mappings must never be closed by eviction or
+#: :func:`detach_names`: closing a SharedMemory mapping does NOT fail
+#: under live numpy views -- the views silently dangle and the next
+#: read is a use-after-free -- so attachments whose views outlive a
+#: single task (a fan-out worker's snapshot relations live for the
+#: whole process) are pinned explicitly at attach time.
+_PINNED: set[str] = set()
 
 
-def attach_columns(handle: SegmentHandle) -> tuple:
+def _close_attachment(name: str) -> bool:
+    """Close one cached mapping; caller holds :data:`_ATTACH_LOCK`.
+
+    Pinned names are refused (their views are still live by contract).
+    Returns True when actually closed.
+    """
+    if name in _PINNED:
+        return False
+    shm = _ATTACHED.pop(name, None)
+    if shm is None:
+        return False
+    try:
+        shm.close()
+    except Exception:  # noqa: BLE001 - cleanup must never raise
+        pass
+    return True
+
+
+def _evict_attachments(keep: str | None = None) -> None:
+    """LRU-evict cached mappings over :data:`_ATTACH_LIMIT` (lock held)."""
+    excess = len(_ATTACHED) - _ATTACH_LIMIT
+    if excess <= 0:
+        return
+    for name in list(_ATTACHED):
+        if excess <= 0:
+            break
+        if name == keep:
+            continue
+        if _close_attachment(name):
+            excess -= 1
+
+
+def attach_columns(handle: SegmentHandle, pin: bool = False) -> tuple:
     """Zero-copy numpy views over a handle's columns (child side).
 
     The underlying mapping is cached process-locally (one ``mmap`` per
-    segment per process) and stays alive until :func:`detach_all` or
-    process exit.  Views are marked read-only: shared snapshots are
-    immutable by contract, and an accidental in-place write in one
-    process must not silently corrupt every other process's input.
+    segment per process) in a bounded LRU and stays alive until
+    evicted, :func:`detach_names` / :func:`detach_all`, or process
+    exit.  Pass ``pin=True`` when the returned views outlive the
+    current task (snapshot relations attached for a worker process's
+    lifetime): pinned mappings are exempt from eviction and
+    :func:`detach_names`, because closing a mapping under live views
+    dangles them silently.  Unpinned callers must drop their views
+    before the next task runs -- the shard-pool tasks do (results are
+    pickled across the pipe, and the executor deletes its local
+    reference before the next dispatch).
+
+    Views are marked read-only: shared snapshots are immutable by
+    contract, and an accidental in-place write in one process must not
+    silently corrupt every other process's input.
     """
     numpy = require_numpy()
     with _ATTACH_LOCK:
-        shm = _ATTACHED.get(handle.name)
+        shm = _ATTACHED.pop(handle.name, None)
         if shm is None:
             shm = _attach_untracked(handle.name)
-            _ATTACHED[handle.name] = shm
+        _ATTACHED[handle.name] = shm  # (re)inserted most recently used
+        if pin:
+            _PINNED.add(handle.name)
+        _evict_attachments(keep=handle.name)
     views = []
     offset = 0
     for length in handle.lengths:
@@ -146,11 +237,27 @@ def attach_columns(handle: SegmentHandle) -> tuple:
     return tuple(views)
 
 
+def detach_names(names: Iterable[str]) -> None:
+    """Close specific cached attachments (parent evicted the segments).
+
+    The shard pool replays the parent's segment evictions here with
+    the next task payload, so a worker's mmaps -- and the physical
+    pages of already-unlinked segments -- go away promptly instead of
+    waiting for LRU pressure.  Unknown names are ignored; pinned
+    mappings are kept (see :func:`attach_columns`).
+    """
+    with _ATTACH_LOCK:
+        for name in names:
+            _close_attachment(name)
+
+
 def detach_all() -> None:
-    """Drop every cached attachment (close mappings, never unlink)."""
+    """Drop every cached attachment, pinned included (process teardown:
+    the caller guarantees no view is read afterwards)."""
     with _ATTACH_LOCK:
         mappings = list(_ATTACHED.values())
         _ATTACHED.clear()
+        _PINNED.clear()
     for shm in mappings:
         try:
             shm.close()
@@ -224,7 +331,11 @@ class SharedColumnStore:
                 f"{self._prefix}_{os.getpid()}_{self._counter}_"
                 f"{secrets.token_hex(4)}"
             )
-            shm = shared.SharedMemory(create=True, name=name, size=total)
+            # Under _ATTACH_LOCK: on pre-3.13 Pythons an attach in
+            # another thread patches resource_tracker.register out, and
+            # a create landing in that window would never be tracked.
+            with _ATTACH_LOCK:
+                shm = shared.SharedMemory(create=True, name=name, size=total)
             offset = 0
             for array, length in zip(arrays, lengths):
                 if not length:
@@ -271,6 +382,7 @@ class SharedColumnStore:
 
     def close(self) -> None:
         """Unlink every live segment (idempotent; runs at exit too)."""
+        atexit.unregister(self.close)  # closed stores must not pile up
         with self._lock:
             if self._closed and not self._segments:
                 return
@@ -375,7 +487,10 @@ def attach_snapshot(export: DatabaseExport) -> Any:
     relations = {}
     for spec in export.relations:
         if spec.handle is not None:
-            columns = attach_columns(spec.handle)
+            # Pinned: these views live inside the worker's relations
+            # for the whole process, so eviction must never close the
+            # mapping under them.
+            columns = attach_columns(spec.handle, pin=True)
         else:
             assert spec.rows is not None
             columns = tuple(

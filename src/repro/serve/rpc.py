@@ -50,8 +50,16 @@ governed by ``workers``:
   path never touches the shared session state -- each statement is
   shipped whole to an idle worker process holding its own session
   over the shared-memory snapshot.  Updates still serialize on the
-  control thread and broadcast behind an all-workers barrier, so
-  version-at-submit still equals version-at-execute.
+  control thread and broadcast behind an all-workers barrier whose
+  *last* step publishes the parent version, so a query keyed at the
+  new version can never execute against a stale worker (a query
+  keyed just before the bump may execute one version fresh -- the
+  two were concurrent, so that serialization is equally legal).  If
+  the fan-out pool breaks at runtime (worker OOM-killed), query
+  dispatch drops back to the single control thread: the session's
+  own execution lock already serializes the in-process fallback, but
+  single-threading it also restores the strict query/update ordering
+  of ``workers=1``.
 
 Identical canonicalized statements arriving while one is already in
 flight *coalesce* in both modes: they await the same execution future
@@ -135,9 +143,11 @@ class RpcServer:
             session's fan-out width (its ``workers`` option) so
             ``connect(db, workers=N)`` + ``RpcServer(session)`` just
             works; pass explicitly to override.  Clamped to 1 when
-            the session has no usable fan-out pool -- dispatching a
-            thread-unsafe session from several threads is never
-            allowed (see the module docstring for the contract).
+            the session has no usable fan-out pool at construction,
+            and queries re-route to the single control thread at
+            dispatch time if the pool breaks later -- the in-process
+            execution path never runs from several threads (see the
+            module docstring for the contract).
     """
 
     def __init__(
@@ -476,13 +486,29 @@ class RpcServer:
 
     # -- execution with cross-request coalescing ----------------------------
 
+    def _dispatch_pool(self) -> ThreadPoolExecutor:
+        """The executor queries run on *right now*.
+
+        Multi-threaded dispatch is only legal while the session's
+        fan-out pool is alive.  If workers died since the server was
+        built, ``statement.execute`` would run its in-process fallback
+        -- so queries drop back to the single control thread, which
+        both serializes them with updates again and avoids contending
+        on the session's execution lock from N threads.
+        """
+        if self._query_pool is self._pool:
+            return self._pool
+        fanout = getattr(self.session, "fanout", None)
+        if fanout is None or not fanout.usable:
+            return self._pool
+        return self._query_pool
+
     async def _execute(self, statement: "Statement"):
         loop = asyncio.get_running_loop()
+        pool = self._dispatch_pool()
         if not self.coalesce:
             return (
-                await loop.run_in_executor(
-                    self._query_pool, statement.execute
-                ),
+                await loop.run_in_executor(pool, statement.execute),
                 False,
             )
         key = (statement.canonical_key(), self.session.version)
@@ -490,7 +516,7 @@ class RpcServer:
         if future is not None:
             self.stats.coalesced += 1
             return await asyncio.shield(future), True
-        future = loop.run_in_executor(self._query_pool, statement.execute)
+        future = loop.run_in_executor(pool, statement.execute)
         self._inflight[key] = future
         try:
             return await asyncio.shield(future), False

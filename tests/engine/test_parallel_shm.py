@@ -10,10 +10,13 @@ import pytest
 numpy = pytest.importorskip("numpy")
 
 from repro.engine.parallel.shm import (
+    _ATTACH_LIMIT,
+    _ATTACHED,
     SharedColumnStore,
     attach_columns,
     attach_snapshot,
     detach_all,
+    detach_names,
     export_snapshot,
     segment_exists,
 )
@@ -92,6 +95,46 @@ class TestSnapshotExport:
                     relation.rows()
                 )
             detach_all()
+
+
+class TestAttachmentCache:
+    """The child-side mapping cache must stay bounded (review: a
+    long-running worker churning per-query segments held every mmap --
+    and the physical pages of already-unlinked segments -- forever)."""
+
+    def test_cache_is_lru_bounded(self):
+        detach_all()
+        with SharedColumnStore() as store:
+            for _ in range(_ATTACH_LIMIT + 8):
+                attach_columns(store.share(_columns(rows=4)))
+            assert len(_ATTACHED) <= _ATTACH_LIMIT
+            detach_all()
+
+    def test_detach_names_closes_targeted_mappings(self):
+        detach_all()
+        with SharedColumnStore() as store:
+            handle = store.share(_columns(rows=4))
+            attach_columns(handle)
+            assert handle.name in _ATTACHED
+            detach_names([handle.name, "repro_no_such_segment"])
+            assert handle.name not in _ATTACHED
+
+    def test_pinned_mappings_survive_detach_and_eviction(self):
+        # A fan-out worker's snapshot views live for the process, so
+        # their mappings are pinned: neither targeted detaches nor LRU
+        # pressure may close the mmap under them.
+        detach_all()
+        with SharedColumnStore() as store:
+            handle = store.share(_columns(rows=4))
+            views = attach_columns(handle, pin=True)
+            detach_names([handle.name])
+            assert handle.name in _ATTACHED
+            for _ in range(_ATTACH_LIMIT + 8):
+                attach_columns(store.share(_columns(rows=4)))
+            assert handle.name in _ATTACHED
+            assert int(views[0][0]) >= 0  # still readable
+            detach_all()  # teardown closes pinned mappings too
+            assert handle.name not in _ATTACHED
 
 
 def _attach_and_hang(name: str, lengths, ready) -> None:

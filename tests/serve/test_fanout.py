@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from fractions import Fraction
 
 import pytest
@@ -89,6 +90,49 @@ class TestUpdates:
                 assert actual.answers == expected.answers, text
                 assert actual.version == expected.version == 1
 
+    def test_update_on_a_dead_pool_never_loses_the_parent_delta(self):
+        database = _database()
+        with connect(database, p=8, backend="numpy", workers=2) as session:
+            for process in session.fanout._processes:
+                process.kill()
+                process.join(timeout=30)
+            # The barrier cannot run, but the parent still applies.
+            assert session.update(inserts={"S1": [(1, 2)]}) == 1
+            assert session.version == 1
+            assert not session.fanout.usable
+
+    def test_broken_pool_apply_delta_runs_apply_parent_exactly_once(self):
+        from repro.data.versioned import DatabaseDelta
+
+        database = _database()
+        with connect(database, p=8, backend="numpy", workers=2) as session:
+            pool = session.fanout
+            for process in pool._processes:
+                process.kill()
+                process.join(timeout=30)
+            calls = []
+
+            def apply_parent():
+                calls.append(1)
+                return 7
+
+            delta = DatabaseDelta.of({"S1": [(1, 2)]}, None)
+            assert pool.apply_delta(delta, apply_parent) == 7
+            assert calls == [1]
+
+    def test_update_divergence_marks_the_pool_broken(self):
+        # apply_parent reporting a version the workers did not reach is
+        # divergence: the parent keeps its delta, the pool stops
+        # serving (and the barrier released every worker regardless).
+        from repro.data.versioned import DatabaseDelta
+
+        database = _database()
+        with connect(database, p=8, backend="numpy", workers=2) as session:
+            pool = session.fanout
+            delta = DatabaseDelta.of({"S1": [(1, 2)]}, None)
+            assert pool.apply_delta(delta, lambda: 999) == 999
+            assert pool.broken and not pool.usable
+
     def test_capacity_exceeded_crosses_the_boundary(self):
         database = _database()
         options = dict(
@@ -128,6 +172,40 @@ class TestFailure:
             actual = fanned.execute(STATEMENTS[0])
             assert actual.answers == expected.answers
             assert fanned.fanout is None or not fanned.fanout.usable
+
+    def test_dead_pool_fallback_is_safe_from_many_threads(self):
+        # The RPC server's dispatcher threads can all land in the
+        # in-process fallback at once when the pool dies mid-serve;
+        # the session's execution lock must keep them single-file.
+        database = _database()
+        with connect(database, p=8, backend="numpy") as serial, connect(
+            database, p=8, backend="numpy", workers=2
+        ) as fanned:
+            expected = {
+                text: serial.execute(text).answers for text in STATEMENTS
+            }
+            for process in fanned.fanout._processes:
+                process.kill()
+                process.join(timeout=30)
+            results: dict[str, tuple] = {}
+            errors: list[Exception] = []
+
+            def run(text: str) -> None:
+                try:
+                    results[text] = fanned.execute(text).answers
+                except Exception as error:  # noqa: BLE001 - asserted
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=run, args=(text,))
+                for text in STATEMENTS * 2
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not errors
+            assert results == expected
 
     def test_broken_pool_refuses_direct_use(self):
         database = _database()

@@ -123,6 +123,33 @@ class TestEndToEnd:
 
         rpc_test(body())
 
+    def test_queries_survive_a_pool_broken_mid_serve(self):
+        # Fan-out dies while serving: dispatch re-routes to the single
+        # control thread and answers keep flowing in-process.
+        async def body():
+            session = _session(workers=2)
+            try:
+                async with RpcServer(session) as server:
+                    client = await _Client.open(server)
+                    first = await client.call(
+                        {"id": 1, "op": "query", "q": "S1(x,y)"}
+                    )
+                    assert first["ok"] and first["count"] == 60
+                    for process in session.fanout._processes:
+                        process.kill()
+                        process.join(timeout=30)
+                    second = await client.call(
+                        {"id": 2, "op": "query", "q": "S1(x,y), S2(y,z)"}
+                    )
+                    assert second["ok"] and second["count"] == 60
+                    stats = await client.call({"op": "stats"})
+                    assert stats["parallel"]["fanout_usable"] is False
+                    await client.close()
+            finally:
+                session.close()
+
+        rpc_test(body())
+
     def test_serve_tcp_announces_dispatch_threads(self):
         async def body():
             session = _session(workers=2)

@@ -210,6 +210,7 @@ def test_parallel_fanout(once, bench_backend):
             "requests_per_client": REQUESTS_PER_CLIENT,
             "workers": WORKERS,
             "cores": cores,
+            "speedup_gate_cores": MIN_CORES_FOR_GATE,
             "speedup_gated": cores >= MIN_CORES_FOR_GATE,
             **metrics,
             **memory,

@@ -16,8 +16,12 @@ artifact records the timings plus peak-memory fields
 (``tracemalloc_peak``, ``peak_rss_bytes``), and the run fails if peak
 memory blows its ceiling.
 
-Set ``REPRO_BENCH_XL=1`` to also run the n=10^6 leg (several GB of
-transient pool memory; off by default so CI stays fast).
+Set ``REPRO_BENCH_XL=1`` to also run the n=10^6 leg.  Since the
+streamed round pipeline landed, that leg routes in column blocks and
+evaluates one bounded worker shard at a time, so it fits a 2.5 GB
+ceiling instead of the ~5.6 GB the monolithic pools needed; the old
+peak is kept as ``monolithic_rss_bytes`` in the JSON for one release
+so the trend history shows the drop.
 """
 
 from __future__ import annotations
@@ -151,32 +155,84 @@ def test_segmented_local_eval_speedup(once):
     )
 
 
+#: Streamed ceiling for the XL leg (was ~5.6 GB monolithic).
+XL_CEILING_BYTES = int(2.5 * 1024**3)
+#: The monolithic peak the leg recorded before the streamed pipeline
+#: (PR 3's measured ~5.6 GB); kept in the JSON for one release so the
+#: artifact history shows the drop, then to be removed.
+MONOLITHIC_RSS_BYTES = int(5.6 * 1024**3)
+
+
+def _stream_l8(n: int, p: int, chunk_rows: int):
+    """The streamed twin of :func:`_route_l8` (see bench_streaming)."""
+    from repro.engine import GridSpec, HashRoute, RoundEngine
+
+    query = line_query(SPEEDUP_K)
+    database = matching_database_columnar(query, n=n, seed=0)
+    cover = fractional_vertex_cover(query)
+    allocation = allocate_integer_shares(
+        share_exponents(query, cover), p
+    )
+    grid = GridSpec.from_shares(
+        query.variables, allocation.shares, HashFamily(0)
+    )
+    config = MPCConfig(
+        p=p, eps=Fraction(1, 2), c=4.0, backend="numpy"
+    )
+    simulator = MPCSimulator(
+        config, input_bits=database.total_bits, enforce_capacity=False
+    )
+    engine = RoundEngine(simulator, chunk_rows=chunk_rows)
+    steps = [
+        HashRoute(relation=atom.name, atom=atom, grid=grid)
+        for atom in query.atoms
+    ]
+    engine.run_round(steps, columnar_database(database, "numpy"))
+    return query, simulator, list(range(allocation.used_servers))
+
+
 @pytest.mark.skipif(not numpy_available(), reason="numpy backend unavailable")
 @pytest.mark.skipif(
     not os.environ.get("REPRO_BENCH_XL"),
     reason="set REPRO_BENCH_XL=1 for the n=10^6 leg",
 )
 def test_segmented_local_eval_million(once):
-    """The n=10^6 leg: segmented eval completes and records memory."""
-    from repro.engine import fleet_answer_table
+    """The n=10^6 leg: streamed route + shard-wise segmented eval."""
+    from repro.engine.local import _eval_shard_local, _plan_eval_shards
 
     n = 1_000_000
+    chunk_rows = 262_144
+    key_of = lambda name: name  # noqa: E731 - trivial identity
 
     def timed():
         (query, simulator, workers), memory = measure_peak(
-            lambda: _route_l8(n, SPEEDUP_P)
+            lambda: _stream_l8(n, SPEEDUP_P, chunk_rows)
         )
-        seconds, result = best_of(
-            1, lambda: fleet_answer_table(query, simulator, workers)
-        )
-        memory["peak_rss_bytes"] = peak_rss_bytes()
-        return seconds, result, memory
 
-    seconds, result, memory = once(timed)
+        def evaluate():
+            shards = _plan_eval_shards(
+                query, simulator, len(workers), key_of
+            )
+            total = 0
+            for lo, hi in shards:
+                answers, _ = _eval_shard_local(
+                    query, simulator, lo, hi, key_of
+                )
+                total += len(answers)
+                del answers
+            return total
+
+        seconds, total = best_of(1, evaluate)
+        memory["peak_rss_bytes"] = peak_rss_bytes()
+        return seconds, total, memory
+
+    seconds, total, memory = once(timed)
     emit(
-        f"E12-XL: L_{SPEEDUP_K} n={n} p={SPEEDUP_P} segmented local "
-        f"eval {seconds:.2f}s, {len(result[0])} answers, peak RSS "
-        f"{memory['peak_rss_bytes'] / 1024**3:.2f} GiB"
+        f"E12-XL: L_{SPEEDUP_K} n={n} p={SPEEDUP_P} streamed "
+        f"shard-wise local eval {seconds:.2f}s, {total} answers, "
+        f"peak RSS {memory['peak_rss_bytes'] / 1024**3:.2f} GiB "
+        f"(monolithic needed "
+        f"{MONOLITHIC_RSS_BYTES / 1024**3:.1f} GiB)"
     )
     record_bench(
         "segmented_million",
@@ -184,9 +240,16 @@ def test_segmented_local_eval_million(once):
             "query": f"L{SPEEDUP_K}",
             "n": n,
             "p": SPEEDUP_P,
+            "chunk_rows": chunk_rows,
             "segmented_seconds": seconds,
-            "answers": int(len(result[0])),
+            "answers": total,
+            "rss_ceiling_bytes": XL_CEILING_BYTES,
+            "monolithic_rss_bytes": MONOLITHIC_RSS_BYTES,
             **memory,
         },
     )
-    assert len(result[0]) == n
+    assert total == n
+    assert memory["peak_rss_bytes"] <= XL_CEILING_BYTES, (
+        f"peak RSS {memory['peak_rss_bytes']} exceeds streamed ceiling "
+        f"{XL_CEILING_BYTES}"
+    )

@@ -154,7 +154,15 @@ def record_bench(name: str, payload: dict) -> str:
     The target directory is ``$BENCH_DIR`` (default: the current
     working directory); CI uploads these files as workflow artifacts
     so the perf trajectory of the engine is preserved run over run.
+
+    Every payload records the runner's ``cores`` (unless the
+    benchmark already did): recorded speedups are only comparable
+    between runs on the same core count, and ``trend.py`` skips the
+    comparison when the counts differ or fall below a benchmark's
+    ``speedup_gate_cores`` threshold.
     """
+    payload = dict(payload)
+    payload.setdefault("cores", os.cpu_count() or 1)
     directory = os.environ.get("BENCH_DIR", ".")
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"BENCH_{name}.json")

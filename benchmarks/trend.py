@@ -35,19 +35,28 @@ def speedup_fields(payload: dict) -> dict[str, float]:
     Booleans are excluded even though ``bool`` is an ``int``: a flag
     like ``speedup_gated`` is metadata, and trending it would turn a
     True -> False transition into a fake 1.0x -> 0.0x regression.
+    ``speedup_gate_cores`` is likewise metadata (the core count a
+    gate requires), not a measurement.
     """
     return {
         key: float(value)
         for key, value in payload.items()
         if "speedup" in key
+        and key != "speedup_gate_cores"
         and isinstance(value, (int, float))
         and not isinstance(value, bool)
     }
 
 
-def collect(directory: str) -> dict[str, dict[str, float]]:
-    """Per BENCH file (by basename), its speedup fields."""
-    results: dict[str, dict[str, float]] = {}
+def collect(directory: str) -> dict[str, dict]:
+    """Per BENCH file (by basename), its speedup fields + core context.
+
+    Each entry is ``{"fields": {...}, "cores": int | None,
+    "gate_cores": int | None}`` -- the recorded runner core count and
+    the benchmark's own gate threshold (``speedup_gate_cores``), both
+    absent in artifacts from before they were recorded.
+    """
+    results: dict[str, dict] = {}
     for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
         try:
             with open(path, encoding="utf-8") as handle:
@@ -57,13 +66,48 @@ def collect(directory: str) -> dict[str, dict[str, float]]:
             continue
         fields = speedup_fields(payload)
         if fields:
-            results[os.path.basename(path)] = fields
+            results[os.path.basename(path)] = {
+                "fields": fields,
+                "cores": payload.get("cores"),
+                "gate_cores": payload.get("speedup_gate_cores"),
+            }
     return results
 
 
+def incomparable(previous: dict, current: dict) -> str | None:
+    """Why two entries' speedups cannot be trended, or None.
+
+    Speedups measured on different core counts are different
+    experiments (a 4-core baseline against a 1-core run would be a
+    fake regression, and the reverse would launder a real one), and a
+    speedup recorded below the benchmark's own ``speedup_gate_cores``
+    threshold was never a perf claim in the first place -- e.g. a
+    parallel speedup of 0.9x measured on a single-core runner.
+    """
+    before_cores = previous.get("cores")
+    after_cores = current.get("cores")
+    if (
+        before_cores is not None
+        and after_cores is not None
+        and before_cores != after_cores
+    ):
+        return (
+            f"cores changed ({before_cores} -> {after_cores}); "
+            "speedups not comparable"
+        )
+    gate = current.get("gate_cores") or previous.get("gate_cores")
+    for side, cores in (("previous", before_cores), ("current", after_cores)):
+        if gate is not None and cores is not None and cores < gate:
+            return (
+                f"{side} run on {cores} core(s), below the "
+                f"{gate}-core speedup gate; speedups skipped"
+            )
+    return None
+
+
 def compare(
-    previous: dict[str, dict[str, float]],
-    current: dict[str, dict[str, float]],
+    previous: dict[str, dict],
+    current: dict[str, dict],
     tolerance: float,
 ) -> tuple[list[str], list[str]]:
     """``(regressions, notes)`` between two artifact snapshots.
@@ -72,6 +116,8 @@ def compare(
     current value fell below ``previous * (1 - tolerance)``.  Fields
     or files present on only one side are notes, never failures --
     benchmarks come and go; silent disappearance still gets surfaced.
+    Entries whose runs are :func:`incomparable` (different or
+    below-gate core counts) are skipped with a note.
     """
     regressions: list[str] = []
     notes: list[str] = []
@@ -82,15 +128,21 @@ def compare(
         if name not in previous:
             notes.append(f"{name}: new benchmark (no baseline)")
             continue
-        for field in sorted(set(previous[name]) | set(current[name])):
-            if field not in current[name]:
+        reason = incomparable(previous[name], current[name])
+        if reason is not None:
+            notes.append(f"{name}: {reason}")
+            continue
+        before_fields = previous[name]["fields"]
+        after_fields = current[name]["fields"]
+        for field in sorted(set(before_fields) | set(after_fields)):
+            if field not in after_fields:
                 notes.append(f"{name}:{field}: dropped from payload")
                 continue
-            if field not in previous[name]:
+            if field not in before_fields:
                 notes.append(f"{name}:{field}: new field (no baseline)")
                 continue
-            before = previous[name][field]
-            after = current[name][field]
+            before = before_fields[field]
+            after = after_fields[field]
             floor = before * (1.0 - tolerance)
             line = (
                 f"{name}:{field}: {before:.2f}x -> {after:.2f}x "

@@ -265,6 +265,13 @@ class Session:
             falls back to in-process execution.  Requires the numpy
             backend for zero-copy snapshots (pure-backend relations
             ship by value).
+        chunk_rows: streaming block size forwarded to the service (and
+            replayed by fan-out workers): shardable routing steps
+            stream in ``chunk_rows``-row blocks with lazy delivery
+            pools, bounding peak execution memory independently of the
+            delivered volume.  None defers to ``REPRO_CHUNK_ROWS``;
+            answers, loads and capacity behaviour are identical for
+            every chunk size.
     """
 
     def __init__(
@@ -290,6 +297,7 @@ class Session:
         reuse_simulators: bool = True,
         profile: bool = True,
         workers: int = 1,
+        chunk_rows: int | None = None,
     ) -> None:
         # Serializes every touch of the unsynchronized underlying
         # state: the service's plan/routing/result caches and pooled
@@ -315,6 +323,7 @@ class Session:
             result_cache_size=result_cache_size,
             reuse_simulators=reuse_simulators,
             profile=profile,
+            chunk_rows=chunk_rows,
         )
         self.default_eps = None if eps is None else Fraction(eps)
         if algorithm is not None:
@@ -358,6 +367,7 @@ class Session:
                 sample_cap=sample_cap,
                 reuse_simulators=reuse_simulators,
                 profile=profile,
+                chunk_rows=chunk_rows,
             )
             self._fanout = SessionWorkerPool(
                 self._service.database, options, workers

@@ -135,7 +135,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         parallel = ParallelContext(workers, min_rows=0)
     try:
         execution = execute_plan(
-            plan, database, profiler=profiler, parallel=parallel
+            plan,
+            database,
+            profiler=profiler,
+            parallel=parallel,
+            chunk_rows=getattr(args, "chunk_rows", None),
         )
     finally:
         if parallel is not None:
@@ -198,7 +202,12 @@ def cmd_run_plan(args: argparse.Namespace) -> int:
         "multiround", query, args.p, eps=args.eps, seed=args.seed,
         backend=backend,
     )
-    execution = execute_plan(physical, database, profiler=profiler)
+    execution = execute_plan(
+        physical,
+        database,
+        profiler=profiler,
+        chunk_rows=getattr(args, "chunk_rows", None),
+    )
     truth = evaluate_query(
         query, {name: database[name].tuples for name in database.relations}
     )
@@ -240,12 +249,14 @@ def cmd_skew(args: argparse.Namespace) -> int:
     backend = resolve_backend(args.backend)
     plain_profiler = _new_profiler(args)
     aware_profiler = _new_profiler(args)
+    chunk_rows = getattr(args, "chunk_rows", None)
     plain = execute_plan(
         compile_with(
             "hypercube", query, args.p, seed=args.seed, backend=backend
         ),
         database,
         profiler=plain_profiler,
+        chunk_rows=chunk_rows,
     )
     aware = execute_plan(
         compile_with(
@@ -253,6 +264,7 @@ def cmd_skew(args: argparse.Namespace) -> int:
         ),
         database,
         profiler=aware_profiler,
+        chunk_rows=chunk_rows,
     )
     truth = evaluate_query(
         query, {name: database[name].tuples for name in database.relations}
@@ -321,6 +333,7 @@ def _session_for(query, args: argparse.Namespace):
         p=args.p,
         backend=resolve_backend(args.backend),
         seed=args.seed,
+        chunk_rows=getattr(args, "chunk_rows", None),
     )
 
 
@@ -336,6 +349,7 @@ def cmd_query(args: argparse.Namespace) -> int:
         p=args.p,
         backend=resolve_backend(args.backend),
         seed=args.seed,
+        chunk_rows=getattr(args, "chunk_rows", None),
     )
     statement = session.query(
         query,
@@ -512,6 +526,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             algorithm=args.algorithm,
             seed=args.seed,
             workers=args.workers,
+            chunk_rows=args.chunk_rows,
             **cache_sizes,
         )
         routing = (
@@ -545,6 +560,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         eps=args.eps,
         seed=args.seed,
         workers=args.workers,
+        chunk_rows=args.chunk_rows,
         **cache_sizes,
     )
     print(
@@ -659,6 +675,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="executor processes for the parallel route phase "
             "(numpy backend only; 1 = fully in-process)",
         )
+        subparser.add_argument(
+            "--chunk-rows",
+            type=int,
+            default=None,
+            help="streaming block size: route/ship in blocks of this "
+            "many rows with lazy delivery pools (numpy backend only; "
+            "default: the REPRO_CHUNK_ROWS env knob, unset = "
+            "monolithic)",
+        )
 
     run = commands.add_parser("run", help="run HyperCube on a random matching DB")
     run.add_argument("query")
@@ -722,6 +747,13 @@ def build_parser() -> argparse.ArgumentParser:
             choices=["auto", "pure", "numpy"],
             default="pure",
             help="execution engine",
+        )
+        subparser.add_argument(
+            "--chunk-rows",
+            type=int,
+            default=None,
+            help="streaming block size for execution (numpy backend "
+            "only; default: the REPRO_CHUNK_ROWS env knob)",
         )
 
     query_cmd = commands.add_parser(
@@ -812,6 +844,13 @@ def build_parser() -> argparse.ArgumentParser:
         "across N worker processes (and N dispatch threads); in the "
         "REPL, the route phase of large rounds runs on N processes. "
         "1 (default) keeps everything in-process",
+    )
+    serve.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=None,
+        help="streaming block size for every served execution (numpy "
+        "backend only; default: the REPRO_CHUNK_ROWS env knob)",
     )
     serve.add_argument("--n", type=int, default=200, help="domain size")
     serve.add_argument("--p", type=int, default=16, help="number of servers")

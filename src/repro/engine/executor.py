@@ -90,6 +90,17 @@ class RoundEngine:
         profiler: optional phase-timing collector; when given, every
             round records route/ship/deliver seconds against its round
             index.
+        chunk_rows: streaming block size.  When set (numpy backend
+            only), shardable steps route in ``chunk_rows``-row blocks
+            -- zero-copy column views -- and ship as *lazy* deliveries
+            (:meth:`MPCSimulator.stage_lazy_columns`): loads are
+            accounted from a per-block counting pass and rows are
+            materialised at local-evaluation time one worker shard at
+            a time, so the engine's peak memory per step is
+            ``O(chunk_rows x replication)`` instead of
+            ``O(n x replication)``.  Answers, per-server loads and
+            capacity behaviour are bit-identical to the monolithic
+            path; None (the default) is exactly today's code.
     """
 
     def __init__(
@@ -97,6 +108,7 @@ class RoundEngine:
         simulator: MPCSimulator,
         backend: str | None = None,
         profiler: RoundProfiler | None = None,
+        chunk_rows: int | None = None,
     ) -> None:
         self.simulator = simulator
         self.backend = (
@@ -105,6 +117,7 @@ class RoundEngine:
             else resolve_backend(backend)
         )
         self.profiler = profiler
+        self.chunk_rows = chunk_rows
 
     def _measure(self, phase: str):
         if self.profiler is None:
@@ -141,6 +154,9 @@ class RoundEngine:
         for index, step in enumerate(steps):
             source = sources[step.relation]
             decision = None if routed is None else routed.get(index)
+            if decision is None and self._stream_eligible(step, source):
+                self.stream_step(step, source)
+                continue
             if decision is None:
                 decision = self.route_step(step, source)
                 if routed is not None:
@@ -148,6 +164,99 @@ class RoundEngine:
             self.ship_step(step, source, decision)
         with self._measure("deliver"):
             return self.simulator.end_round()
+
+    # -- streaming ----------------------------------------------------------
+
+    def _stream_eligible(
+        self, step: RoutingStep, source: ColumnarRelation
+    ) -> bool:
+        """Whether a step streams in blocks instead of routing whole.
+
+        Block-streaming reuses the shardability contract: routing must
+        depend on row content alone so ``route_columns`` over a block
+        equals the monolithic decision restricted to those rows.
+        Non-shardable steps (global row indices, global signature
+        grouping) and the ``pure`` backend route monolithically inside
+        an otherwise-streamed round -- always correct, since eager and
+        lazy deliveries coexist per relation.
+        """
+        return (
+            self.chunk_rows is not None
+            and self.backend == NUMPY
+            and step.shardable
+            and bool(source.columns)
+        )
+
+    def stream_step(
+        self, step: RoutingStep, source: ColumnarRelation
+    ) -> None:
+        """Route one step block-by-block and ship it lazily.
+
+        The route phase is a counting pass (per-block destinations ->
+        bincount, arrays freed immediately); the ship phase stages the
+        delivery *recipe* plus counts on the simulator.  Load totals
+        equal the monolithic ``send_columns`` accounting bit-for-bit,
+        so capacity behaviour -- including which worker raises at
+        ``end_round`` -- is unchanged.
+        """
+        from repro.engine.streaming import LazyContribution
+
+        simulator = self.simulator
+        with self._measure("route"):
+            counts = self._stream_counts(step, source)
+        sender = (
+            step.sender
+            if step.sender is not None
+            else input_server(step.relation)
+        )
+        with self._measure("ship"):
+            simulator.stage_lazy_columns(
+                sender,
+                step.mailbox_key,
+                LazyContribution(
+                    step=step,
+                    columns=source.columns,
+                    num_rows=len(source),
+                    chunk_rows=self.chunk_rows,
+                    source_sorted=step.preserves_source_order,
+                ),
+                counts,
+                bits_per_tuple=source.tuple_bits,
+            )
+
+    def _stream_counts(self, step: RoutingStep, source: ColumnarRelation):
+        """Per-worker delivered counts of one streamed step."""
+        import time as _time
+
+        from repro.backend import require_numpy
+        from repro.engine.streaming import iter_blocks
+
+        numpy = require_numpy()
+        simulator = self.simulator
+        p = simulator.num_workers
+        counts = numpy.zeros(p, dtype=numpy.int64)
+        profiler = self.profiler
+        round_index = simulator.round_index
+        for start, end in iter_blocks(len(source), self.chunk_rows):
+            began = _time.perf_counter()
+            block = tuple(column[start:end] for column in source.columns)
+            _, destinations, _ = step.route_columns(block, p)
+            if len(destinations):
+                low = int(destinations.min())
+                high = int(destinations.max())
+                if low < 0 or high >= p:
+                    from repro.mpc.simulator import ProtocolError
+
+                    offender = low if low < 0 else high
+                    raise ProtocolError(
+                        f"receiver {offender} outside [0, {p})"
+                    )
+                counts += numpy.bincount(destinations, minlength=p)
+            if profiler is not None:
+                profiler.add_block(
+                    round_index, "route", _time.perf_counter() - began
+                )
+        return counts
 
     def execute_step(
         self,
@@ -321,6 +430,26 @@ def _database_bits(database: Any, sources: Mapping[str, ColumnarRelation]) -> in
     return sum(relation.size_bits for relation in sources.values())
 
 
+class _ResolvingEnvironment(dict):
+    """An execution environment that resolves pending views on access.
+
+    Streamed executions materialise a round's views *asynchronously*
+    (shard-eval tasks on the process pool) while the next round's
+    routing proceeds; a step whose source view is still pending blocks
+    here, exactly when the data dependency bites and not a moment
+    earlier.
+    """
+
+    resolver: Any = None
+
+    def __missing__(self, key: str) -> ColumnarRelation:
+        if self.resolver is not None:
+            self.resolver(key)
+            if key in self:
+                return dict.__getitem__(self, key)
+        raise KeyError(key)
+
+
 def execute_plan(
     plan: Plan,
     database: Any,
@@ -331,6 +460,7 @@ def execute_plan(
     relation_map: Mapping[str, str] | None = None,
     input_bits: int | None = None,
     parallel: Any = None,
+    chunk_rows: int | None = None,
 ) -> PlanExecution:
     """Execute a compiled plan against a database.
 
@@ -362,9 +492,20 @@ def execute_plan(
             when given (and usable) rounds execute on a
             :class:`~repro.engine.parallel.engine.ParallelRoundEngine`
             that fans shardable route phases out across the context's
-            process pool.  Answers, loads and capacity behaviour are
-            bit-identical to the in-process engine; non-shardable
-            steps and small sources fall back transparently.
+            process pool -- and, combined with ``chunk_rows``, fans
+            ship/deliver and shard-wise local evaluation out too,
+            overlapping a round's view materialisation with the next
+            round's routing where data dependencies allow.  Answers,
+            loads and capacity behaviour are bit-identical to the
+            in-process engine; non-shardable steps and small sources
+            fall back transparently.
+        chunk_rows: streaming block size (see :class:`RoundEngine`);
+            None reads the ``REPRO_CHUNK_ROWS`` environment knob, and
+            an unset knob means monolithic execution.  Streaming
+            bypasses ``routed_cache`` (lazy deliveries never
+            materialise the routing decision a cache entry would
+            hold); answers, loads and capacity failures stay
+            bit-identical for every chunk size.
 
     Returns:
         A :class:`PlanExecution` with answers, loads and views.
@@ -391,14 +532,30 @@ def execute_plan(
     if input_bits is None:
         input_bits = _database_bits(database, sources)
     simulator = plan_simulator(plan, input_bits, simulator)
-    if parallel is not None and parallel.usable:
+    from repro.engine.streaming import resolve_chunk_rows
+
+    chunk_rows = resolve_chunk_rows(chunk_rows)
+    streaming = chunk_rows is not None and backend == NUMPY
+    if streaming:
+        # Lazy deliveries never materialise the routing decision a
+        # cache entry would replay; the caller's cache is bypassed
+        # (reads and writes) for the whole execution.
+        routed_cache = None
+    parallel_ctx = (
+        parallel if parallel is not None and parallel.usable else None
+    )
+    if parallel_ctx is not None:
         from repro.engine.parallel.engine import ParallelRoundEngine
 
         engine: RoundEngine = ParallelRoundEngine(
-            simulator, parallel, profiler=profiler
+            simulator, parallel_ctx, profiler=profiler,
+            chunk_rows=chunk_rows if streaming else None,
         )
     else:
-        engine = RoundEngine(simulator, profiler=profiler)
+        engine = RoundEngine(
+            simulator, profiler=profiler,
+            chunk_rows=chunk_rows if streaming else None,
+        )
 
     domain_size = getattr(database, "domain_size", None)
     if domain_size is None:
@@ -406,17 +563,33 @@ def execute_plan(
             (relation.domain_size for relation in sources.values()),
             default=1,
         )
-    environment: dict[str, ColumnarRelation] = dict(sources)
+    environment: _ResolvingEnvironment = _ResolvingEnvironment(sources)
     if plan.uniform_domain_bits:
-        environment = {
-            name: replace(relation, domain_size=domain_size)
-            for name, relation in environment.items()
-        }
+        for name, relation in list(environment.items()):
+            environment[name] = replace(relation, domain_size=domain_size)
 
     view_sizes: dict[str, int] = {}
     per_server_views: dict[str, tuple[int, ...]] = {}
     heavy_hitters: dict[str, frozenset[int]] | None = None
-    from repro.engine.local import collect_answers, materialise_view
+    from repro.engine.local import (
+        collect_answers,
+        materialise_view,
+        materialise_view_async,
+    )
+
+    #: view name -> async materialisation handle (streamed overlap).
+    pending: dict[str, Any] = {}
+
+    def resolve_view(name: str) -> None:
+        handle = pending.pop(name, None)
+        if handle is None:
+            return
+        materialised, counts = handle.result()
+        environment[name] = materialised
+        view_sizes[name] = len(materialised)
+        per_server_views[name] = tuple(counts)
+
+    environment.resolver = resolve_view
 
     for round_index, plan_round in enumerate(plan.rounds):
         steps = plan_round.steps
@@ -427,6 +600,25 @@ def execute_plan(
                 if hit is not None:
                     routed[step_index] = hit
         missing = [i for i in range(len(steps)) if i not in routed]
+        if pending and plan_round.bind_heavy is not None and missing:
+            # Heavy detection scans the environment directly; settle
+            # every outstanding view before statistics are taken.
+            for name in list(pending):
+                resolve_view(name)
+        if pending:
+            # Streamed rounds route steps whose sources are already
+            # settled first, so pending views keep evaluating on the
+            # pool while base relations stream -- the round r local /
+            # round r+1 route overlap.  Step order within a round
+            # never affects answers, loads or capacity (staging is
+            # additive per relation), and the routing cache is off in
+            # streaming mode so indices need not be stable.
+            order = sorted(
+                range(len(steps)),
+                key=lambda i: steps[i].relation in pending,
+            )
+            if order != list(range(len(steps))):
+                steps = tuple(steps[i] for i in order)
         if plan_round.bind_heavy is not None and missing:
             # Heavy-hitter detection is execute-time statistics work;
             # it is skipped when every step of the round replays from
@@ -454,9 +646,27 @@ def execute_plan(
         engine.run_round(steps, environment, routed=routed)
         if routed_cache is not None:
             for step_index in missing:
-                routed_cache[(round_index, step_index)] = routed[step_index]
+                decision = routed.get(step_index)
+                if decision is not None:
+                    routed_cache[(round_index, step_index)] = decision
 
         for view in plan_round.views:
+            key_of = key_map_of(view.key_map)
+            if streaming:
+                handle = materialise_view_async(
+                    view.name,
+                    view.query,
+                    simulator,
+                    range(plan.signature.p),
+                    backend,
+                    domain_size=domain_size,
+                    key_of=key_of,
+                    parallel=parallel_ctx,
+                    profiler=profiler,
+                )
+                if handle is not None:
+                    pending[view.name] = handle
+                    continue
             materialised, counts = materialise_view(
                 view.name,
                 view.query,
@@ -464,13 +674,16 @@ def execute_plan(
                 range(plan.signature.p),
                 backend,
                 domain_size=domain_size,
-                key_of=key_map_of(view.key_map),
+                key_of=key_of,
                 profiler=profiler,
+                parallel=parallel_ctx,
             )
             environment[view.name] = materialised
             view_sizes[view.name] = len(materialised)
             per_server_views[view.name] = tuple(counts)
 
+    for name in list(pending):
+        resolve_view(name)
     answers: tuple[tuple[int, ...], ...] = ()
     per_server: tuple[int, ...] = ()
     finalize = plan.finalize
@@ -482,6 +695,7 @@ def execute_plan(
             backend,
             key_of=key_map_of(finalize.key_map),
             profiler=profiler,
+            parallel=parallel_ctx,
         )
         per_server = tuple(
             list(counts) + [0] * (plan.signature.p - finalize.workers)

@@ -160,8 +160,14 @@ class ParallelRoundEngine(RoundEngine):
         context: ParallelContext,
         backend: str | None = None,
         profiler: RoundProfiler | None = None,
+        chunk_rows: int | None = None,
     ) -> None:
-        super().__init__(simulator, backend=backend, profiler=profiler)
+        super().__init__(
+            simulator,
+            backend=backend,
+            profiler=profiler,
+            chunk_rows=chunk_rows,
+        )
         self.context = context
         self._round_routed = False
         self._round_parallel = False
@@ -209,6 +215,74 @@ class ParallelRoundEngine(RoundEngine):
             return super().route_step(step, source)
         self._round_parallel = True
         return decision
+
+    def _stream_counts(self, step: RoutingStep, source: ColumnarRelation):
+        """The streamed counting pass, fanned out per row shard.
+
+        Each pool worker routes a contiguous row range in
+        ``chunk_rows`` blocks and returns its bincount; bincount is
+        additive over any row partition, so the summed counts -- and
+        therefore loads and capacity behaviour -- equal the serial
+        counting pass exactly.  Ineligible steps and a broken pool
+        fall back to the serial pass.
+        """
+        self._round_routed = True
+        if not self._eligible(step, source):
+            return super()._stream_counts(step, source)
+        counts = self._stream_counts_sharded(step, source)
+        if counts is None:
+            return super()._stream_counts(step, source)
+        self._round_parallel = True
+        return counts
+
+    def _stream_counts_sharded(
+        self, step: RoutingStep, source: ColumnarRelation
+    ):
+        from repro.backend import require_numpy
+        from repro.engine.parallel.pool import count_shard_task
+
+        numpy = require_numpy()
+        num_rows = len(source)
+        workers = self.context.workers
+        chunk = -(-num_rows // workers)  # ceil division
+        bounds = [
+            (start, min(start + chunk, num_rows))
+            for start in range(0, num_rows, chunk)
+        ]
+        handle = self.context.handle_for(source.columns)
+        p = self.simulator.num_workers
+        detach = self.context.evicted_names()
+        try:
+            results = self.context.pool.collect(
+                [
+                    self.context.pool.submit(
+                        count_shard_task,
+                        step,
+                        handle,
+                        start,
+                        end,
+                        p,
+                        self.chunk_rows,
+                        detach,
+                    )
+                    for start, end in bounds
+                ]
+            )
+        except PoolBroken:
+            return None
+        if self.profiler is not None:
+            round_index = self.simulator.round_index
+            for shard_index, result in enumerate(results):
+                self.profiler.add_shard(
+                    round_index, shard_index, result["seconds"]
+                )
+                self.profiler.add_block(
+                    round_index, "route", result["seconds"]
+                )
+        counts = numpy.zeros(p, dtype=numpy.int64)
+        for result in results:
+            counts += result["counts"]
+        return counts
 
     def _route_sharded(
         self, step: RoutingStep, source: ColumnarRelation

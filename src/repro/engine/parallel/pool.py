@@ -83,8 +83,90 @@ def route_shard_task(
     }
 
 
+def count_shard_task(
+    step: Any,
+    handle: SegmentHandle,
+    start: int,
+    end: int,
+    p: int,
+    chunk_rows: int,
+    detach: Sequence[str] = (),
+) -> dict:
+    """Streaming counting pass over rows ``[start, end)`` (worker side).
+
+    The parallel leg of a streamed step's route phase: route the row
+    range in ``chunk_rows`` blocks, bincount destinations, discard the
+    arrays -- the child's transient memory stays
+    ``O(chunk x replication)`` just like the parent's.  Returns the
+    shard's per-worker counts plus worker-side seconds; summing the
+    shards reproduces the monolithic counting pass exactly (bincount
+    is additive over any row partition).
+    """
+    began = time.perf_counter()
+    if detach:
+        detach_names(detach)
+    from repro.engine.streaming import route_block_counts
+
+    source = attach_columns(handle)
+    shard = tuple(column[start:end] for column in source)
+    counts = route_block_counts(step, shard, end - start, chunk_rows, p)
+    return {
+        "counts": counts,
+        "seconds": time.perf_counter() - began,
+    }
+
+
+def eval_shard_task(
+    query: Any,
+    atom_specs: Sequence[tuple],
+    lo: int,
+    hi: int,
+    p: int,
+    detach: Sequence[str] = (),
+) -> dict:
+    """Evaluate workers ``[lo, hi)`` from streamed recipes (worker side).
+
+    ``atom_specs`` holds, per query atom, the relation's streamed
+    delivery recipes with their source columns replaced by shared
+    segment handles: ``(name, ((step, handle, num_rows, chunk_rows,
+    source_sorted), ...))``.  The task re-routes the recipes for the
+    worker range, merges them into shard pools and runs the exact
+    segmented join the in-process shard loop runs
+    (:func:`repro.engine.local.evaluate_shard_pools` is shared code),
+    so answers and per-worker counts are identical by construction.
+    """
+    began = time.perf_counter()
+    if detach:
+        detach_names(detach)
+    from repro.engine.local import evaluate_shard_pools
+    from repro.engine.streaming import LazyContribution, materialize_shard
+
+    pools = {}
+    for name, contribs in atom_specs:
+        if not contribs:
+            pools[name] = None
+            continue
+        contributions = [
+            LazyContribution(
+                step=step,
+                columns=attach_columns(handle),
+                num_rows=num_rows,
+                chunk_rows=chunk_rows,
+                source_sorted=source_sorted,
+            )
+            for step, handle, num_rows, chunk_rows, source_sorted in contribs
+        ]
+        pools[name] = materialize_shard(contributions, lo, hi, p)
+    answers, per_server = evaluate_shard_pools(query, pools, hi - lo)
+    return {
+        "answers": answers,
+        "per_server": per_server,
+        "seconds": time.perf_counter() - began,
+    }
+
+
 class ShardPool:
-    """A lazily-started persistent pool of route-shard executors."""
+    """A lazily-started persistent pool of shard-task executors."""
 
     def __init__(self, workers: int) -> None:
         if workers < 1:
@@ -102,6 +184,31 @@ class ShardPool:
                 mp_context=multiprocessing.get_context("spawn"),
             )
         return self._executor
+
+    def submit(self, task: Any, /, *args: Any) -> Any:
+        """Submit one task; :class:`PoolBroken` if the pool is gone."""
+        if self.broken:
+            raise PoolBroken("shard pool previously lost a worker")
+        try:
+            return self._ensure().submit(task, *args)
+        except BrokenProcessPool as error:
+            self.broken = True
+            self.close()
+            raise PoolBroken(str(error)) from error
+
+    def collect(self, futures: Sequence[Any]) -> list[Any]:
+        """Resolve futures in order, converting a pool death.
+
+        Raises:
+            PoolBroken: a worker died; the pool is marked broken and
+                shut down (callers fall back to in-process execution).
+        """
+        try:
+            return [future.result() for future in futures]
+        except BrokenProcessPool as error:
+            self.broken = True
+            self.close()
+            raise PoolBroken(str(error)) from error
 
     def route_shards(
         self,
@@ -122,21 +229,14 @@ class ShardPool:
             PoolBroken: a worker died; the pool is marked broken and
                 shut down (the caller falls back to serial routing).
         """
-        if self.broken:
-            raise PoolBroken("shard pool previously lost a worker")
-        executor = self._ensure()
-        futures = [
-            executor.submit(
-                route_shard_task, step, handle, start, end, p, detach
-            )
-            for start, end in bounds
-        ]
-        try:
-            return [future.result() for future in futures]
-        except BrokenProcessPool as error:
-            self.broken = True
-            self.close()
-            raise PoolBroken(str(error)) from error
+        return self.collect(
+            [
+                self.submit(
+                    route_shard_task, step, handle, start, end, p, detach
+                )
+                for start, end in bounds
+            ]
+        )
 
     def close(self) -> None:
         """Shut the pool down (idempotent)."""

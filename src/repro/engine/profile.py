@@ -38,6 +38,15 @@ class RoundProfiler:
         self.rounds: dict[int, dict[str, float]] = {}
         #: round index -> list of (shard index, worker-side seconds).
         self.shards: dict[int, list[tuple[int, float]]] = {}
+        #: round index -> phase -> per-block seconds, in block order
+        #: (streamed executions record every block's route/ship/eval
+        #: time here; empty for monolithic runs).
+        self.blocks: dict[int, dict[str, list[float]]] = {}
+        #: round index -> seconds the next round's routing ran
+        #: concurrently with this round's local evaluation (streamed
+        #: pipelining; concurrent time, deliberately not part of any
+        #: additive phase total).
+        self.overlap: dict[int, float] = {}
 
     def add(self, round_index: int, phase: str, seconds: float) -> None:
         """Record ``seconds`` against one round's phase."""
@@ -60,6 +69,25 @@ class RoundProfiler:
         self.shards.setdefault(round_index, []).append(
             (shard_index, seconds)
         )
+
+    def add_block(
+        self, round_index: int, phase: str, seconds: float
+    ) -> None:
+        """Record one streamed block's seconds for a round's phase."""
+        self.blocks.setdefault(round_index, {}).setdefault(
+            phase, []
+        ).append(seconds)
+
+    def add_overlap(self, round_index: int, seconds: float) -> None:
+        """Record pipelined overlap seconds against one round."""
+        self.overlap[round_index] = (
+            self.overlap.get(round_index, 0.0) + seconds
+        )
+
+    @property
+    def overlap_seconds(self) -> float:
+        """Total seconds local eval ran concurrently with routing."""
+        return sum(self.overlap.values())
 
     def shard_seconds(self, round_index: int) -> tuple[float, ...]:
         """Worker-side seconds of each shard of one round, in order."""
@@ -91,18 +119,41 @@ class RoundProfiler:
             rows.append(
                 [round_index]
                 + [f"{phases.get(phase, 0.0):.4f}" for phase in PHASES]
+                + [f"{self.overlap.get(round_index, 0.0):.4f}"]
                 + [f"{sum(phases.values()):.4f}"]
             )
         rows.append(
             ["total"]
             + [f"{self.phase_total(phase):.4f}" for phase in PHASES]
+            + [f"{self.overlap_seconds:.4f}"]
             + [f"{self.total_seconds:.4f}"]
         )
         table = format_table(
-            ["round"] + [f"{phase} (s)" for phase in PHASES] + ["sum (s)"],
+            ["round"]
+            + [f"{phase} (s)" for phase in PHASES]
+            + ["overlap (s)", "sum (s)"],
             rows,
             title=title,
         )
+        if self.blocks:
+            block_rows = []
+            for round_index in sorted(self.blocks):
+                for phase, timings in self.blocks[round_index].items():
+                    block_rows.append(
+                        [
+                            round_index,
+                            phase,
+                            len(timings),
+                            f"{min(timings):.4f}",
+                            f"{max(timings):.4f}",
+                            f"{sum(timings):.4f}",
+                        ]
+                    )
+            table = table + "\n" + format_table(
+                ["round", "phase", "blocks", "min (s)", "max (s)", "sum (s)"],
+                block_rows,
+                title="per-block streaming timing",
+            )
         if not self.shards:
             return table
         shard_rows = []
@@ -120,5 +171,5 @@ class RoundProfiler:
         return table + "\n" + format_table(
             ["round", "shards", "min (s)", "max (s)", "sum (s)"],
             shard_rows,
-            title="per-shard route timing",
+            title="per-shard timing",
         )

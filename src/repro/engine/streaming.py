@@ -1,0 +1,392 @@
+"""Streaming round execution: fixed-size column blocks, lazy pools.
+
+The monolithic engine materialises every relation's full delivery pool
+in parent memory each round -- ``O(n x replication)`` bytes, which is
+what caps the repository at n=1e6 (ROADMAP item 2).  The MPC model
+itself never requires that: it charges each *server* for what it
+receives per round, so a faithful simulation only ever needs per-worker
+loads (a ``p``-length bincount) plus, at local-evaluation time, one
+worker subrange's fragments at a time.
+
+This module holds the data-structure layer of that streaming mode:
+
+* :func:`iter_blocks` -- the ``[start, end)`` block schedule of a
+  relation under a ``chunk_rows`` budget.  Blocks are numpy *views*
+  over the source columns (no row copies); the transient routing state
+  per block is ``O(chunk_rows x replication)``.
+* :class:`PoolBuilder` -- accumulates per-block worker-grouped
+  mini-pools and finalises them into one
+  :class:`~repro.mpc.simulator.ColumnPool` with a k-way per-worker
+  merge (one pass of slice copies, freeing each block as it goes)
+  instead of one monolithic stable sort.  Because blocks arrive in
+  ascending source order, a single source-sorted stream stays
+  source-sorted through the merge -- the sort-free direct-address join
+  keeps its precondition; multiple interleaved streams fall back to
+  ``source_sorted=False`` exactly like the monolithic multi-stage path.
+* :class:`LazyContribution` -- one streamed routing step's delivery,
+  recorded as *recipe* (step + source columns + block schedule) rather
+  than materialised rows.  Loads are accounted eagerly from a counting
+  pass; rows are only produced on demand, one worker shard at a time,
+  through :func:`materialize_shard`.
+* :func:`plan_worker_shards` -- contiguous worker ranges whose pooled
+  bytes fit a budget, so shard-wise evaluation's peak memory is
+  ``O(shard budget)`` independent of ``n``.
+
+Parity contract: a streamed execution re-routes blocks with the exact
+:meth:`~repro.engine.steps.RoutingStep.route_columns` code the
+monolithic path uses, restricted to shardable steps (routing depends
+on row content only), so the multiset of (row, destination) pairs --
+and therefore answers, per-server loads and capacity behaviour -- is
+identical by construction.  The cost of never holding the full pool is
+recomputation: each worker shard re-routes the source blocks, an
+accepted CPU-for-memory trade bounded by ``1 + num_shards`` routing
+passes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from repro.backend import require_numpy
+from repro.mpc.simulator import ColumnPool
+
+#: Environment knob for the default streaming block size (rows per
+#: block).  Unset / empty / "0" / "none" means monolithic execution.
+CHUNK_ROWS_ENV = "REPRO_CHUNK_ROWS"
+
+#: Environment knob for the shard-wise evaluation budget: target bytes
+#: of pooled rows materialised per worker shard.
+SHARD_BYTES_ENV = "REPRO_SHARD_BYTES"
+
+#: Default shard budget: large enough that the join's transient arrays
+#: stay cache-friendly multiples of it, small enough that budget plus
+#: ~2-3x join temporaries fits the streaming RSS gates.
+DEFAULT_SHARD_BYTES = 512 * 1024 * 1024
+
+
+def resolve_chunk_rows(chunk_rows: int | None = None) -> int | None:
+    """The effective streaming block size, or None for monolithic.
+
+    An explicit argument wins; otherwise the ``REPRO_CHUNK_ROWS``
+    environment variable is consulted.  Non-positive, unset and
+    ``"none"``/``"inf"`` values all mean "monolithic" -- chunk size
+    infinity degenerates to today's code path by definition.
+    """
+    if chunk_rows is None:
+        raw = os.environ.get(CHUNK_ROWS_ENV, "").strip().lower()
+        if not raw or raw in ("none", "inf"):
+            return None
+        try:
+            chunk_rows = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{CHUNK_ROWS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    if chunk_rows is None or chunk_rows <= 0:
+        return None
+    return int(chunk_rows)
+
+
+def resolve_shard_bytes(shard_bytes: int | None = None) -> int:
+    """The effective shard-wise evaluation budget in bytes."""
+    if shard_bytes is None:
+        raw = os.environ.get(SHARD_BYTES_ENV, "").strip()
+        if raw:
+            shard_bytes = int(raw)
+    if shard_bytes is None or shard_bytes <= 0:
+        return DEFAULT_SHARD_BYTES
+    return int(shard_bytes)
+
+
+def iter_blocks(
+    num_rows: int, chunk_rows: int
+) -> Iterator[tuple[int, int]]:
+    """The ``[start, end)`` block schedule of ``num_rows`` rows.
+
+    An empty relation yields no blocks; the final block may be short.
+    """
+    if chunk_rows < 1:
+        raise ValueError(f"need chunk_rows >= 1, got {chunk_rows}")
+    for start in range(0, num_rows, chunk_rows):
+        yield start, min(start + chunk_rows, num_rows)
+
+
+class PoolBuilder:
+    """Accumulate worker-grouped block pools; merge once at the end.
+
+    Each appended block is already grouped by receiving worker (a
+    small per-block stable sort); :meth:`finalize` k-way merges the
+    blocks per worker with one allocation and a single pass of slice
+    copies.  Within each worker, rows keep block order -- blocks are
+    appended in ascending source order, so a single source-sorted
+    stream's fragments stay sorted through the merge.
+
+    Appending pools from more than one ``stream`` (distinct routing
+    steps feeding one relation) clears ``source_sorted``, mirroring the
+    monolithic multi-stage conservatism.
+    """
+
+    def __init__(
+        self, num_workers: int, arity: int | None = None
+    ) -> None:
+        self.num_workers = num_workers
+        self._blocks: list[ColumnPool] = []
+        self._streams: set[Any] = set()
+        self._sorted = True
+        self._arity = arity
+
+    def append(
+        self, block: ColumnPool, stream: Any = None, sorted_block: bool = True
+    ) -> None:
+        """Add one worker-grouped block pool (in source order)."""
+        if block.num_workers != self.num_workers:
+            raise ValueError(
+                f"block covers {block.num_workers} workers, "
+                f"builder covers {self.num_workers}"
+            )
+        if self._arity is None:
+            self._arity = len(block.columns)
+        self._streams.add(stream)
+        if not sorted_block or len(self._streams) > 1:
+            self._sorted = False
+        if len(block):
+            self._blocks.append(block)
+
+    def finalize(self) -> ColumnPool:
+        """Merge the appended blocks into one worker-grouped pool.
+
+        Blocks are released as their rows are copied out, so the peak
+        is the final pool plus one block -- not twice the pool.
+        """
+        numpy = require_numpy()
+        p = self.num_workers
+        blocks = self._blocks
+        self._blocks = []
+        if not blocks:
+            arity = self._arity or 0
+            return ColumnPool(
+                columns=tuple(
+                    numpy.zeros(0, dtype=numpy.int64) for _ in range(arity)
+                ),
+                offsets=numpy.zeros(p + 1, dtype=numpy.int64),
+                source_sorted=self._sorted,
+            )
+        if len(blocks) == 1:
+            block = blocks[0]
+            return ColumnPool(
+                columns=block.columns,
+                offsets=block.offsets,
+                source_sorted=self._sorted and block.source_sorted,
+            )
+        counts = numpy.zeros(p, dtype=numpy.int64)
+        for block in blocks:
+            counts += block.offsets[1:] - block.offsets[:-1]
+        offsets = numpy.zeros(p + 1, dtype=numpy.int64)
+        numpy.cumsum(counts, out=offsets[1:])
+        total = int(offsets[-1])
+        arity = len(blocks[0].columns)
+        columns = tuple(
+            numpy.empty(total, dtype=numpy.int64) for _ in range(arity)
+        )
+        cursor = offsets[:-1].copy()
+        while blocks:
+            block = blocks.pop(0)
+            block_counts = block.offsets[1:] - block.offsets[:-1]
+            for worker in numpy.nonzero(block_counts)[0].tolist():
+                start = int(cursor[worker])
+                end = start + int(block_counts[worker])
+                for position in range(arity):
+                    columns[position][start:end] = block.columns[position][
+                        int(block.offsets[worker]) : int(
+                            block.offsets[worker + 1]
+                        )
+                    ]
+                cursor[worker] = end
+        return ColumnPool(
+            columns=columns, offsets=offsets, source_sorted=self._sorted
+        )
+
+
+def bin_block(
+    columns: tuple,
+    destinations: Any,
+    row_indices: Any,
+    num_workers: int,
+    lo: int = 0,
+    hi: int | None = None,
+) -> ColumnPool:
+    """Group one routed block by receiving worker, rebased to [lo, hi).
+
+    ``columns``/``destinations``/``row_indices`` are one
+    :meth:`~repro.engine.steps.RoutingStep.route_columns` triple.
+    Destinations outside ``[lo, hi)`` are dropped (the shard
+    restriction); the stable grouping keeps the step's per-worker
+    emission order, so order-preserving steps yield source-sorted
+    fragments.
+    """
+    numpy = require_numpy()
+    if hi is None:
+        hi = num_workers
+    width = hi - lo
+    if lo == 0 and hi == num_workers:
+        local = destinations
+        mask = None
+    else:
+        mask = (destinations >= lo) & (destinations < hi)
+        local = destinations[mask] - lo
+    if row_indices is None:
+        gather = (
+            None
+            if mask is None
+            else numpy.nonzero(mask)[0]
+        )
+    else:
+        gather = row_indices if mask is None else row_indices[mask]
+    if width == 1:
+        # Single-worker shard: every kept row lands in the one bucket,
+        # in emission order -- no sort needed.
+        selected = gather
+        offsets = numpy.array([0, len(local)], dtype=numpy.int64)
+    else:
+        order = numpy.argsort(local, kind="stable")
+        selected = order if gather is None else gather[order]
+        offsets = numpy.searchsorted(
+            local[order] if len(local) else local,
+            numpy.arange(width + 1, dtype=numpy.int64),
+        ).astype(numpy.int64)
+    if selected is None:
+        pooled = columns
+    else:
+        pooled = tuple(column[selected] for column in columns)
+    return ColumnPool(columns=pooled, offsets=offsets, source_sorted=True)
+
+
+@dataclass(frozen=True)
+class LazyContribution:
+    """One streamed step's delivery, as a re-routable recipe.
+
+    Attributes:
+        step: the shardable routing step that produced the delivery.
+        columns: the source relation's value columns at routing time
+            (streamed sources are immutable for the execution's life,
+            so holding the views is safe and free).
+        num_rows: source row count (blocks are planned from it).
+        chunk_rows: the block size the counting pass used; shard
+            materialisation re-routes with the same schedule.
+        source_sorted: the step's per-receiver order promise
+            (:attr:`~repro.engine.steps.RoutingStep.preserves_source_order`).
+    """
+
+    step: Any
+    columns: tuple
+    num_rows: int
+    chunk_rows: int
+    source_sorted: bool
+
+
+def route_block_counts(
+    step: Any, columns: tuple, num_rows: int, chunk_rows: int, p: int
+) -> Any:
+    """Per-worker delivered-tuple counts of one step, block by block.
+
+    The streaming counting pass: routes every block with the exact
+    monolithic :meth:`route_columns` code and bincounts destinations,
+    discarding the arrays immediately -- identical totals to the
+    monolithic send, ``O(chunk x replication)`` transient memory.
+    """
+    numpy = require_numpy()
+    counts = numpy.zeros(p, dtype=numpy.int64)
+    for start, end in iter_blocks(num_rows, chunk_rows):
+        block = tuple(column[start:end] for column in columns)
+        _, destinations, _ = step.route_columns(block, p)
+        if len(destinations):
+            low = int(destinations.min())
+            high = int(destinations.max())
+            if low < 0 or high >= p:
+                from repro.mpc.simulator import ProtocolError
+
+                offender = low if low < 0 else high
+                raise ProtocolError(
+                    f"receiver {offender} outside [0, {p})"
+                )
+            counts += numpy.bincount(destinations, minlength=p)
+    return counts
+
+
+def materialize_shard(
+    contributions: Sequence[LazyContribution],
+    lo: int,
+    hi: int,
+    p: int,
+    extra_blocks: Sequence[ColumnPool] = (),
+) -> ColumnPool:
+    """Materialise workers ``[lo, hi)`` of one relation's lazy pool.
+
+    Re-routes every contribution's blocks, keeps only destinations in
+    the shard, and merges through a :class:`PoolBuilder`.
+    ``extra_blocks`` lets callers mix in already-delivered eager pools
+    of the same relation (pre-sharded to ``[lo, hi)``); more than one
+    total stream clears ``source_sorted`` exactly like the monolithic
+    multi-stage path.
+    """
+    arity = None
+    for block in extra_blocks:
+        arity = len(block.columns)
+        break
+    if arity is None:
+        for contribution in contributions:
+            arity = len(contribution.columns)
+            break
+    builder = PoolBuilder(hi - lo, arity=arity)
+    for index, block in enumerate(extra_blocks):
+        builder.append(
+            block,
+            stream=("extra", index),
+            sorted_block=block.source_sorted,
+        )
+    for index, contribution in enumerate(contributions):
+        step = contribution.step
+        for start, end in iter_blocks(
+            contribution.num_rows, contribution.chunk_rows
+        ):
+            block = tuple(
+                column[start:end] for column in contribution.columns
+            )
+            columns, destinations, row_indices = step.route_columns(
+                block, p
+            )
+            builder.append(
+                bin_block(columns, destinations, row_indices, p, lo, hi),
+                stream=("lazy", index),
+                sorted_block=contribution.source_sorted,
+            )
+    return builder.finalize()
+
+
+def plan_worker_shards(
+    byte_counts: Any, num_workers: int, shard_bytes: int
+) -> list[tuple[int, int]]:
+    """Contiguous worker ranges whose pooled bytes fit the budget.
+
+    ``byte_counts`` holds the pooled bytes each worker's fragments
+    would occupy; ranges are grown greedily until adding the next
+    worker would exceed ``shard_bytes`` (every range holds at least
+    one worker, so oversized single workers still evaluate -- just
+    over budget, which is the best any contiguous split can do).
+    """
+    shards: list[tuple[int, int]] = []
+    lo = 0
+    while lo < num_workers:
+        hi = lo + 1
+        running = int(byte_counts[lo])
+        while (
+            hi < num_workers
+            and running + int(byte_counts[hi]) <= shard_bytes
+        ):
+            running += int(byte_counts[hi])
+            hi += 1
+        shards.append((lo, hi))
+        lo = hi
+    return shards

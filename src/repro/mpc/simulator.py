@@ -201,6 +201,12 @@ class MPCSimulator:
         # like mailboxes: workers remember everything they received).
         self._pools: dict[str, list[ColumnPool]] = {}
         self._merged_pools: dict[str, ColumnPool] = {}
+        # Streamed (lazy) deliveries per relation: re-routable recipes
+        # plus per-worker delivered tuple counts.  Loads were accounted
+        # when the contribution was staged; rows are materialised on
+        # demand one worker shard at a time (never into mailboxes).
+        self._lazy: dict[str, list[Any]] = {}
+        self._lazy_counts: dict[str, Any] = {}
         # Relations that ever received row-path deliveries; their
         # pools (if any) are incomplete, so fleet-wide consumers must
         # fall back to the per-worker mailbox view.
@@ -211,6 +217,7 @@ class MPCSimulator:
         p = self.config.p
         self._staged_rows: dict[tuple[int, str], list[tuple[int, ...]]] = {}
         self._staged_columns: list[_ColumnStage] = []
+        self._staged_lazy: list[tuple[str, Any, Any]] = []
         self._received_bits = [0] * p
         self._received_tuples = [0] * p
 
@@ -243,6 +250,8 @@ class MPCSimulator:
         self._round_index = 0
         self._pools.clear()
         self._merged_pools.clear()
+        self._lazy.clear()
+        self._lazy_counts.clear()
         self._row_delivered.clear()
         self._reset_staging()
 
@@ -287,6 +296,7 @@ class MPCSimulator:
             self._mailboxes[receiver].deliver_rows(relation, rows)
             self._row_delivered.add(relation)
         self._deliver_column_pools()
+        self._commit_lazy()
         stats = RoundStats(
             round_index=self._round_index,
             received_bits=tuple(self._received_bits),
@@ -321,6 +331,27 @@ class MPCSimulator:
                     self._mailboxes[worker].deliver_columns(
                         relation, pool.worker_slice(worker)
                     )
+
+    def _commit_lazy(self) -> None:
+        """Commit the round's streamed deliveries as worker state.
+
+        Mirrors pool delivery semantics: contributions staged during a
+        round only become part of the fleet's delivered state once the
+        round closes under its capacity budget -- a round that raises
+        :class:`CapacityExceeded` leaves the contribution unstaged,
+        exactly as a monolithic delivery would never have pooled.
+        """
+        if not self._staged_lazy:
+            return
+        numpy = require_numpy()
+        for relation, contribution, counts in self._staged_lazy:
+            self._lazy.setdefault(relation, []).append(contribution)
+            existing = self._lazy_counts.get(relation)
+            if existing is None:
+                self._lazy_counts[relation] = counts.astype(numpy.int64)
+            else:
+                self._lazy_counts[relation] = existing + counts
+            self._merged_pools.pop(relation, None)
 
     def _build_pool(self, stages: list[_ColumnStage]) -> ColumnPool:
         """Gather one relation's stages into a worker-grouped pool."""
@@ -507,6 +538,39 @@ class MPCSimulator:
             )
         )
 
+    def stage_lazy_columns(
+        self,
+        sender: Endpoint,
+        relation: str,
+        contribution: Any,
+        counts: Any,
+        bits_per_tuple: int,
+    ) -> None:
+        """Stage one streamed routing step without materialising rows.
+
+        The streaming engine's ship verb: ``counts`` is the per-worker
+        delivered-tuple bincount its counting pass computed (identical
+        totals to :meth:`send_columns`' own bincount by construction),
+        and ``contribution`` is a re-routable delivery recipe (a
+        :class:`~repro.engine.streaming.LazyContribution`).  Load is
+        accounted immediately; the recipe becomes part of the fleet's
+        delivered state at :meth:`end_round` -- after the capacity
+        check, like every other delivery -- and its rows are
+        materialised on demand, one worker shard at a time, through
+        :meth:`pool_shard`.  Mailboxes are never populated: streamed
+        relations are consumed through the pool/shard interface only.
+        """
+        self._validate_send(sender, None, bits_per_tuple)
+        if len(counts) != self.config.p:
+            raise ProtocolError(
+                f"{len(counts)} worker counts for {self.config.p} workers"
+            )
+        for worker, count in enumerate(counts.tolist()):
+            if count:
+                self._received_bits[worker] += count * bits_per_tuple
+                self._received_tuples[worker] += count
+        self._staged_lazy.append((relation, contribution, counts))
+
     def send_from_input(
         self,
         relation: str,
@@ -564,6 +628,93 @@ class MPCSimulator:
         """Columnar fragments of ``relation`` held by ``worker``."""
         return self._mailboxes[worker].column_batches(relation)
 
+    def has_lazy_deliveries(self, relation: str) -> bool:
+        """Whether ``relation`` has streamed (recipe-only) deliveries.
+
+        True means :meth:`relation_pool` would *materialise* the full
+        pool (a memory cliff the streaming mode exists to avoid);
+        shard-wise consumers should iterate :meth:`pool_shard` ranges
+        instead.
+        """
+        return relation in self._lazy
+
+    def has_row_deliveries(self, relation: str) -> bool:
+        """Whether ``relation`` ever received row-path deliveries."""
+        return relation in self._row_delivered
+
+    def has_eager_pools(self, relation: str) -> bool:
+        """Whether ``relation`` holds materialised delivery pools."""
+        return bool(self._pools.get(relation))
+
+    def lazy_contributions(self, relation: str) -> tuple:
+        """The streamed delivery recipes of one relation (may be empty)."""
+        return tuple(self._lazy.get(relation, ()))
+
+    def pool_worker_counts(self, relation: str) -> Any | None:
+        """Per-worker delivered tuple counts, without materialising.
+
+        Covers eager pools and streamed contributions alike; None
+        exactly when :meth:`relation_pool` would return None (row-path
+        deliveries present, or nothing columnar delivered).
+        """
+        if relation in self._row_delivered:
+            return None
+        pools = self._pools.get(relation)
+        lazy_counts = self._lazy_counts.get(relation)
+        if not pools and lazy_counts is None:
+            return None
+        numpy = require_numpy()
+        counts = numpy.zeros(self.config.p, dtype=numpy.int64)
+        for pool in pools or ():
+            counts += pool.offsets[1:] - pool.offsets[:-1]
+        if lazy_counts is not None:
+            counts += lazy_counts
+        return counts
+
+    def pool_worker_bytes(self, relation: str) -> Any | None:
+        """Per-worker pooled bytes of ``relation`` (shard planning)."""
+        counts = self.pool_worker_counts(relation)
+        if counts is None:
+            return None
+        arity = 0
+        pools = self._pools.get(relation)
+        if pools:
+            arity = len(pools[0].columns)
+        for contribution in self._lazy.get(relation, ()):
+            arity = max(arity, len(contribution.columns))
+        return counts * (arity * 8)
+
+    def pool_shard(
+        self, relation: str, lo: int, hi: int
+    ) -> ColumnPool | None:
+        """Workers ``[lo, hi)`` of one relation's delivery pool.
+
+        The shard-wise counterpart of :meth:`relation_pool`: eager
+        pools contribute zero-copy :meth:`ColumnPool.shard` views,
+        streamed contributions are re-routed and materialised for this
+        worker range only, and multiple sources merge through the
+        streaming :class:`~repro.engine.streaming.PoolBuilder`.  Peak
+        memory is the shard, never the fleet.  None exactly when
+        :meth:`relation_pool` would return None.
+        """
+        if relation in self._row_delivered:
+            return None
+        pools = self._pools.get(relation)
+        lazy = self._lazy.get(relation)
+        if not pools and not lazy:
+            return None
+        if not lazy and len(pools) == 1:
+            return pools[0].shard(lo, hi)
+        from repro.engine.streaming import materialize_shard
+
+        return materialize_shard(
+            lazy or (),
+            lo,
+            hi,
+            self.config.p,
+            extra_blocks=[pool.shard(lo, hi) for pool in pools or ()],
+        )
+
     def relation_pool(self, relation: str) -> ColumnPool | None:
         """The fleet-wide delivery pool of one relation, or None.
 
@@ -577,9 +728,17 @@ class MPCSimulator:
         or when any delivery travelled the row path (mixed storage:
         the pool would be incomplete, so callers must fall back to the
         per-worker mailbox view).
+
+        Streamed deliveries (see :meth:`stage_lazy_columns`) are
+        materialised *in full* here -- the correctness fallback, never
+        cached.  Memory-conscious consumers check
+        :meth:`has_lazy_deliveries` and iterate :meth:`pool_shard`
+        worker ranges instead.
         """
         if relation in self._row_delivered:
             return None
+        if relation in self._lazy:
+            return self.pool_shard(relation, 0, self.config.p)
         pools = self._pools.get(relation)
         if not pools:
             return None
@@ -598,23 +757,51 @@ class MPCSimulator:
 
         Returns ``[(lo, hi, shard pool), ...]`` covering workers
         ``[0, p)`` in at most ``num_shards`` near-equal contiguous
-        ranges (empty ranges are skipped), or None exactly when
-        :meth:`relation_pool` would return None.  Each shard is a
-        zero-copy view over the merged pool, so handing shards to
-        executor processes shares pages instead of copying rows.
+        ranges, or None exactly when :meth:`relation_pool` would
+        return None.  Eager pools are sliced zero-copy; streamed
+        deliveries are materialised per shard (the full pool never
+        exists at once on the producing side -- each shard is an
+        independent :meth:`pool_shard` call, so parallel consumers can
+        fan route *and* ship/deliver out per shard).
         """
-        pool = self.relation_pool(relation)
-        if pool is None:
-            return None
-        p = pool.num_workers
         if num_shards < 1:
             raise ValueError(f"need num_shards >= 1, got {num_shards}")
+        if relation in self._row_delivered:
+            return None
+        if not self._pools.get(relation) and relation not in self._lazy:
+            return None
+        p = self.config.p
         per_shard = -(-p // num_shards)  # ceil division
         shards = []
         for lo in range(0, p, per_shard):
             hi = min(lo + per_shard, p)
-            shards.append((lo, hi, pool.shard(lo, hi)))
+            shards.append((lo, hi, self.pool_shard(relation, lo, hi)))
         return shards
+
+    def iter_relation_pool_shards(
+        self, relation: str, shard_bytes: int | None = None
+    ):
+        """Budget-driven generator of ``(lo, hi, pool)`` worker shards.
+
+        Shard boundaries come from
+        :func:`~repro.engine.streaming.plan_worker_shards` over the
+        relation's per-worker pooled bytes: each yielded pool holds at
+        most ``shard_bytes`` of rows (single oversized workers
+        excepted), and only one shard is alive at a time -- the
+        memory contract of streamed local evaluation.  Yields nothing
+        when the relation has no (complete) columnar deliveries.
+        """
+        from repro.engine.streaming import (
+            plan_worker_shards,
+            resolve_shard_bytes,
+        )
+
+        byte_counts = self.pool_worker_bytes(relation)
+        if byte_counts is None:
+            return
+        budget = resolve_shard_bytes(shard_bytes)
+        for lo, hi in plan_worker_shards(byte_counts, self.config.p, budget):
+            yield lo, hi, self.pool_shard(relation, lo, hi)
 
     def _merge_pools(self, pools: list[ColumnPool]) -> ColumnPool:
         """Merge several rounds' pools into one worker-grouped pool.

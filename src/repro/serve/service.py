@@ -203,6 +203,15 @@ class QueryService:
             either way.
         parallel_min_rows: sources below this row count route
             in-process even when ``workers >= 2``.
+        chunk_rows: streaming block size for every execution (numpy
+            backend only).  When set, shardable routing steps stream
+            in ``chunk_rows``-row blocks with lazy delivery pools, so
+            peak memory per request is bounded by the block and shard
+            budgets instead of the full delivery volume -- answers,
+            loads and capacity behaviour stay bit-identical.  None
+            (the default) defers to the ``REPRO_CHUNK_ROWS``
+            environment knob; streaming executions bypass the routing
+            cache.
     """
 
     def __init__(
@@ -226,6 +235,7 @@ class QueryService:
         profile: bool = True,
         workers: int = 1,
         parallel_min_rows: int | None = None,
+        chunk_rows: int | None = None,
     ) -> None:
         if algorithm not in algorithm_names():
             raise ValueError(
@@ -275,6 +285,7 @@ class QueryService:
         self._simulators: dict[tuple, MPCSimulator] = {}
         self.workers = workers
         self._parallel_min_rows = parallel_min_rows
+        self.chunk_rows = chunk_rows
         self._parallel: Any = None
         self._parallel_failed = False
 
@@ -604,6 +615,7 @@ class QueryService:
                 routed_cache=routed_cache,
                 relation_map=relation_map,
                 parallel=parallel,
+                chunk_rows=self.chunk_rows,
             )
         except CapacityExceeded as exc:
             error = exc

@@ -52,11 +52,15 @@ class TestSpeedupFields:
         assert fields == {"parallel_speedup": 3.4}
 
 
+def _entry(fields, cores=None, gate_cores=None):
+    return {"fields": fields, "cores": cores, "gate_cores": gate_cores}
+
+
 class TestCompare:
     def test_within_tolerance_passes(self, trend):
         regressions, notes = trend.compare(
-            {"BENCH_a.json": {"speedup": 5.0}},
-            {"BENCH_a.json": {"speedup": 4.5}},
+            {"BENCH_a.json": _entry({"speedup": 5.0})},
+            {"BENCH_a.json": _entry({"speedup": 4.5})},
             tolerance=0.2,
         )
         assert regressions == []
@@ -64,8 +68,8 @@ class TestCompare:
 
     def test_regression_beyond_tolerance_fails(self, trend):
         regressions, _ = trend.compare(
-            {"BENCH_a.json": {"speedup": 5.0}},
-            {"BENCH_a.json": {"speedup": 3.9}},
+            {"BENCH_a.json": _entry({"speedup": 5.0})},
+            {"BENCH_a.json": _entry({"speedup": 3.9})},
             tolerance=0.2,
         )
         assert len(regressions) == 1
@@ -73,13 +77,73 @@ class TestCompare:
 
     def test_new_and_dropped_benchmarks_are_notes(self, trend):
         regressions, notes = trend.compare(
-            {"BENCH_old.json": {"speedup": 2.0}},
-            {"BENCH_new.json": {"speedup": 9.0}},
+            {"BENCH_old.json": _entry({"speedup": 2.0})},
+            {"BENCH_new.json": _entry({"speedup": 9.0})},
             tolerance=0.2,
         )
         assert regressions == []
         assert any("previous run only" in note for note in notes)
         assert any("new benchmark" in note for note in notes)
+
+    def test_core_count_change_skips_the_comparison(self, trend):
+        # A 4-core baseline against a 1-core rerun would be a fake
+        # regression; the file is skipped wholesale with a note.
+        regressions, notes = trend.compare(
+            {"BENCH_a.json": _entry({"speedup": 4.0}, cores=4)},
+            {"BENCH_a.json": _entry({"speedup": 0.9}, cores=1)},
+            tolerance=0.2,
+        )
+        assert regressions == []
+        assert any("cores changed (4 -> 1)" in note for note in notes)
+
+    def test_below_gate_threshold_skips_the_comparison(self, trend):
+        # BENCH_parallel.json recorded parallel_speedup 0.916 on a
+        # 1-core runner: never a perf claim, never a baseline.
+        entry = _entry({"parallel_speedup": 0.916}, cores=1, gate_cores=4)
+        worse = _entry({"parallel_speedup": 0.5}, cores=1, gate_cores=4)
+        regressions, notes = trend.compare(
+            {"BENCH_parallel.json": entry},
+            {"BENCH_parallel.json": worse},
+            tolerance=0.2,
+        )
+        assert regressions == []
+        assert any("below the 4-core speedup gate" in note for note in notes)
+
+    def test_missing_core_metadata_still_compares(self, trend):
+        # Pre-cores artifacts keep trending: nothing proves the runs
+        # differ, and dropping coverage silently would be worse.
+        regressions, _ = trend.compare(
+            {"BENCH_a.json": _entry({"speedup": 5.0})},
+            {"BENCH_a.json": _entry({"speedup": 1.0}, cores=4)},
+            tolerance=0.2,
+        )
+        assert len(regressions) == 1
+
+    def test_at_or_above_gate_compares(self, trend):
+        regressions, _ = trend.compare(
+            {"BENCH_a.json": _entry({"speedup": 4.0}, cores=4, gate_cores=4)},
+            {"BENCH_a.json": _entry({"speedup": 1.0}, cores=4, gate_cores=4)},
+            tolerance=0.2,
+        )
+        assert len(regressions) == 1
+
+
+class TestCollect:
+    def test_collect_reads_cores_and_gate(self, trend, tmp_path):
+        _write(
+            tmp_path,
+            "BENCH_x.json",
+            {"speedup": 3.0, "cores": 2, "speedup_gate_cores": 4},
+        )
+        _write(tmp_path, "BENCH_y.json", {"seconds": 1.0})  # no claim
+        collected = trend.collect(str(tmp_path))
+        assert collected == {
+            "BENCH_x.json": {
+                "fields": {"speedup": 3.0},
+                "cores": 2,
+                "gate_cores": 4,
+            }
+        }
 
 
 class TestMain:

@@ -133,6 +133,9 @@ class Statement:
     eps: Fraction | None = None
     algorithm: str | None = None
     allow_partial: bool = False
+    #: Latency budget in milliseconds, counted from the moment the
+    #: statement starts executing; None = no deadline.
+    deadline_ms: float | None = None
 
     @property
     def text(self) -> str:
@@ -144,7 +147,10 @@ class Statement:
 
         Two statements with equal keys, executed at the same database
         version, return identical responses -- the coalescing key of
-        the RPC front end.
+        the RPC front end.  ``deadline_ms`` is part of the key: two
+        requests with different budgets must not share one in-flight
+        execution (the shorter budget could poison the longer one's
+        answer with a DeadlineExceeded).
         """
         return (
             str(self.query),
@@ -152,6 +158,7 @@ class Statement:
             self.eps,
             self.algorithm,
             self.allow_partial,
+            self.deadline_ms,
         )
 
     def plan(self) -> PlannerChoice:
@@ -187,6 +194,9 @@ class Statement:
                 eligible algorithm at the pinned ``eps``.
             CapacityExceeded: when the session enforces capacity and
                 a worker overflowed.
+            DeadlineExceeded: when the statement carries a
+                ``deadline_ms`` budget and it ran out at a cooperative
+                checkpoint.
         """
         return self.session._execute(self, profiler)
 
@@ -272,6 +282,9 @@ class Session:
             delivered volume.  None defers to ``REPRO_CHUNK_ROWS``;
             answers, loads and capacity behaviour are identical for
             every chunk size.
+        worker_join_timeout: seconds :meth:`close` waits for each
+            fan-out worker process before killing it (stragglers are
+            counted in the pool's ``killed_stragglers``).
     """
 
     def __init__(
@@ -298,6 +311,7 @@ class Session:
         profile: bool = True,
         workers: int = 1,
         chunk_rows: int | None = None,
+        worker_join_timeout: float = 5.0,
     ) -> None:
         # Serializes every touch of the unsynchronized underlying
         # state: the service's plan/routing/result caches and pooled
@@ -370,7 +384,10 @@ class Session:
                 chunk_rows=chunk_rows,
             )
             self._fanout = SessionWorkerPool(
-                self._service.database, options, workers
+                self._service.database,
+                options,
+                workers,
+                join_timeout=worker_join_timeout,
             )
 
     # -- construction of statements -----------------------------------------
@@ -382,6 +399,7 @@ class Session:
         eps: Any = _UNSET,
         algorithm: str | None = None,
         allow_partial: bool = False,
+        deadline_ms: float | None = None,
     ) -> Statement:
         """Prepare a statement (nothing executes yet).
 
@@ -397,9 +415,20 @@ class Session:
             allow_partial: permit the inexact below-threshold
                 algorithm to win the duel (needs a pinned ``eps``
                 below the query's space exponent to ever matter).
+            deadline_ms: per-execution latency budget in
+                milliseconds; the budget starts counting when
+                ``.execute()`` is called (covering planning and
+                execution) and raises
+                :class:`~repro.engine.deadline.DeadlineExceeded` at
+                the first cooperative checkpoint past it.  None (the
+                default) means no deadline.
         """
         if isinstance(query, str):
             query = parse_query(query)
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError(
+                f"need deadline_ms > 0, got {deadline_ms}"
+            )
         statement_eps = (
             self.default_eps if eps is _UNSET
             else None if eps is None
@@ -413,6 +442,9 @@ class Session:
                 self.default_algorithm if algorithm is None else algorithm
             ),
             allow_partial=allow_partial,
+            deadline_ms=(
+                None if deadline_ms is None else float(deadline_ms)
+            ),
         )
 
     def execute(self, query: str | ConjunctiveQuery, **options: Any) -> Result:
@@ -577,6 +609,11 @@ class Session:
     def _execute(
         self, statement: Statement, profiler: RoundProfiler | None
     ) -> Result:
+        from repro.engine.deadline import Deadline
+
+        # The budget starts here, covering planning and (for fan-out)
+        # dispatch; the worker gets whatever is left of it.
+        deadline = Deadline.after_ms(statement.deadline_ms)
         if (
             self._fanout is not None
             and self._fanout.usable
@@ -591,6 +628,11 @@ class Session:
                     statement.eps,
                     statement.algorithm,
                     statement.allow_partial,
+                    deadline_ms=(
+                        None
+                        if deadline is None
+                        else max(deadline.remaining_ms(), 0.001)
+                    ),
                 )
                 return Result(raw=raw, explain=explain)
             except FanoutBroken:
@@ -606,6 +648,7 @@ class Session:
                 profiler,
                 algorithm=choice.algorithm,
                 eps=choice.eps,
+                deadline=deadline,
             )
         return Result(raw=raw, explain=choice.explain)
 

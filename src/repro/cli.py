@@ -541,7 +541,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
         try:
             asyncio.run(
-                serve_tcp(session, host=args.host, port=args.tcp)
+                serve_tcp(
+                    session,
+                    host=args.host,
+                    port=args.tcp,
+                    max_inflight=args.max_inflight,
+                    max_queue=args.max_queue,
+                    quota_rps=args.quota_rps,
+                    quota_burst=args.quota_burst,
+                    idle_timeout=args.idle_timeout,
+                    metrics_port=args.metrics_port,
+                )
             )
         except KeyboardInterrupt:
             print("rpc server stopped")
@@ -823,6 +833,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--host",
         default="127.0.0.1",
         help="bind address for --tcp",
+    )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="with --tcp, expose Prometheus text metrics over HTTP on "
+        "PORT (0 picks a free port; default: no metrics listener)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=0,
+        help="with --tcp, admit at most N queries at once and queue "
+        "the rest (0, the default, disables admission control)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        help="with --tcp, queue depth behind --max-inflight; excess "
+        "requests are shed with a ServerOverloaded error",
+    )
+    serve.add_argument(
+        "--quota-rps",
+        type=float,
+        default=None,
+        help="with --tcp, per-client token-bucket rate limit in "
+        "requests/second (default: no quota)",
+    )
+    serve.add_argument(
+        "--quota-burst",
+        type=float,
+        default=None,
+        help="with --tcp, token-bucket burst size "
+        "(default: max(2 * quota-rps, 1))",
+    )
+    serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --tcp, drop connections idle for more than SECONDS "
+        "(default: keep idle connections open)",
     )
     serve.add_argument(
         "--plan-cache-size", type=int, default=128,

@@ -40,6 +40,7 @@ execution is packaged as an immutable :class:`~repro.engine.plan.Plan`
 layer's plan/routing/result caches build on.
 """
 
+from repro.engine.deadline import Deadline, DeadlineExceeded
 from repro.engine.executor import (
     PlanExecution,
     RoundEngine,
@@ -85,6 +86,8 @@ from repro.engine.steps import (
 
 __all__ = [
     "CollectAnswers",
+    "Deadline",
+    "DeadlineExceeded",
     "FinalizeView",
     "FixpointSpec",
     "HeavyBind",

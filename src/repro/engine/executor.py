@@ -46,6 +46,7 @@ from typing import Any, Mapping, MutableMapping, Sequence
 
 from repro.backend import NUMPY, resolve_backend
 from repro.data.columnar import ColumnarDatabase, ColumnarRelation
+from repro.engine.deadline import Deadline
 from repro.engine.plan import (
     CollectAnswers,
     FinalizeView,
@@ -101,6 +102,12 @@ class RoundEngine:
             ``O(n x replication)``.  Answers, per-server loads and
             capacity behaviour are bit-identical to the monolithic
             path; None (the default) is exactly today's code.
+        deadline: optional per-request latency budget, checked
+            cooperatively between streamed blocks (never
+            mid-primitive).  Capacity precedence is preserved: the
+            deadline is never consulted at round close, so a round
+            that both overflows and overruns raises
+            ``CapacityExceeded``.
     """
 
     def __init__(
@@ -109,6 +116,7 @@ class RoundEngine:
         backend: str | None = None,
         profiler: RoundProfiler | None = None,
         chunk_rows: int | None = None,
+        deadline: Deadline | None = None,
     ) -> None:
         self.simulator = simulator
         self.backend = (
@@ -118,6 +126,7 @@ class RoundEngine:
         )
         self.profiler = profiler
         self.chunk_rows = chunk_rows
+        self.deadline = deadline
 
     def _measure(self, phase: str):
         if self.profiler is None:
@@ -231,13 +240,21 @@ class RoundEngine:
         from repro.backend import require_numpy
         from repro.engine.streaming import iter_blocks
 
+        from repro.serve.faults import block_delay_seconds
+
         numpy = require_numpy()
         simulator = self.simulator
         p = simulator.num_workers
         counts = numpy.zeros(p, dtype=numpy.int64)
         profiler = self.profiler
+        deadline = self.deadline
+        block_delay = block_delay_seconds()
         round_index = simulator.round_index
         for start, end in iter_blocks(len(source), self.chunk_rows):
+            if deadline is not None:
+                deadline.check("streamed block")
+            if block_delay > 0:
+                _time.sleep(block_delay)
             began = _time.perf_counter()
             block = tuple(column[start:end] for column in source.columns)
             _, destinations, _ = step.route_columns(block, p)
@@ -461,6 +478,7 @@ def execute_plan(
     input_bits: int | None = None,
     parallel: Any = None,
     chunk_rows: int | None = None,
+    deadline: Deadline | None = None,
 ) -> PlanExecution:
     """Execute a compiled plan against a database.
 
@@ -506,6 +524,12 @@ def execute_plan(
             materialise the routing decision a cache entry would
             hold); answers, loads and capacity failures stay
             bit-identical for every chunk size.
+        deadline: optional per-request latency budget.  Checked
+            cooperatively -- before each round, between streamed
+            blocks, between local-evaluation shards, and before the
+            finalize -- never mid-primitive, so an abandoned execution
+            leaves a pooled simulator reusable after ``reset()``
+            exactly like a capacity failure does.
 
     Returns:
         A :class:`PlanExecution` with answers, loads and views.
@@ -513,7 +537,11 @@ def execute_plan(
     Raises:
         CapacityExceeded: when the plan enforces capacity and a worker
             overflows -- identically for fresh and cache-replayed
-            routing.
+            routing.  Takes precedence over the deadline when a round
+            both overflows and overruns (the round-close check fires
+            first).
+        DeadlineExceeded: when ``deadline`` expires at a cooperative
+            checkpoint.
         ValueError: for fixpoint plans (those are executed by their
             algorithm's driver).
     """
@@ -550,11 +578,13 @@ def execute_plan(
         engine: RoundEngine = ParallelRoundEngine(
             simulator, parallel_ctx, profiler=profiler,
             chunk_rows=chunk_rows if streaming else None,
+            deadline=deadline,
         )
     else:
         engine = RoundEngine(
             simulator, profiler=profiler,
             chunk_rows=chunk_rows if streaming else None,
+            deadline=deadline,
         )
 
     domain_size = getattr(database, "domain_size", None)
@@ -591,7 +621,13 @@ def execute_plan(
 
     environment.resolver = resolve_view
 
+    from repro.serve.faults import inject_round_delay, round_delay_seconds
+
+    fault_round_delay = round_delay_seconds()
     for round_index, plan_round in enumerate(plan.rounds):
+        inject_round_delay(fault_round_delay)
+        if deadline is not None:
+            deadline.check("between rounds")
         steps = plan_round.steps
         routed: dict[int, RoutedStep] = {}
         if routed_cache is not None:
@@ -677,6 +713,7 @@ def execute_plan(
                 key_of=key_of,
                 profiler=profiler,
                 parallel=parallel_ctx,
+                deadline=deadline,
             )
             environment[view.name] = materialised
             view_sizes[view.name] = len(materialised)
@@ -684,6 +721,8 @@ def execute_plan(
 
     for name in list(pending):
         resolve_view(name)
+    if deadline is not None:
+        deadline.check("before finalize")
     answers: tuple[tuple[int, ...], ...] = ()
     per_server: tuple[int, ...] = ()
     finalize = plan.finalize
@@ -696,6 +735,7 @@ def execute_plan(
             key_of=key_map_of(finalize.key_map),
             profiler=profiler,
             parallel=parallel_ctx,
+            deadline=deadline,
         )
         per_server = tuple(
             list(counts) + [0] * (plan.signature.p - finalize.workers)

@@ -41,6 +41,7 @@ from repro.algorithms.localjoin import (
 )
 from repro.core.query import ConjunctiveQuery
 from repro.data.columnar import ColumnarRelation
+from repro.engine.deadline import Deadline
 from repro.engine.profile import RoundProfiler
 from repro.mpc.simulator import ColumnPool, MPCSimulator
 
@@ -483,6 +484,7 @@ def sharded_answer_table(
     parallel: Any = None,
     profiler: RoundProfiler | None = None,
     shard_bytes: int | None = None,
+    deadline: Deadline | None = None,
 ):
     """All workers' answers, one bounded worker shard at a time.
 
@@ -513,6 +515,8 @@ def sharded_answer_table(
     if results is None:
         results = []
         for lo, hi in shards:
+            if deadline is not None:
+                deadline.check("local-eval shard")
             began = time.perf_counter()
             results.append(
                 _eval_shard_local(query, simulator, lo, hi, key_of)
@@ -544,6 +548,7 @@ def _merged_answer_table(
     segmented: bool | None = None,
     parallel: Any = None,
     profiler: RoundProfiler | None = None,
+    deadline: Deadline | None = None,
 ):
     """Dispatch: segmented fleet-wide join, per-worker loop fallback.
 
@@ -574,6 +579,7 @@ def _merged_answer_table(
             key_of,
             parallel=parallel,
             profiler=profiler,
+            deadline=deadline,
         )
         if result is not None:
             return result
@@ -616,6 +622,7 @@ def collect_answers(
     segmented: bool | None = None,
     profiler: RoundProfiler | None = None,
     parallel: Any = None,
+    deadline: Deadline | None = None,
 ) -> tuple[tuple[tuple[int, ...], ...], list[int]]:
     """Evaluate ``query`` at every worker and union the results.
 
@@ -637,6 +644,7 @@ def collect_answers(
                 segmented,
                 parallel=parallel,
                 profiler=profiler,
+                deadline=deadline,
             )
             return tuple(map(tuple, merged.tolist())), per_server
         per_server: list[int] = []
@@ -659,6 +667,7 @@ def materialise_view(
     segmented: bool | None = None,
     profiler: RoundProfiler | None = None,
     parallel: Any = None,
+    deadline: Deadline | None = None,
 ) -> tuple[ColumnarRelation, list[int]]:
     """Materialise an operator's output view from all workers' answers.
 
@@ -683,6 +692,7 @@ def materialise_view(
                 segmented,
                 parallel=parallel,
                 profiler=profiler,
+                deadline=deadline,
             )
         view = _view_from_table(name, merged, arity, domain_size)
         return view, per_server

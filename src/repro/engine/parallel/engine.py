@@ -46,6 +46,7 @@ from typing import Any
 
 from repro.backend import NUMPY
 from repro.data.columnar import ColumnarRelation
+from repro.engine.deadline import Deadline
 from repro.engine.executor import RoundEngine, RoutedStep
 from repro.engine.parallel.pool import PoolBroken, ShardPool
 from repro.engine.parallel.shm import SegmentHandle, SharedColumnStore
@@ -161,12 +162,14 @@ class ParallelRoundEngine(RoundEngine):
         backend: str | None = None,
         profiler: RoundProfiler | None = None,
         chunk_rows: int | None = None,
+        deadline: Deadline | None = None,
     ) -> None:
         super().__init__(
             simulator,
             backend=backend,
             profiler=profiler,
             chunk_rows=chunk_rows,
+            deadline=deadline,
         )
         self.context = context
         self._round_routed = False
@@ -229,6 +232,10 @@ class ParallelRoundEngine(RoundEngine):
         self._round_routed = True
         if not self._eligible(step, source):
             return super()._stream_counts(step, source)
+        if self.deadline is not None:
+            # The fanned-out pass has no per-block checkpoint in the
+            # parent; check once before dispatching the shards.
+            self.deadline.check("streamed step dispatch")
         counts = self._stream_counts_sharded(step, source)
         if counts is None:
             return super()._stream_counts(step, source)

@@ -86,13 +86,18 @@ def _worker_main(
     connection: Any, export: DatabaseExport, options: dict
 ) -> None:
     """One executor process: a session over the shared snapshot."""
+    import os
     import resource
 
     from repro.api.session import Session, Statement
     from repro.data.versioned import VersionedDatabase
+    from repro.engine.deadline import DeadlineExceeded
     from repro.engine.parallel.shm import attach_snapshot, detach_all
     from repro.mpc.simulator import CapacityExceeded
+    from repro.serve.faults import worker_death_after
 
+    death_after = worker_death_after()
+    queries_handled = 0
     try:
         snapshot = attach_snapshot(export)
         database = VersionedDatabase(
@@ -113,6 +118,11 @@ def _worker_main(
             except EOFError:
                 break
             if op == "query":
+                queries_handled += 1
+                if death_after is not None and queries_handled >= death_after:
+                    # Injected fault: die hard (no reply, no cleanup),
+                    # exactly like an OOM kill at the worst moment.
+                    os._exit(1)
                 try:
                     statement = Statement(
                         session=session,
@@ -120,10 +130,22 @@ def _worker_main(
                         eps=payload["eps"],
                         algorithm=payload["algorithm"],
                         allow_partial=payload["allow_partial"],
+                        deadline_ms=payload.get("deadline_ms"),
                     )
                     result = statement.execute()
                     connection.send(
                         ("result", (result.raw, result.explain))
+                    )
+                except DeadlineExceeded as error:
+                    connection.send(
+                        (
+                            "deadline",
+                            {
+                                "where": error.where,
+                                "elapsed_ms": error.elapsed_ms,
+                                "budget_ms": error.budget_ms,
+                            },
+                        )
                     )
                 except CapacityExceeded as error:
                     connection.send(
@@ -167,10 +189,13 @@ def _worker_main(
 
 def _raise_worker_error(kind: str, value: Any) -> None:
     """Re-raise a worker-reported failure with its original type."""
+    from repro.engine.deadline import DeadlineExceeded
     from repro.mpc.simulator import CapacityExceeded
 
     if kind == "capacity":
         raise CapacityExceeded(**value)
+    if kind == "deadline":
+        raise DeadlineExceeded(**value)
     name, message = value
     from repro.core.query import QueryError
     from repro.data.database import DataError
@@ -201,6 +226,10 @@ class SessionWorkerPool:
             verbatim in every worker (workers are always built with
             ``workers=1`` -- fan-out does not nest).
         workers: executor process count (>= 2).
+        join_timeout: seconds to wait for each worker process at
+            shutdown before terminating it; stragglers that had to be
+            killed are counted in :attr:`killed_stragglers` rather
+            than silently ignored.
     """
 
     def __init__(
@@ -208,15 +237,23 @@ class SessionWorkerPool:
         database: Any,
         options: dict,
         workers: int,
+        join_timeout: float = 5.0,
     ) -> None:
         if workers < 2:
             raise ValueError(
                 f"statement fan-out needs workers >= 2, got {workers}"
             )
+        if join_timeout <= 0:
+            raise ValueError(
+                f"need join_timeout > 0, got {join_timeout}"
+            )
         self.workers = workers
+        self.join_timeout = float(join_timeout)
         self.broken = False
         self._closed = False
         self.queries = 0
+        #: Workers that ignored the shutdown join and had to be killed.
+        self.killed_stragglers = 0
         #: Guards ``queries``: N dispatcher threads bump it.
         self._stats_lock = threading.Lock()
         self._store = SharedColumnStore(prefix="reprofan")
@@ -271,6 +308,13 @@ class SessionWorkerPool:
         return True
 
     @property
+    def alive_workers(self) -> int:
+        """Worker processes currently alive (liveness gauge)."""
+        return sum(
+            1 for process in self._processes if process.is_alive()
+        )
+
+    @property
     def segment_names(self) -> tuple[str, ...]:
         """Live shared-segment names (leak assertions in tests)."""
         return self._store.names
@@ -283,6 +327,7 @@ class SessionWorkerPool:
         eps: Any,
         algorithm: str | None,
         allow_partial: bool,
+        deadline_ms: float | None = None,
     ) -> tuple[Any, Any]:
         """Execute one statement on an idle worker.
 
@@ -308,6 +353,7 @@ class SessionWorkerPool:
                         "eps": eps,
                         "algorithm": algorithm,
                         "allow_partial": allow_partial,
+                        "deadline_ms": deadline_ms,
                     },
                 )
             )
@@ -425,7 +471,7 @@ class SessionWorkerPool:
                 continue
         for connection in self._connections:
             try:
-                if connection.poll(5.0):
+                if connection.poll(self.join_timeout):
                     kind, value = connection.recv()
                     if kind == "closed":
                         with _PEAK_LOCK:
@@ -441,10 +487,11 @@ class SessionWorkerPool:
             except OSError:
                 pass
         for process in self._processes:
-            process.join(timeout=5.0)
+            process.join(timeout=self.join_timeout)
             if process.is_alive():
+                self.killed_stragglers += 1
                 process.terminate()
-                process.join(timeout=5.0)
+                process.join(timeout=self.join_timeout)
         self._store.close()
 
     def __enter__(self) -> "SessionWorkerPool":

@@ -25,7 +25,14 @@ across requests:
   aggregated into service-level counters.
 """
 
+from repro.serve.admission import (
+    AdmissionQueue,
+    ServerOverloaded,
+    TokenBucket,
+)
 from repro.serve.cache import CacheRebind, LRUCache, PlanCache
+from repro.serve.faults import FAULT_ENVS, FaultConfig, active_faults
+from repro.serve.metrics import Histogram, MetricsServer, render_metrics
 from repro.serve.rpc import RpcServer, RpcStats, serve_tcp
 from repro.serve.service import (
     QueryService,
@@ -34,13 +41,22 @@ from repro.serve.service import (
 )
 
 __all__ = [
+    "AdmissionQueue",
     "CacheRebind",
+    "FAULT_ENVS",
+    "FaultConfig",
+    "Histogram",
     "LRUCache",
+    "MetricsServer",
     "PlanCache",
     "QueryService",
     "RpcServer",
     "RpcStats",
+    "ServerOverloaded",
     "ServiceResult",
     "ServiceStats",
+    "TokenBucket",
+    "active_faults",
+    "render_metrics",
     "serve_tcp",
 ]

@@ -66,6 +66,24 @@ flight *coalesce* in both modes: they await the same execution future
 and each gets the shared result (counted in ``RpcStats.coalesced``).
 This is the cross-request batching the ROADMAP asks for -- the dual
 of the result cache, which only helps *after* an execution finishes.
+
+**Hardening.**  Production knobs, all off by default:
+
+* ``deadline_ms`` on a ``query`` request bounds its latency; overruns
+  come back as ``{"ok": false, "error_type": "DeadlineExceeded"}``.
+* ``max_inflight`` / ``max_queue`` bound concurrent query execution;
+  excess load is shed immediately with ``"ServerOverloaded"`` (reason
+  ``queue_full``) instead of queueing without limit.
+* ``quota_rps`` / ``quota_burst`` rate-limit each client (keyed by
+  the optional wire-level ``client_id``, else per connection);
+  over-quota requests shed with reason ``quota``.
+* ``idle_timeout`` closes connections that send nothing for that many
+  seconds (counted in :class:`RpcStats`).
+* Streamed ``batch`` lines are written incrementally -- peak memory
+  per streamed query is one batch, and ``writer.drain()`` pushes
+  client backpressure into the stream.
+* A :class:`~repro.serve.metrics.MetricsServer` (``repro serve --tcp
+  --metrics-port N``) exports everything in Prometheus text format.
 """
 
 from __future__ import annotations
@@ -82,7 +100,14 @@ from typing import TYPE_CHECKING
 
 from repro.core.query import QueryError
 from repro.data.database import DataError
+from repro.engine.deadline import DeadlineExceeded
 from repro.mpc.simulator import CapacityExceeded
+from repro.serve.admission import (
+    AdmissionQueue,
+    ServerOverloaded,
+    TokenBucket,
+)
+from repro.serve.metrics import Histogram
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a cycle)
     from repro.api.session import Session, Statement
@@ -92,6 +117,15 @@ MAX_LINE_BYTES = 4 * 1024 * 1024
 
 #: Default rows per ``batch`` line of a streamed query.
 DEFAULT_BATCH_ROWS = 1024
+
+#: Most token buckets kept at once; beyond this the oldest client's
+#: bucket is dropped (it re-fills to a full burst on reappearance --
+#: a bounded-memory tradeoff, not a correctness one).
+MAX_QUOTA_BUCKETS = 4096
+
+#: Ops a client quota applies to.  ``ping`` and ``stats`` stay exempt
+#: so health checks and scrapes keep working under overload.
+QUOTA_OPS = frozenset({"query", "explain", "update", "delete"})
 
 
 @dataclass
@@ -103,7 +137,19 @@ class RpcStats:
     errors: int = 0
     coalesced: int = 0
     streamed_batches: int = 0
+    #: Queries shed by the admission queue / by a client quota.
+    shed_overload: int = 0
+    shed_quota: int = 0
+    #: Requests that ran out of their ``deadline_ms`` budget.
+    deadline_exceeded: int = 0
+    #: Connections closed by the idle read timeout.
+    idle_timeouts: int = 0
+    #: Streamed responses cut short by a client disconnect.
+    aborted_streams: int = 0
     by_op: dict[str, int] = field(default_factory=dict)
+    #: Query latency (admission wait + execution + first write),
+    #: seconds -- the /metrics request histogram.
+    request_latency: Histogram = field(default_factory=Histogram)
 
     def count(self, op: str) -> None:
         self.requests += 1
@@ -148,6 +194,19 @@ class RpcServer:
             dispatch time if the pool breaks later -- the in-process
             execution path never runs from several threads (see the
             module docstring for the contract).
+        max_inflight: queries allowed to execute concurrently; 0 (the
+            default) disables admission control entirely.
+        max_queue: queries allowed to wait for an execution slot when
+            ``max_inflight`` is set; the next one is shed with
+            ``ServerOverloaded``.
+        quota_rps: per-client sustained requests/second; None (the
+            default) disables quotas.
+        quota_burst: per-client burst allowance; defaults to
+            ``max(2 * quota_rps, 1)`` when quotas are on.
+        idle_timeout: seconds of read inactivity after which a
+            connection is closed (one ``IdleTimeout`` notice is sent
+            best-effort first); None (the default) keeps connections
+            forever -- REPL clients idle legitimately.
     """
 
     def __init__(
@@ -158,12 +217,45 @@ class RpcServer:
         *,
         coalesce: bool = True,
         workers: int | None = None,
+        max_inflight: int = 0,
+        max_queue: int = 16,
+        quota_rps: float | None = None,
+        quota_burst: float | None = None,
+        idle_timeout: float | None = None,
     ) -> None:
         self.session = session
         self.host = host
         self.port = port
         self.coalesce = coalesce
         self.stats = RpcStats()
+        if max_inflight < 0:
+            raise ValueError(
+                f"need max_inflight >= 0, got {max_inflight}"
+            )
+        self.admission = (
+            AdmissionQueue(max_inflight, max_queue)
+            if max_inflight > 0
+            else None
+        )
+        if quota_rps is not None and quota_rps <= 0:
+            raise ValueError(f"need quota_rps > 0, got {quota_rps}")
+        self.quota_rps = quota_rps
+        self.quota_burst = (
+            None
+            if quota_rps is None
+            else (
+                max(2.0 * quota_rps, 1.0)
+                if quota_burst is None
+                else float(quota_burst)
+            )
+        )
+        #: client key -> its token bucket, insertion-ordered (bounded).
+        self._quotas: dict[str, TokenBucket] = {}
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ValueError(
+                f"need idle_timeout > 0, got {idle_timeout}"
+            )
+        self.idle_timeout = idle_timeout
         self._server: asyncio.AbstractServer | None = None
         # One control worker, always: explain/update/stats touch the
         # session's unsynchronized caches, and a strict execution
@@ -248,10 +340,37 @@ class RpcServer:
             self._clients.add(task)
             task.add_done_callback(self._clients.discard)
         self.stats.connections += 1
+        # The default quota identity: this connection.  A request that
+        # carries ``client_id`` is billed to that instead, so one
+        # logical client reconnecting (or fanning out connections)
+        # still shares one bucket.
+        connection_key = f"conn-{self.stats.connections}"
         try:
             while True:
                 try:
-                    line = await reader.readline()
+                    if self.idle_timeout is None:
+                        line = await reader.readline()
+                    else:
+                        line = await asyncio.wait_for(
+                            reader.readline(), timeout=self.idle_timeout
+                        )
+                except asyncio.TimeoutError:
+                    self.stats.idle_timeouts += 1
+                    try:
+                        await self._send(
+                            writer,
+                            {
+                                "ok": False,
+                                "error": (
+                                    "connection idle for more than "
+                                    f"{self.idle_timeout:g} s"
+                                ),
+                                "error_type": "IdleTimeout",
+                            },
+                        )
+                    except (ConnectionResetError, BrokenPipeError):
+                        pass
+                    break
                 except (
                     asyncio.LimitOverrunError,
                     ValueError,
@@ -266,7 +385,7 @@ class RpcServer:
                 text = line.decode("utf-8", errors="replace").strip()
                 if not text:
                     continue
-                await self._serve_line(text, writer)
+                await self._serve_line(text, writer, connection_key)
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
@@ -277,7 +396,10 @@ class RpcServer:
                 pass
 
     async def _serve_line(
-        self, text: str, writer: asyncio.StreamWriter
+        self,
+        text: str,
+        writer: asyncio.StreamWriter,
+        connection_key: str,
     ) -> None:
         request_id: Any = None
         try:
@@ -289,16 +411,35 @@ class RpcServer:
             if not isinstance(op, str):
                 raise QueryError("missing 'op'")
             self.stats.count(op)
-            for response in await self._dispatch(op, request):
+            if op in QUOTA_OPS:
+                self._check_quota(request, connection_key)
+            for response in await self._dispatch(
+                op, request, writer, request_id
+            ):
                 if request_id is not None:
                     response.setdefault("id", request_id)
                 await self._send(writer, response)
+        except (ConnectionResetError, BrokenPipeError):
+            # The client is gone; there is nobody to answer.  The
+            # _client loop closes the connection.
+            raise
         except json.JSONDecodeError as error:
             self.stats.errors += 1
             await self._send(
                 writer,
                 {"ok": False, "error": f"invalid json: {error}"},
             )
+        except ServerOverloaded as error:
+            self.stats.errors += 1
+            if error.reason == "quota":
+                self.stats.shed_quota += 1
+            else:
+                self.stats.shed_overload += 1
+            await self._send(writer, self._error(request_id, error))
+        except DeadlineExceeded as error:
+            self.stats.errors += 1
+            self.stats.deadline_exceeded += 1
+            await self._send(writer, self._error(request_id, error))
         except (QueryError, DataError, ValueError, KeyError) as error:
             self.stats.errors += 1
             await self._send(writer, self._error(request_id, error))
@@ -309,6 +450,26 @@ class RpcServer:
             self.stats.errors += 1
             await self._send(writer, self._error(request_id, error))
 
+    def _check_quota(self, request: dict, connection_key: str) -> None:
+        """Bill one request against its client's token bucket."""
+        if self.quota_rps is None:
+            return
+        client_id = request.get("client_id")
+        key = (
+            str(client_id)
+            if isinstance(client_id, (str, int))
+            else connection_key
+        )
+        bucket = self._quotas.pop(key, None)
+        if bucket is None:
+            bucket = TokenBucket(self.quota_rps, self.quota_burst)
+        # Re-insert (LRU by recency of use), then bound the store.
+        self._quotas[key] = bucket
+        while len(self._quotas) > MAX_QUOTA_BUCKETS:
+            self._quotas.pop(next(iter(self._quotas)))
+        if not bucket.try_acquire():
+            raise ServerOverloaded("quota", bucket.retry_after_ms())
+
     @staticmethod
     def _error(request_id: Any, error: Exception) -> dict:
         message = str(error) or error.__class__.__name__
@@ -317,6 +478,13 @@ class RpcServer:
             "error": message,
             "error_type": error.__class__.__name__,
         }
+        if isinstance(error, ServerOverloaded):
+            response["reason"] = error.reason
+            response["retry_after_ms"] = round(error.retry_after_ms, 3)
+        if isinstance(error, DeadlineExceeded):
+            response["where"] = error.where
+            response["elapsed_ms"] = round(error.elapsed_ms, 3)
+            response["budget_ms"] = error.budget_ms
         if request_id is not None:
             response["id"] = request_id
         return response
@@ -329,11 +497,17 @@ class RpcServer:
 
     # -- operations ---------------------------------------------------------
 
-    async def _dispatch(self, op: str, request: dict) -> list[dict]:
+    async def _dispatch(
+        self,
+        op: str,
+        request: dict,
+        writer: asyncio.StreamWriter,
+        request_id: Any,
+    ) -> list[dict]:
         if op == "ping":
             return [{"ok": True, "pong": True}]
         if op == "query":
-            return await self._op_query(request)
+            return await self._op_query(request, writer, request_id)
         if op == "explain":
             return [await self._op_explain(request)]
         if op in ("update", "delete"):
@@ -352,18 +526,46 @@ class RpcServer:
         algorithm = request.get("algorithm")
         if algorithm is not None and not isinstance(algorithm, str):
             raise QueryError("'algorithm' must be a string")
+        deadline_ms = request.get("deadline_ms")
+        if deadline_ms is not None:
+            if (
+                isinstance(deadline_ms, bool)
+                or not isinstance(deadline_ms, (int, float))
+                or deadline_ms <= 0
+            ):
+                raise QueryError(
+                    f"'deadline_ms' must be a positive number, "
+                    f"got {deadline_ms!r}"
+                )
         return self.session.query(
             q,
             eps=_parse_eps(request.get("eps")),
             algorithm=algorithm,
             allow_partial=bool(request.get("allow_partial", False)),
+            deadline_ms=deadline_ms,
         )
 
-    async def _op_query(self, request: dict) -> list[dict]:
+    async def _op_query(
+        self,
+        request: dict,
+        writer: asyncio.StreamWriter,
+        request_id: Any,
+    ) -> list[dict]:
         statement = self._statement(request)
+        stream = bool(request.get("stream"))
+        batch_rows = int(request.get("batch", DEFAULT_BATCH_ROWS))
+        if stream and batch_rows < 1:
+            raise QueryError(f"need batch >= 1, got {batch_rows}")
         start = time.perf_counter()
-        result, coalesced = await self._execute(statement)
-        elapsed_ms = (time.perf_counter() - start) * 1000
+        if self.admission is not None:
+            await self.admission.acquire()
+        try:
+            result, coalesced = await self._execute(statement)
+        finally:
+            if self.admission is not None:
+                self.admission.release()
+        elapsed = time.perf_counter() - start
+        self.stats.request_latency.observe(elapsed)
         summary = {
             "ok": True,
             "count": len(result.answers),
@@ -372,29 +574,44 @@ class RpcServer:
             "plan_hit": result.raw.plan_hit,
             "result_hit": result.raw.result_hit,
             "coalesced": coalesced,
-            "elapsed_ms": round(elapsed_ms, 3),
+            "elapsed_ms": round(elapsed * 1000, 3),
         }
-        if not request.get("stream"):
+        if not stream:
             summary["answers"] = [list(row) for row in result.answers]
             return [summary]
-        batch_rows = int(request.get("batch", DEFAULT_BATCH_ROWS))
-        if batch_rows < 1:
-            raise QueryError(f"need batch >= 1, got {batch_rows}")
-        lines: list[dict] = []
-        for index in range(0, len(result.answers), batch_rows):
-            lines.append(
-                {
+        # Batches are written incrementally: one batch is encoded and
+        # on the wire (with drain() applying the client's backpressure)
+        # before the next is built, so peak memory per streamed query
+        # is one batch rather than the whole result.
+        from repro.serve.faults import disconnect_after_batches
+
+        fault_after = disconnect_after_batches()
+        batches = 0
+        try:
+            for index in range(0, len(result.answers), batch_rows):
+                if fault_after is not None and batches >= fault_after:
+                    # Injected fault: the client vanished mid-stream.
+                    writer.transport.abort()
+                    raise ConnectionResetError(
+                        "injected mid-stream disconnect"
+                    )
+                line: dict[str, Any] = {
                     "batch": [
                         list(row)
                         for row in result.answers[index:index + batch_rows]
                     ]
                 }
-            )
-        self.stats.streamed_batches += len(lines)
+                if request_id is not None:
+                    line["id"] = request_id
+                await self._send(writer, line)
+                batches += 1
+                self.stats.streamed_batches += 1
+        except (ConnectionResetError, BrokenPipeError):
+            self.stats.aborted_streams += 1
+            raise
         summary["done"] = True
-        summary["batches"] = len(lines)
-        lines.append(summary)
-        return lines
+        summary["batches"] = batches
+        return [summary]
 
     async def _op_explain(self, request: dict) -> dict:
         statement = self._statement(request)
@@ -439,7 +656,58 @@ class RpcServer:
                 "errors": self.stats.errors,
                 "coalesced": self.stats.coalesced,
                 "streamed_batches": self.stats.streamed_batches,
+                "shed_overload": self.stats.shed_overload,
+                "shed_quota": self.stats.shed_quota,
+                "deadline_exceeded": self.stats.deadline_exceeded,
+                "idle_timeouts": self.stats.idle_timeouts,
+                "aborted_streams": self.stats.aborted_streams,
                 "by_op": dict(self.stats.by_op),
+            },
+            "admission": {
+                "enabled": self.admission is not None,
+                "max_inflight": (
+                    self.admission.max_inflight
+                    if self.admission is not None
+                    else 0
+                ),
+                "max_queue": (
+                    self.admission.max_queue
+                    if self.admission is not None
+                    else 0
+                ),
+                "inflight": (
+                    self.admission.inflight
+                    if self.admission is not None
+                    else 0
+                ),
+                "queued": (
+                    self.admission.queued
+                    if self.admission is not None
+                    else 0
+                ),
+                "admitted": (
+                    self.admission.stats.admitted
+                    if self.admission is not None
+                    else 0
+                ),
+                "shed": (
+                    self.admission.stats.shed
+                    if self.admission is not None
+                    else 0
+                ),
+                "peak_inflight": (
+                    self.admission.stats.peak_inflight
+                    if self.admission is not None
+                    else 0
+                ),
+                "peak_queued": (
+                    self.admission.stats.peak_queued
+                    if self.admission is not None
+                    else 0
+                ),
+                "quota_rps": self.quota_rps,
+                "quota_clients": len(self._quotas),
+                "idle_timeout": self.idle_timeout,
             },
             "service": {
                 "requests": service.requests,
@@ -456,6 +724,7 @@ class RpcServer:
                 "updates": service.updates,
                 "answers_served": service.answers_served,
                 "capacity_failures": service.capacity_failures,
+                "deadline_exceeded": service.deadline_exceeded,
             },
             "parallel": self._parallel_stats(),
             "planner": {
@@ -479,6 +748,12 @@ class RpcServer:
             "fanout_usable": bool(fanout is not None and fanout.usable),
             "fanout_queries": (
                 fanout.queries if fanout is not None else 0
+            ),
+            "fanout_alive_workers": (
+                fanout.alive_workers if fanout is not None else 0
+            ),
+            "fanout_killed_stragglers": (
+                fanout.killed_stragglers if fanout is not None else 0
             ),
             "parallel_rounds": service.parallel_rounds,
             "fallback_rounds": service.fallback_rounds,
@@ -532,6 +807,12 @@ async def serve_tcp(
     *,
     coalesce: bool = True,
     workers: int | None = None,
+    max_inflight: int = 0,
+    max_queue: int = 16,
+    quota_rps: float | None = None,
+    quota_burst: float | None = None,
+    idle_timeout: float | None = None,
+    metrics_port: int | None = None,
     ready: "asyncio.Event | None" = None,
     announce=print,
 ) -> None:
@@ -543,11 +824,37 @@ async def serve_tcp(
         coalesce: share in-flight identical statements.
         workers: query-dispatch thread count (see :class:`RpcServer`;
             None follows the session's fan-out width).
+        max_inflight / max_queue / quota_rps / quota_burst /
+            idle_timeout: hardening knobs (see :class:`RpcServer`).
+        metrics_port: also serve ``GET /metrics`` (Prometheus text
+            format) on this port, same host; None disables.
         ready: optional event set once the socket is bound (tests).
         announce: called with a human-readable "listening" line.
     """
-    server = RpcServer(session, host, port, coalesce=coalesce, workers=workers)
+    from repro.serve.metrics import MetricsServer
+
+    server = RpcServer(
+        session,
+        host,
+        port,
+        coalesce=coalesce,
+        workers=workers,
+        max_inflight=max_inflight,
+        max_queue=max_queue,
+        quota_rps=quota_rps,
+        quota_burst=quota_burst,
+        idle_timeout=idle_timeout,
+    )
     bound_host, bound_port = await server.start()
+    metrics: MetricsServer | None = None
+    if metrics_port is not None:
+        metrics = MetricsServer(server, host=host, port=metrics_port)
+        metrics_host, metrics_bound = await metrics.start()
+        if announce is not None:
+            announce(
+                f"repro metrics: http://{metrics_host}:{metrics_bound}"
+                "/metrics"
+            )
     if announce is not None:
         announce(
             f"repro rpc: listening on {bound_host}:{bound_port} "
@@ -560,4 +867,6 @@ async def serve_tcp(
     try:
         await server.serve_forever()
     finally:
+        if metrics is not None:
+            await metrics.close()
         await server.close()

@@ -40,7 +40,9 @@ from repro.data.columnar import ColumnarDatabase, ColumnarRelation
 from repro.data.database import Database
 from repro.data.versioned import DatabaseDelta, VersionedDatabase
 from repro.engine import Plan, RoundProfiler, execute_plan, plan_config
+from repro.engine.deadline import Deadline, DeadlineExceeded
 from repro.engine.profile import PHASES
+from repro.serve.metrics import Histogram
 from repro.mpc.simulator import CapacityExceeded, MPCSimulator
 from repro.mpc.stats import SimulationReport
 from repro.serve.cache import (
@@ -103,6 +105,8 @@ class ServiceStats:
     updates: int = 0
     answers_served: int = 0
     capacity_failures: int = 0
+    #: Executions cancelled cooperatively by their request deadline.
+    deadline_exceeded: int = 0
     #: Rounds whose route phase fanned out across the process pool /
     #: rounds that routed fresh but in-process (parallel serving only;
     #: both stay 0 when the service runs single-process).
@@ -111,12 +115,19 @@ class ServiceStats:
     phase_seconds: dict[str, float] = field(
         default_factory=lambda: {phase: 0.0 for phase in PHASES}
     )
+    #: Per-phase distribution of each *execution's* phase total --
+    #: what the /metrics endpoint exports as latency histograms.
+    phase_histograms: dict[str, Histogram] = field(
+        default_factory=lambda: {phase: Histogram() for phase in PHASES}
+    )
     plans: PlanCacheStats = field(default_factory=PlanCacheStats)
 
     def add_profile(self, profiler: RoundProfiler) -> None:
         """Fold one execution's phase timings into the totals."""
         for phase in PHASES:
-            self.phase_seconds[phase] += profiler.phase_total(phase)
+            seconds = profiler.phase_total(phase)
+            self.phase_seconds[phase] += seconds
+            self.phase_histograms[phase].observe(seconds)
 
 
 @dataclass
@@ -445,6 +456,7 @@ class QueryService:
         algorithm: str | None = None,
         eps: Any = _UNSET,
         capacity_c: float | None = None,
+        deadline: Deadline | None = None,
     ) -> ServiceResult:
         """Answer one query against the current database version.
 
@@ -463,6 +475,14 @@ class QueryService:
             capacity_c: per-request capacity constant override;
                 defaults to the service-wide setting (itself the
                 algorithm's ``run_*`` default when never set).
+            deadline: optional per-request latency budget.  Checked on
+                entry -- *before* the result cache, so an
+                already-expired budget deterministically beats any
+                memoized outcome, including a cached capacity failure
+                -- and cooperatively inside the execution.  A
+                deadline-cancelled execution is never cached, and the
+                pooled simulator it abandoned is reset by the next
+                request exactly like after a capacity failure.
 
         Returns:
             A :class:`ServiceResult` with answers in the request's
@@ -474,6 +494,8 @@ class QueryService:
                 ``algorithm``.
             CapacityExceeded: when enforcement is on and the execution
                 (fresh or memoized) overflowed a worker.
+            DeadlineExceeded: the budget ran out before or during the
+                execution.
         """
         if isinstance(query, str):
             query = parse_query(query)
@@ -487,6 +509,9 @@ class QueryService:
         )
         params = self._request_params(algorithm, request_eps, capacity_c)
         self.stats.requests += 1
+        if deadline is not None and deadline.expired:
+            self.stats.deadline_exceeded += 1
+            deadline.check("at service entry")
 
         def compiler(canonical: ConjunctiveQuery) -> Plan:
             return self._compile(canonical, params)
@@ -507,7 +532,9 @@ class QueryService:
             outcome = self._results.get((variant, version))
         result_hit = outcome is not None
         if outcome is None:
-            outcome = self._execute(plan, rebind, variant, version, profiler)
+            outcome = self._execute(
+                plan, rebind, variant, version, profiler, deadline
+            )
             if self._results is not None:
                 self._results.put((variant, version), outcome)
         else:
@@ -593,6 +620,7 @@ class QueryService:
         variant: tuple,
         version: int,
         profiler: RoundProfiler | None,
+        deadline: Deadline | None = None,
     ) -> _Outcome:
         if profiler is None and self.profile:
             profiler = RoundProfiler()
@@ -616,10 +644,18 @@ class QueryService:
                 relation_map=relation_map,
                 parallel=parallel,
                 chunk_rows=self.chunk_rows,
+                deadline=deadline,
             )
         except CapacityExceeded as exc:
             error = exc
             execution = None
+        except DeadlineExceeded:
+            # Not memoizable: a later identical request with a fresh
+            # budget must execute for real.  The abandoned simulator is
+            # reset by its next user, like after a capacity failure.
+            self.stats.executions += 1
+            self.stats.deadline_exceeded += 1
+            raise
         finally:
             if parallel is not None:
                 self.stats.parallel_rounds = parallel.parallel_rounds

@@ -28,7 +28,7 @@ wire protocol of the JSON-lines RPC server
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from fractions import Fraction
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
@@ -100,6 +100,17 @@ class Result:
     def cached(self) -> bool:
         """True when the whole execution was memoized."""
         return self.raw.result_hit
+
+    @property
+    def ivm(self) -> str | None:
+        """How incremental maintenance served this execution.
+
+        ``"merged"`` when the answer came from a delta merge against
+        retained state, a named fallback reason when the full path
+        ran, None when IVM was not consulted (also mirrored on
+        :attr:`explain`).
+        """
+        return self.raw.ivm
 
     @property
     def heavy_hitters(self) -> dict[str, frozenset[int]] | None:
@@ -262,6 +273,9 @@ class Session:
         sample_cap: stride-sample relations beyond this many rows when
             profiling.
         reuse_simulators / profile: forwarded to the service.
+        ivm: serve post-update statements by incremental view
+            maintenance when possible (forwarded to the service; see
+            :mod:`repro.serve.ivm`).
         workers: executor process count for statement fan-out.  1 (the
             default) keeps everything in this process.  With ``N >= 2``
             the session spawns ``N`` worker processes, each holding a
@@ -309,6 +323,7 @@ class Session:
         sample_cap: int = SAMPLE_CAP,
         reuse_simulators: bool = True,
         profile: bool = True,
+        ivm: bool = True,
         workers: int = 1,
         chunk_rows: int | None = None,
         worker_join_timeout: float = 5.0,
@@ -337,6 +352,7 @@ class Session:
             result_cache_size=result_cache_size,
             reuse_simulators=reuse_simulators,
             profile=profile,
+            ivm=ivm,
             chunk_rows=chunk_rows,
         )
         self.default_eps = None if eps is None else Fraction(eps)
@@ -381,6 +397,7 @@ class Session:
                 sample_cap=sample_cap,
                 reuse_simulators=reuse_simulators,
                 profile=profile,
+                ivm=ivm,
                 chunk_rows=chunk_rows,
             )
             self._fanout = SessionWorkerPool(
@@ -490,6 +507,26 @@ class Session:
         else:
             version = self._apply_local_delta(delta)
         with self._lock:
+            record = self._service.database.last_record
+            if (
+                record is not None
+                and record.new_version == version
+                and record.is_noop
+            ):
+                # An effective no-op bump: the snapshot is unchanged,
+                # so decisions and profiles stay valid -- chain their
+                # keys forward instead of orphaning them.
+                old_version = record.old_version
+
+                def _rekey(key: tuple) -> tuple | None:
+                    if key[-1] == old_version:
+                        return key[:-1] + (version,)
+                    return None
+
+                if self._decisions is not None:
+                    self._decisions.remap(_rekey)
+                if self._profiles is not None:
+                    self._profiles.remap(_rekey)
             if self._decisions is not None:
                 self._decisions.purge(lambda key: key[-1] != version)
             if self._profiles is not None:
@@ -650,7 +687,10 @@ class Session:
                 eps=choice.eps,
                 deadline=deadline,
             )
-        return Result(raw=raw, explain=choice.explain)
+        explain = choice.explain
+        if raw.ivm is not None:
+            explain = replace(explain, ivm=raw.ivm)
+        return Result(raw=raw, explain=explain)
 
 
 def connect(

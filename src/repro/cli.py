@@ -473,6 +473,11 @@ def _serve_handle(service, line: str, out) -> bool:
                 ["updates", stats.updates],
                 ["answers served", stats.answers_served],
                 ["capacity failures", stats.capacity_failures],
+                ["ivm merges / fallbacks",
+                 f"{stats.ivm_hits} / {stats.ivm_fallbacks}"],
+                ["ivm retained (states / bytes)",
+                 f"{service.ivm_retained_states}"
+                 f" / {service.ivm_retained_bytes}"],
                 ["parallel rounds", stats.parallel_rounds],
                 ["fallback rounds", stats.fallback_rounds],
             ]

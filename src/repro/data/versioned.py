@@ -16,6 +16,7 @@ under them.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Sequence
 
@@ -33,6 +34,18 @@ Rows = Iterable[Sequence[int]]
 @dataclass(frozen=True)
 class DatabaseDelta:
     """One update's worth of row-level changes.
+
+    Edge semantics (pinned by ``tests/data/test_versioned.py``):
+
+    - Deleting an absent row is a no-op -- deletion is idempotent,
+      never an error (deleting from an *unknown relation* is an
+      error, because the arity cannot be inferred).
+    - Duplicate inserts collapse to one row, and inserting a row that
+      already exists leaves the relation unchanged (relations are
+      sets).
+    - When the same row appears in both ``inserts`` and ``deletes``
+      of one delta, the insert wins: deletes filter the old snapshot
+      first, then inserts are added, so the row is present afterwards.
 
     Attributes:
         inserts: relation name -> rows to add (new relation names are
@@ -71,6 +84,89 @@ class DatabaseDelta:
         """True when the delta changes nothing."""
         return not any(self.inserts.values()) and not any(
             self.deletes.values()
+        )
+
+
+@dataclass(frozen=True)
+class DeltaRecord:
+    """The *effective* change one :meth:`~VersionedDatabase.apply_delta`
+    made, as provenance between two adjacent snapshot versions.
+
+    Unlike the raw :class:`DatabaseDelta` (whose inserts may already
+    exist and whose deletes may be absent), a record stores only rows
+    that actually changed membership, so ``new = (old - removed) +
+    added`` holds exactly per relation.  Incremental view maintenance
+    consumes these to route deltas instead of whole relations.
+
+    Attributes:
+        old_version: version the delta was applied to.
+        new_version: version it produced (``old_version + 1``).
+        added: relation name -> rows newly present.
+        removed: relation name -> rows no longer present.
+        bits_changed: True when per-tuple bit accounting moved -- a
+            relation was created, a relation's domain grew, or the
+            database-wide domain grew.  Consumers that patch load
+            arithmetic must fall back to full recompute past such a
+            record.
+    """
+
+    old_version: int
+    new_version: int
+    added: Mapping[str, frozenset[tuple[int, ...]]]
+    removed: Mapping[str, frozenset[tuple[int, ...]]]
+    bits_changed: bool
+
+    @property
+    def is_noop(self) -> bool:
+        """True when no row changed membership (pure version bump)."""
+        return not any(self.added.values()) and not any(
+            self.removed.values()
+        )
+
+
+#: How many :class:`DeltaRecord` entries a database retains.  Bounded
+#: so long-lived services cannot accumulate unbounded provenance; a
+#: consumer asking across a trimmed gap simply gets ``None`` and falls
+#: back to full recompute.
+DELTA_HISTORY_LIMIT = 64
+
+
+@dataclass(frozen=True)
+class ComposedDelta:
+    """Net effective change between two (not necessarily adjacent)
+    versions, composed from consecutive :class:`DeltaRecord` entries.
+
+    Satisfies ``snapshot(new) = (snapshot(old) - removed) + added``
+    per relation, with ``added`` disjoint from ``snapshot(old)`` and
+    ``removed`` a subset of it.
+    """
+
+    old_version: int
+    new_version: int
+    added: Mapping[str, frozenset[tuple[int, ...]]]
+    removed: Mapping[str, frozenset[tuple[int, ...]]]
+    bits_changed: bool
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the versions hold identical contents."""
+        return not any(self.added.values()) and not any(
+            self.removed.values()
+        )
+
+    def touched(self) -> frozenset[str]:
+        """Relations whose contents differ between the versions."""
+        return frozenset(
+            name
+            for name, rows in list(self.added.items())
+            + list(self.removed.items())
+            if rows
+        )
+
+    def change_count(self) -> int:
+        """Total rows that changed membership, across relations."""
+        return sum(len(rows) for rows in self.added.values()) + sum(
+            len(rows) for rows in self.removed.values()
         )
 
 
@@ -115,6 +211,9 @@ class VersionedDatabase:
             relations=relations, domain_size=domain
         )
         self._version = initial_version
+        self._history: deque[DeltaRecord] = deque(
+            maxlen=DELTA_HISTORY_LIMIT
+        )
 
     # -- read side ----------------------------------------------------------
 
@@ -177,6 +276,9 @@ class VersionedDatabase:
         """
         relations = dict(self._snapshot.relations)
         domain = self._snapshot.domain_size
+        added: dict[str, frozenset[tuple[int, ...]]] = {}
+        removed: dict[str, frozenset[tuple[int, ...]]] = {}
+        bits_changed = False
         for name in set(delta.inserts) | set(delta.deletes):
             inserts = delta.inserts.get(name, ())
             deletes = {
@@ -190,9 +292,12 @@ class VersionedDatabase:
                     )
                 rows = []
                 arity = len(inserts[0])
+                bits_changed = True
             else:
                 rows = list(existing.rows())
                 arity = existing.arity
+            old_rows = {tuple(row) for row in rows}
+            insert_rows = {tuple(row) for row in inserts}
             rows = [tuple(row) for row in rows if tuple(row) not in deletes]
             rows.extend(tuple(row) for row in inserts)
             peak = max(
@@ -202,6 +307,11 @@ class VersionedDatabase:
             relation_domain = max(
                 existing.domain_size if existing is not None else 1, peak
             )
+            if (
+                existing is not None
+                and relation_domain != existing.domain_size
+            ):
+                bits_changed = True
             relations[name] = ColumnarRelation.from_rows(
                 name,
                 rows,
@@ -209,11 +319,91 @@ class VersionedDatabase:
                 arity=arity,
                 backend=self._backend,
             )
+            effective_added = frozenset(insert_rows - old_rows)
+            effective_removed = frozenset(
+                row
+                for row in deletes
+                if row in old_rows and row not in insert_rows
+            )
+            if effective_added:
+                added[name] = effective_added
+            if effective_removed:
+                removed[name] = effective_removed
+        if domain != self._snapshot.domain_size:
+            bits_changed = True
         self._snapshot = ColumnarDatabase(
             relations=relations, domain_size=domain
         )
+        record = DeltaRecord(
+            old_version=self._version,
+            new_version=self._version + 1,
+            added=added,
+            removed=removed,
+            bits_changed=bits_changed,
+        )
+        self._history.append(record)
         self._version += 1
         return self._version
+
+    # -- provenance ---------------------------------------------------------
+
+    @property
+    def last_record(self) -> DeltaRecord | None:
+        """The provenance record of the most recent delta, if any."""
+        return self._history[-1] if self._history else None
+
+    def delta_between(
+        self, old_version: int, new_version: int
+    ) -> ComposedDelta | None:
+        """Net effective change from one version to a later one.
+
+        Composes the retained per-version :class:`DeltaRecord` chain.
+        Returns ``None`` when the span is not fully covered by history
+        (too old, trimmed, or from a foreign version) -- callers must
+        then treat the old version's derived state as unusable.
+        """
+        if old_version > new_version or new_version > self._version:
+            return None
+        records = [
+            record
+            for record in self._history
+            if old_version < record.new_version <= new_version
+        ]
+        if len(records) != new_version - old_version:
+            return None
+        added: dict[str, set[tuple[int, ...]]] = {}
+        removed: dict[str, set[tuple[int, ...]]] = {}
+        bits_changed = False
+        for record in records:
+            bits_changed = bits_changed or record.bits_changed
+            for name in set(record.added) | set(record.removed):
+                step_added = record.added.get(name, frozenset())
+                step_removed = record.removed.get(name, frozenset())
+                net_added = added.setdefault(name, set())
+                net_removed = removed.setdefault(name, set())
+                # Relative to the *old* snapshot: a row removed now
+                # either undoes a prior add or is a genuine removal;
+                # a row added now either undoes a prior removal or is
+                # a genuine addition.
+                next_added = (net_added - step_removed) | (
+                    step_added - net_removed
+                )
+                next_removed = (
+                    net_removed | (step_removed - net_added)
+                ) - step_added
+                added[name] = next_added
+                removed[name] = next_removed
+        return ComposedDelta(
+            old_version=old_version,
+            new_version=new_version,
+            added={
+                name: frozenset(rows) for name, rows in added.items()
+            },
+            removed={
+                name: frozenset(rows) for name, rows in removed.items()
+            },
+            bits_changed=bits_changed,
+        )
 
     def update(
         self,

@@ -78,6 +78,12 @@ class Explain:
             sample, not a full scan.
         pinned: the statement named the algorithm explicitly -- the
             costs are reported but did not decide.
+        ivm: how incremental view maintenance served the execution
+            that produced this explain: ``"merged"`` when the answer
+            came from a delta merge, a named fallback reason when the
+            full path ran instead, or None when IVM was not consulted
+            (first execution at a version, cache hit, or IVM off).
+            Always None on a pre-execution ``.explain()``.
     """
 
     query_text: str
@@ -96,6 +102,7 @@ class Explain:
     candidates: tuple[Candidate, ...]
     profile_sampled: bool
     pinned: bool
+    ivm: str | None = None
 
     def to_dict(self) -> dict:
         """A JSON-friendly rendering (the RPC ``explain`` payload)."""
@@ -117,6 +124,7 @@ class Explain:
             "heavy_values": dict(self.heavy_values),
             "profile_sampled": self.profile_sampled,
             "pinned": self.pinned,
+            "ivm": self.ivm,
             "candidates": [
                 {
                     "algorithm": candidate.algorithm,
@@ -158,6 +166,8 @@ class Explain:
         rows.append(
             ["heavy values sampled", heavy or "none"]
         )
+        if self.ivm is not None:
+            rows.append(["incremental maintenance", self.ivm])
         header = format_table(["property", "value"], rows)
         bids = format_table(
             ["candidate", "eligible", "cost", "load", "rounds", "why"],

@@ -75,6 +75,29 @@ class LRUCache:
             del self._entries[key]
         return len(victims)
 
+    def remap(self, rekey: Callable[[Any], Any | None]) -> int:
+        """Rewrite entry keys in place, preserving recency order.
+
+        ``rekey`` maps each key to its replacement, or ``None`` to
+        keep the key unchanged.  Used to chain version-stamped caches
+        across a no-op version bump: the values stay valid, only the
+        version embedded in the key moves.  When a rewritten key
+        collides with an existing one, the rewritten entry wins.
+
+        Returns:
+            The number of keys rewritten.
+        """
+        moved = 0
+        entries = OrderedDict()
+        for key, value in self._entries.items():
+            new_key = rekey(key)
+            if new_key is not None and new_key != key:
+                moved += 1
+                key = new_key
+            entries[key] = value
+        self._entries = entries
+        return moved
+
 
 @dataclass(frozen=True)
 class CacheRebind:

@@ -1,0 +1,471 @@
+"""Semi-naive delta merging against retained routed state.
+
+The merge replays a plan's rounds over *only the changed rows*:
+
+1. Each round's steps route the delta of their source -- base-relation
+   deltas from the database's provenance records, view deltas computed
+   by the previous rounds of this same merge (the semi-naive cascade
+   ``delta(R join S) = dR join S + R join dS + dR join dS``, realised
+   here as "patch the fragments, re-join only the affected workers").
+2. Round loads are patched arithmetically: a worker's received bits
+   move by exactly ``(inserted - deleted) * bits_per_tuple`` per step,
+   so the synthesised :class:`~repro.mpc.stats.RoundStats` are
+   bit-identical to what a full re-execution would report, and the
+   capacity check (against the *new* input size) raises the identical
+   :class:`~repro.mpc.simulator.CapacityExceeded` a full run would.
+3. Workers whose fragments changed re-join locally; their answer
+   tables are spliced into the retained per-worker tables and merged
+   canonically -- the same duplicate-free union full execution
+   performs, so answers are bit-identical by construction.
+
+All patches accumulate in temporaries and commit only on success: a
+deadline expiring mid-merge (or a synthesised capacity error) leaves
+the retained state exactly as it was, reusable by the next request --
+the same invariant the serving layer's pooled simulators keep.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass
+
+from repro.data.columnar import ColumnarDatabase
+from repro.data.versioned import ComposedDelta
+from repro.engine.deadline import Deadline
+from repro.engine.executor import plan_config
+from repro.engine.plan import CollectAnswers, FinalizeView
+from repro.mpc.simulator import CapacityExceeded
+from repro.mpc.stats import RoundStats, SimulationReport
+
+from .state import (
+    NUMPY,
+    RetainedState,
+    SiteState,
+    _merge_tables,
+    evaluate_worker,
+    table_rows,
+)
+
+Rows = tuple[tuple[int, ...], ...]
+
+
+@dataclass(frozen=True)
+class MergeSuccess:
+    """A committed merge: the full-recompute-identical outcome."""
+
+    answers: Rows
+    per_server: tuple[int, ...]
+    report: SimulationReport
+    view_sizes: dict[str, int]
+
+
+@dataclass(frozen=True)
+class MergeCapacity:
+    """The post-delta load exceeds capacity; nothing was committed.
+
+    ``error`` is bit-identical (message and fields) to the
+    :class:`CapacityExceeded` a full re-execution would raise.
+    """
+
+    error: CapacityExceeded
+    input_bits: int
+
+
+def _route_delta(step, rows: Rows, p: int) -> dict[int, list]:
+    """Route delta rows through a step's own destination function.
+
+    Shardable steps route by tuple content alone (the eligibility
+    gate), so routing the delta in isolation lands every copy on
+    exactly the workers the full input's routing would.
+    """
+    by_worker: dict[int, list] = {}
+    for index, row in enumerate(rows):
+        for worker in step.destinations(row, index, p):
+            by_worker.setdefault(worker, []).append(row)
+    return by_worker
+
+
+def _patch_fragment(
+    fragment,
+    removed: list,
+    added: list,
+    backend: str,
+):
+    """``(fragment - removed) + added`` in the backend's storage.
+
+    Routed images of effective deltas make both sides exact: every
+    removed row is present, no added row is (content routing is a
+    function, and the relation-level delta is effective).
+    """
+    if backend == NUMPY:
+        from repro.backend import require_numpy
+
+        numpy = require_numpy()
+        columns = fragment
+        if removed and len(columns[0]):
+            mask = numpy.zeros(len(columns[0]), dtype=bool)
+            for row in removed:
+                hit = columns[0] == row[0]
+                for column, value in zip(columns[1:], row[1:]):
+                    hit = hit & (column == value)
+                mask |= hit
+            keep = ~mask
+            columns = tuple(column[keep] for column in columns)
+        if added:
+            extra = [
+                numpy.asarray(
+                    [row[i] for row in added], dtype=numpy.int64
+                )
+                for i in range(len(columns))
+            ]
+            columns = tuple(
+                numpy.concatenate([column, extension])
+                for column, extension in zip(columns, extra)
+            )
+        return columns
+    removed_set = set(map(tuple, removed))
+    rows = [row for row in fragment if tuple(row) not in removed_set]
+    rows.extend(tuple(row) for row in added)
+    return rows
+
+
+def _insert_new_rows(merged, tables, arity):
+    """Splice every row of ``tables`` absent from ``merged`` into it.
+
+    ``merged`` is an ``np.unique(..., axis=0)`` output: unique rows in
+    the structured (field-lexicographic, numeric) order ``unique``
+    itself sorts by.  Membership and placement both run as
+    ``searchsorted`` against that order, so the result is the
+    bit-identical table a full re-unique would produce -- at an O(n)
+    splice instead of an O(n log n) re-sort of every worker's table.
+
+    Returns ``(table, fresh, positions)``: the new merged table, the
+    genuinely new rows as tuples in canonical order, and their
+    insertion positions into the *old* table (ascending) -- or
+    ``(merged, (), None)`` when nothing was new.
+    """
+    from repro.backend import require_numpy
+
+    numpy = require_numpy()
+    fields = numpy.dtype(
+        [(f"f{i}", numpy.int64) for i in range(arity)]
+    )
+
+    def view_of(table):
+        return (
+            numpy.ascontiguousarray(table)
+            .view(fields)
+            .reshape(len(table))
+        )
+
+    merged_c = numpy.ascontiguousarray(merged)
+    merged_v = view_of(merged_c)
+    candidates = []
+    for table in tables:
+        if not len(table):
+            continue
+        fresh = numpy.ascontiguousarray(table)
+        if len(merged_v):
+            table_v = view_of(fresh)
+            found = numpy.searchsorted(merged_v, table_v)
+            clipped = numpy.minimum(found, len(merged_v) - 1)
+            present = (merged_v[clipped] == table_v) & (
+                found < len(merged_v)
+            )
+            fresh = fresh[~present]
+        if len(fresh):
+            candidates.append(fresh)
+    if not candidates:
+        return merged_c, (), None
+    cand = numpy.unique(numpy.concatenate(candidates), axis=0)
+    positions = numpy.searchsorted(merged_v, view_of(cand))
+    table = numpy.insert(merged_c, positions, cand, axis=0)
+    return table, tuple(map(tuple, cand.tolist())), positions
+
+
+def _splice_rows(rows: Rows, fresh: Rows, positions) -> Rows:
+    """``rows`` with ``fresh[i]`` inserted before old index
+    ``positions[i]`` -- the tuple-space image of ``numpy.insert``."""
+    out: list = []
+    previous = 0
+    for position, row in zip(positions.tolist(), fresh):
+        out.extend(rows[previous:position])
+        out.append(row)
+        previous = position
+    out.extend(rows[previous:])
+    return tuple(out)
+
+
+def merge_state(
+    state: RetainedState,
+    composed: ComposedDelta,
+    snapshot: ColumnarDatabase,
+    deadline: Deadline | None = None,
+) -> MergeSuccess | MergeCapacity:
+    """Merge a composed delta into retained state.
+
+    On success the state is committed forward to
+    ``composed.new_version`` and the outcome returned; on a capacity
+    overflow nothing is committed and the synthesised error returned.
+    A :class:`~repro.engine.deadline.DeadlineExceeded` propagates with
+    the state untouched.
+
+    Eligibility (plan shape, history coverage, unchanged bit widths,
+    delta size) must have been established by
+    :class:`~repro.serve.ivm.policy.IvmPolicy` beforehand.
+    """
+    plan = state.plan
+    backend = state.backend
+    p = plan.signature.p
+    config = plan_config(plan)
+    new_input_bits = snapshot.total_bits
+    capacity = config.capacity_bits(new_input_bits)
+
+    # Source deltas in plan-name space; view deltas join as rounds
+    # complete (the semi-naive cascade).
+    pending: dict[str, tuple[Rows, Rows]] = {}
+    for name in plan.relations():
+        db_name = state.relation_map.get(name, name)
+        added = tuple(sorted(composed.added.get(db_name, ())))
+        removed = tuple(sorted(composed.removed.get(db_name, ())))
+        if added or removed:
+            pending[name] = (added, removed)
+
+    # Temporaries; committed only on success.
+    patched_fragments: dict[tuple[str, int], object] = {}
+    patched_tables: dict[tuple[str | None, int], object] = {}
+    patched_merged: dict[str | None, object] = {}
+    affected: dict[str, set[int]] = {}
+    #: Mailbox keys whose fragments lost rows this merge: sites fed by
+    #: them may shrink, which disables the growth-only fast path.
+    shrunk: set[str] = set()
+    #: Sites whose merged table was updated by sorted insertion:
+    #: ``(fresh rows, insert positions | None)``.
+    spliced: dict[str | None, tuple[Rows, object]] = {}
+    new_rounds: list[RoundStats] = []
+
+    def fragment_of(key: str, worker: int):
+        fragment = patched_fragments.get((key, worker))
+        if fragment is None:
+            fragment = state.pools[key].fragments[worker]
+        return fragment
+
+    def table_of(site: SiteState, worker: int):
+        table = patched_tables.get((site.name, worker))
+        if table is None:
+            table = site.tables[worker]
+        return table
+
+    def refresh_site(site: SiteState) -> tuple[Rows, Rows] | None:
+        """Re-join the site's affected workers.
+
+        Returns the ``(added, removed)`` delta of the site's merged
+        table, or None when no worker was affected.  When every
+        fragment patch feeding the site was insert-only, monotonicity
+        of conjunctive queries guarantees the per-worker tables only
+        grow, so on the numpy backend the canonical merged table is
+        updated by sorted insertion (delta-proportional) instead of
+        re-uniquing every worker's table; any routed removal falls
+        back to the full recompute, which is always exact.
+        """
+        arity = len(site.query.head)
+        touched = set()
+        for key in site.keys.values():
+            touched |= affected.get(key, set())
+        touched = {w for w in touched if w < site.workers}
+        if not touched:
+            return None
+        for worker in sorted(touched):
+            fragments = {
+                atom_name: fragment_of(key, worker)
+                for atom_name, key in site.keys.items()
+            }
+            patched_tables[(site.name, worker)] = evaluate_worker(
+                site.query, fragments, backend
+            )
+        if (
+            backend == NUMPY
+            and arity > 0
+            and not any(key in shrunk for key in site.keys.values())
+        ):
+            new_tables = [
+                patched_tables[(site.name, worker)]
+                for worker in sorted(touched)
+            ]
+            table, fresh, positions = _insert_new_rows(
+                site.merged, new_tables, arity
+            )
+            patched_merged[site.name] = table
+            spliced[site.name] = (fresh, positions)
+            return fresh, ()
+        tables = [
+            table_of(site, worker) for worker in range(site.workers)
+        ]
+        patched_merged[site.name] = _merge_tables(
+            tables, arity, backend
+        )
+        old_merged = set(table_rows(site.merged, backend))
+        new_merged = set(
+            table_rows(patched_merged[site.name], backend)
+        )
+        return (
+            tuple(sorted(new_merged - old_merged)),
+            tuple(sorted(old_merged - new_merged)),
+        )
+
+    for round_index, plan_round in enumerate(plan.rounds):
+        if deadline is not None:
+            deadline.check("ivm merge")
+        old_stats = state.report_rounds[round_index]
+        bits_delta = [0] * p
+        tuples_delta = [0] * p
+        for step_index, step in enumerate(plan_round.steps):
+            added, removed = pending.get(step.relation, ((), ()))
+            if not added and not removed:
+                continue
+            per_tuple = state.step_bits[(round_index, step_index)]
+            key = step.mailbox_key
+            routed_added = _route_delta(step, added, p)
+            routed_removed = _route_delta(step, removed, p)
+            for worker, rows in routed_added.items():
+                bits_delta[worker] += len(rows) * per_tuple
+                tuples_delta[worker] += len(rows)
+            for worker, rows in routed_removed.items():
+                bits_delta[worker] -= len(rows) * per_tuple
+                tuples_delta[worker] -= len(rows)
+            if key in state.pools:
+                workers = set(routed_added) | set(routed_removed)
+                if routed_removed:
+                    shrunk.add(key)
+                affected.setdefault(key, set()).update(workers)
+                for worker in sorted(workers):
+                    patched_fragments[(key, worker)] = _patch_fragment(
+                        fragment_of(key, worker),
+                        routed_removed.get(worker, []),
+                        routed_added.get(worker, []),
+                        backend,
+                    )
+        new_bits = tuple(
+            old + delta
+            for old, delta in zip(old_stats.received_bits, bits_delta)
+        )
+        new_tuples = tuple(
+            old + delta
+            for old, delta in zip(
+                old_stats.received_tuples, tuples_delta
+            )
+        )
+        if plan.signature.enforce_capacity:
+            # Identical scan order to MPCSimulator.end_round: workers
+            # ascending, first overflow wins, round stats not closed.
+            for worker, bits in enumerate(new_bits):
+                if bits > capacity:
+                    return MergeCapacity(
+                        error=CapacityExceeded(
+                            worker, bits, capacity, round_index + 1
+                        ),
+                        input_bits=new_input_bits,
+                    )
+        new_rounds.append(
+            RoundStats(
+                round_index=round_index + 1,
+                received_bits=new_bits,
+                received_tuples=new_tuples,
+                capacity_bits=capacity,
+            )
+        )
+        for view_name in state.view_rounds[round_index]:
+            site = state.views[view_name]
+            moved = refresh_site(site)
+            if moved is None:
+                pending.pop(view_name, None)
+                continue
+            added_v, removed_v = moved
+            if added_v or removed_v:
+                pending[view_name] = (added_v, removed_v)
+            else:
+                pending.pop(view_name, None)
+
+    if deadline is not None:
+        deadline.check("ivm finalize")
+
+    finalize = plan.finalize
+    if isinstance(finalize, CollectAnswers):
+        site = state.collect
+        assert site is not None
+        refresh_site(site)
+        merged = patched_merged.get(site.name, site.merged)
+        cached = site.answer_rows
+        if cached is not None and site.name not in patched_merged:
+            answers = cached
+        elif cached is not None and site.name in spliced:
+            fresh, insert_at = spliced[site.name]
+            answers = (
+                cached
+                if insert_at is None
+                else _splice_rows(cached, fresh, insert_at)
+            )
+        else:
+            answers = table_rows(merged, backend)
+        per_server = tuple(
+            [len(table_of(site, w)) for w in range(site.workers)]
+            + [0] * (p - site.workers)
+        )
+    else:
+        assert isinstance(finalize, FinalizeView)
+        site = state.views[finalize.view]
+        merged = patched_merged.get(site.name, site.merged)
+        head_positions = state.finalize_positions
+        assert head_positions is not None
+        cached = site.answer_rows
+        if cached is not None and site.name not in patched_merged:
+            answers = cached
+        elif cached is not None and site.name in spliced:
+            fresh, insert_at = spliced[site.name]
+            if insert_at is None:
+                answers = cached
+            else:
+                projected = list(cached)
+                for row in fresh:
+                    insort(
+                        projected,
+                        tuple(row[i] for i in head_positions),
+                    )
+                answers = tuple(projected)
+        else:
+            answers = tuple(
+                sorted(
+                    tuple(row[i] for i in head_positions)
+                    for row in table_rows(merged, backend)
+                )
+            )
+        per_server = ()
+
+    view_sizes = {
+        name: len(patched_merged.get(name, view.merged))
+        for name, view in state.views.items()
+    }
+
+    # Commit: the merge succeeded end to end.
+    for (key, worker), fragment in patched_fragments.items():
+        state.pools[key].fragments[worker] = fragment
+    for (name, worker), table in patched_tables.items():
+        target = state.collect if name is None else state.views[name]
+        target.tables[worker] = table
+    for name, merged_table in patched_merged.items():
+        target = state.collect if name is None else state.views[name]
+        target.merged = merged_table
+    site.answer_rows = answers
+    state.report_rounds = tuple(new_rounds)
+    state.input_bits = new_input_bits
+    state.version = composed.new_version
+    state.recount_bytes()
+
+    return MergeSuccess(
+        answers=answers,
+        per_server=per_server,
+        report=SimulationReport(
+            input_bits=new_input_bits, rounds=list(new_rounds)
+        ),
+        view_sizes=view_sizes,
+    )

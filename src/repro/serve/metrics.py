@@ -357,6 +357,36 @@ def render_metrics(server: Any) -> str:
         service.deadline_exceeded,
     )
     registry.sample(
+        "ivm_requests_total", "counter",
+        "Post-delta executions the IVM layer was consulted for, "
+        "by outcome.",
+        series=[
+            ({"outcome": "hit"}, service.ivm_hits),
+            ({"outcome": "fallback"}, service.ivm_fallbacks),
+        ],
+    )
+    ivm = getattr(getattr(session, "service", None), "ivm", None)
+    registry.sample(
+        "ivm_fallbacks_total", "counter",
+        "IVM fallbacks to full re-execution, by reason.",
+        series=[
+            ({"reason": reason}, count)
+            for reason, count in sorted(
+                ivm.fallback_reasons.items()
+            )
+        ] if ivm is not None and ivm.fallback_reasons else [(None, 0)],
+    )
+    registry.sample(
+        "ivm_retained_bytes", "gauge",
+        "Bytes of routed state retained for incremental maintenance.",
+        ivm.retained_bytes if ivm is not None else 0,
+    )
+    registry.sample(
+        "ivm_retained_states", "gauge",
+        "Retained (plan variant) states in the IVM store.",
+        ivm.retained_states if ivm is not None else 0,
+    )
+    registry.sample(
         "engine_rounds_total", "counter",
         "Engine rounds, by execution mode.",
         series=[

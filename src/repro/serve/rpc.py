@@ -725,6 +725,14 @@ class RpcServer:
                 "answers_served": service.answers_served,
                 "capacity_failures": service.capacity_failures,
                 "deadline_exceeded": service.deadline_exceeded,
+                "ivm_hits": service.ivm_hits,
+                "ivm_fallbacks": service.ivm_fallbacks,
+                "ivm_retained_bytes": (
+                    self.session.service.ivm_retained_bytes
+                ),
+                "ivm_retained_states": (
+                    self.session.service.ivm_retained_states
+                ),
             },
             "parallel": self._parallel_stats(),
             "planner": {

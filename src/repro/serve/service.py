@@ -52,6 +52,12 @@ from repro.serve.cache import (
     PlanCacheStats,
     identity_rebind,
 )
+from repro.serve.ivm import (
+    IvmManager,
+    IvmPolicy,
+    MergeCapacity,
+    MergeSuccess,
+)
 
 #: Sentinel distinguishing "use the service default" from an explicit
 #: per-request ``eps=None`` (which means "the query's own exponent").
@@ -107,6 +113,14 @@ class ServiceStats:
     capacity_failures: int = 0
     #: Executions cancelled cooperatively by their request deadline.
     deadline_exceeded: int = 0
+    #: Post-delta requests served by merging a routed delta into
+    #: retained state instead of re-executing the plan (includes
+    #: merges that reproduced a capacity failure).
+    ivm_hits: int = 0
+    #: Post-delta requests where the incremental path declined and a
+    #: full re-execution ran; per-reason detail lives on the service's
+    #: :class:`~repro.serve.ivm.IvmManager`.
+    ivm_fallbacks: int = 0
     #: Rounds whose route phase fanned out across the process pool /
     #: rounds that routed fresh but in-process (parallel serving only;
     #: both stay 0 when the service runs single-process).
@@ -149,6 +163,11 @@ class ServiceResult:
             plans only).
         view_sizes: materialised intermediate-view sizes (multi-round
             plans only; empty otherwise).
+        ivm: how incremental maintenance participated -- ``"merged"``
+            when the request was served by routing only the delta, a
+            fallback reason string when the incremental path was
+            consulted but declined, None when it was not consulted
+            (version 0, result-cache hit, or IVM disabled).
     """
 
     answers: tuple[tuple[int, ...], ...]
@@ -160,6 +179,7 @@ class ServiceResult:
     result_hit: bool
     heavy_hitters: dict[str, frozenset[int]] | None = None
     view_sizes: dict[str, int] = field(default_factory=dict)
+    ivm: str | None = None
 
     @property
     def algorithm(self) -> str:
@@ -223,6 +243,16 @@ class QueryService:
             (the default) defers to the ``REPRO_CHUNK_ROWS``
             environment knob; streaming executions bypass the routing
             cache.
+        ivm: serve post-delta requests by routing only the delta and
+            merging with retained state when eligible (see
+            :mod:`repro.serve.ivm`); answers, loads and capacity
+            behaviour stay bit-identical to full re-execution.
+        ivm_max_bytes: byte budget for retained IVM state (the RSS
+            ceiling; least-recently-used states are evicted beyond
+            it and their variants fall back to full re-execution).
+        ivm_max_delta_fraction: largest composed-delta size, as a
+            fraction of the plan's base rows, the incremental path
+            will merge rather than fall back.
     """
 
     def __init__(
@@ -247,6 +277,9 @@ class QueryService:
         workers: int = 1,
         parallel_min_rows: int | None = None,
         chunk_rows: int | None = None,
+        ivm: bool = True,
+        ivm_max_bytes: int = 64 << 20,
+        ivm_max_delta_fraction: float = 0.25,
     ) -> None:
         if algorithm not in algorithm_names():
             raise ValueError(
@@ -291,6 +324,16 @@ class QueryService:
         self._results = (
             _LRU(result_cache_size, self._count_result_eviction)
             if result_cache_size > 0
+            else None
+        )
+        self._ivm = (
+            IvmManager(
+                IvmPolicy(
+                    max_delta_fraction=ivm_max_delta_fraction,
+                    max_bytes=ivm_max_bytes,
+                )
+            )
+            if ivm
             else None
         )
         self._simulators: dict[tuple, MPCSimulator] = {}
@@ -528,16 +571,21 @@ class QueryService:
         variant = (plan.signature.cache_key, rebind.relation_map)
         version = self._database.version
         outcome: _Outcome | None = None
+        ivm_status: str | None = None
         if self._results is not None:
             outcome = self._results.get((variant, version))
         result_hit = outcome is not None
+        if outcome is None and self._ivm is not None and version > 0:
+            outcome, ivm_status = self._try_ivm(
+                plan, variant, version, deadline
+            )
         if outcome is None:
             outcome = self._execute(
                 plan, rebind, variant, version, profiler, deadline
             )
-            if self._results is not None:
-                self._results.put((variant, version), outcome)
-        else:
+        if not result_hit and self._results is not None:
+            self._results.put((variant, version), outcome)
+        if result_hit:
             self.stats.result_hits += 1
         if outcome.error is not None:
             self.stats.capacity_failures += 1
@@ -554,6 +602,7 @@ class QueryService:
             result_hit=result_hit,
             heavy_hitters=outcome.heavy_hitters,
             view_sizes=outcome.view_sizes,
+            ivm=ivm_status,
         )
 
     # -- write side ---------------------------------------------------------
@@ -573,9 +622,33 @@ class QueryService:
         return self.apply_delta(DatabaseDelta.of(inserts, deletes))
 
     def apply_delta(self, delta: DatabaseDelta) -> int:
-        """Apply a prepared delta; see :meth:`update`."""
+        """Apply a prepared delta; see :meth:`update`.
+
+        A delta that changes nothing *effectively* (empty, deleting
+        absent rows, re-inserting present rows) still bumps the
+        version -- but the caches *chain*: version-stamped entries are
+        re-keyed to the new version instead of purged, so a repeated
+        query after a no-op update still hits its memoized result.
+        """
+        old_version = self._database.version
         version = self._database.apply_delta(delta)
         self.stats.updates += 1
+        record = self._database.last_record
+        if record is not None and record.is_noop:
+            if self._routing is not None:
+                self._routing.remap(
+                    lambda key: ((key[0][0], version), key[1])
+                    if key[0][1] == old_version
+                    else None
+                )
+            if self._results is not None:
+                self._results.remap(
+                    lambda key: (key[0], version)
+                    if key[1] == old_version
+                    else None
+                )
+            if self._ivm is not None:
+                self._ivm.fast_forward(old_version, version)
         if self._routing is not None:
             self._routing.purge(lambda key: key[0][1] != version)
         if self._results is not None:
@@ -583,6 +656,77 @@ class QueryService:
         return version
 
     # -- internals ----------------------------------------------------------
+
+    @property
+    def ivm(self) -> IvmManager | None:
+        """The incremental-maintenance manager (None when disabled)."""
+        return self._ivm
+
+    @property
+    def ivm_retained_bytes(self) -> int:
+        """Bytes currently held by retained IVM state."""
+        return 0 if self._ivm is None else self._ivm.retained_bytes
+
+    @property
+    def ivm_retained_states(self) -> int:
+        """Number of plan variants with retained IVM state."""
+        return 0 if self._ivm is None else self._ivm.retained_states
+
+    def _try_ivm(
+        self,
+        plan: Plan,
+        variant: tuple,
+        version: int,
+        deadline: Deadline | None,
+    ) -> tuple[_Outcome | None, str | None]:
+        """Attempt the incremental path for a post-delta miss.
+
+        Returns ``(outcome, "merged")`` when the delta merge served
+        the request (possibly reproducing a capacity failure), or
+        ``(None, reason)`` when the full path must run.
+        """
+        assert self._ivm is not None
+        try:
+            served = self._ivm.serve(
+                variant, plan, version, self._database, deadline
+            )
+        except DeadlineExceeded:
+            # Mirrors a full execution cancelled mid-flight: counted,
+            # never cached, retained state left intact for the next
+            # request (merges commit only on success).
+            self.stats.executions += 1
+            self.stats.deadline_exceeded += 1
+            raise
+        if isinstance(served, MergeSuccess):
+            self.stats.executions += 1
+            self.stats.ivm_hits += 1
+            return (
+                _Outcome(
+                    answers=served.answers,
+                    per_server=served.per_server,
+                    report=served.report,
+                    heavy_hitters=None,
+                    view_sizes=served.view_sizes,
+                ),
+                "merged",
+            )
+        if isinstance(served, MergeCapacity):
+            self.stats.executions += 1
+            self.stats.ivm_hits += 1
+            return (
+                _Outcome(
+                    answers=(),
+                    per_server=(),
+                    report=SimulationReport(
+                        input_bits=served.input_bits
+                    ),
+                    heavy_hitters=None,
+                    error=served.error,
+                ),
+                "merged",
+            )
+        self.stats.ivm_fallbacks += 1
+        return None, served
 
     def _compile(self, query: ConjunctiveQuery, params: tuple) -> Plan:
         """Compile through the algorithm registry, one call per miss."""
@@ -674,6 +818,18 @@ class QueryService:
                 ),
                 heavy_hitters=None,
                 error=error,
+            )
+        if self._ivm is not None:
+            # Post-hoc capture: the pooled simulator still holds this
+            # run's deliveries (reset happens at the start of the next
+            # run), so retaining routed state needs no engine hooks.
+            self._ivm.capture(
+                variant,
+                plan,
+                execution,
+                relation_map,
+                version,
+                self._database,
             )
         return _Outcome(
             answers=execution.answers,

@@ -184,6 +184,24 @@ class TestRenderMetrics:
             samples[("repro_service_executions_total", ())] == 1
         )
         assert samples[("repro_database_version", ())] == 0
+        # IVM families: present and typed even before any update --
+        # and zero-valued, since IVM is only consulted after a delta.
+        assert families["repro_ivm_requests_total"]["type"] == "counter"
+        assert families["repro_ivm_retained_bytes"]["type"] == "gauge"
+        assert families["repro_ivm_retained_states"]["type"] == "gauge"
+        assert families["repro_ivm_fallbacks_total"]["type"] == "counter"
+        assert (
+            samples[("repro_ivm_requests_total", (("outcome", "hit"),))]
+            == 0
+        )
+        assert (
+            samples[
+                ("repro_ivm_requests_total", (("outcome", "fallback"),))
+            ]
+            == 0
+        )
+        # The version-0 execution still captures state for later.
+        assert samples[("repro_ivm_retained_states", ())] >= 0
 
     def test_histogram_families_are_cumulative_and_consistent(self):
         families = parse_exposition(self._serve_some_traffic())
